@@ -1,0 +1,108 @@
+//===-- bench/ablation_scaling.cpp - Complexity scaling (paper 3.4) -------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the paper's complexity claim (section 3.4): the analysis cost is
+/// O(N + C x M) — expressions plus classes-times-member-names — i.e.
+/// effectively linear in program size in practice. google-benchmark
+/// sweeps synthesized programs of growing class counts and reports the
+/// per-class time; near-constant per-class time means linear scaling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace dmm;
+using namespace dmm::bench;
+
+namespace {
+
+BenchmarkSpec scaledSpec(unsigned Classes) {
+  BenchmarkSpec Spec = benchmarkByName("lcom");
+  Spec.Name = "scaling";
+  Spec.NumClasses = Classes;
+  Spec.NumUsedClasses = Classes * 7 / 10;
+  Spec.NumMembers = Classes * 5;
+  Spec.TargetLoC = 0;        // No filler: measure real constructs only.
+  Spec.TargetObjects = 100;  // Execution is not measured here.
+  return Spec;
+}
+
+std::unique_ptr<Compilation> compileScaled(unsigned Classes) {
+  GeneratedBenchmark G = synthesizeBenchmark(scaledSpec(Classes));
+  auto C = compileProgram(G.Files, nullptr);
+  if (!C->Success)
+    std::abort();
+  return C;
+}
+
+void BM_AnalysisScaling(benchmark::State &State) {
+  unsigned Classes = static_cast<unsigned>(State.range(0));
+  auto C = compileScaled(Classes);
+  for (auto _ : State) {
+    DeadMemberAnalysis A(C->context(), C->hierarchy(), {});
+    DeadMemberResult R = A.run(C->mainFunction());
+    benchmark::DoNotOptimize(R.deadMembers().size());
+  }
+  State.SetItemsProcessed(State.iterations() * Classes);
+  State.counters["classes"] = Classes;
+}
+BENCHMARK(BM_AnalysisScaling)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_CallGraphScaling(benchmark::State &State) {
+  unsigned Classes = static_cast<unsigned>(State.range(0));
+  auto C = compileScaled(Classes);
+  for (auto _ : State) {
+    CallGraph G = buildCallGraph(C->context(), C->hierarchy(),
+                                 C->mainFunction(), CallGraphKind::RTA);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+  State.SetItemsProcessed(State.iterations() * Classes);
+}
+BENCHMARK(BM_CallGraphScaling)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_FrontendScaling(benchmark::State &State) {
+  unsigned Classes = static_cast<unsigned>(State.range(0));
+  GeneratedBenchmark G = synthesizeBenchmark(scaledSpec(Classes));
+  for (auto _ : State) {
+    auto C = compileProgram(G.Files, nullptr);
+    benchmark::DoNotOptimize(C->Success);
+  }
+  State.SetItemsProcessed(State.iterations() * Classes);
+}
+BENCHMARK(BM_FrontendScaling)->Arg(25)->Arg(100)->Arg(400);
+
+/// Member lookup cost over a deep hierarchy (the Lookup operation the
+/// algorithm relies on; paper cites Ramalingam & Srinivasan).
+void BM_MemberLookupDeepHierarchy(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  std::string Src;
+  Src += "class K0 { public: int f0; };\n";
+  for (unsigned I = 1; I != Depth; ++I)
+    Src += "class K" + std::to_string(I) + " : public K" +
+           std::to_string(I - 1) + " { public: int f" +
+           std::to_string(I) + "; };\n";
+  Src += "int main() { K" + std::to_string(Depth - 1) +
+         " o; return o.f0; }\n";
+  auto C = compileProgram({{"deep.mcc", Src, false}}, nullptr);
+  if (!C->Success)
+    std::abort();
+  const ClassDecl *Leaf = nullptr;
+  for (const ClassDecl *CD : C->context().classes())
+    if (CD->name() == "K" + std::to_string(Depth - 1))
+      Leaf = CD;
+  for (auto _ : State) {
+    FieldDecl *F = C->hierarchy().lookupField(Leaf, "f0");
+    benchmark::DoNotOptimize(F);
+  }
+}
+BENCHMARK(BM_MemberLookupDeepHierarchy)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

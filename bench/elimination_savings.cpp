@@ -1,0 +1,94 @@
+//===-- bench/elimination_savings.cpp - Realized space savings ------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Goes one step beyond the paper's measurement: it *applies* the space
+/// optimization the paper proposes (via the source-to-source
+/// DeadMemberEliminator, in the spirit of the class-hierarchy-slicing
+/// line of work the paper references) and re-executes each benchmark,
+/// comparing predicted savings (Figure 4) with savings actually realized
+/// after removal and re-layout. Behavioural equality of the transformed
+/// programs is asserted, not assumed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "transform/DeadMemberEliminator.h"
+
+using namespace dmm;
+using namespace dmm::bench;
+
+int main() {
+  std::printf("Realized savings after dead-member elimination "
+              "(scale 0.3)\n");
+  printRule(96);
+  std::printf("%-10s %8s %6s %14s %14s %9s %10s %9s\n", "benchmark",
+              "removed", "kept", "space before", "space after",
+              "saved%", "predicted%", "output");
+  printRule(96);
+
+  auto Runs = runSuite(/*Scale=*/0.3);
+  for (BenchmarkRun &Run : Runs) {
+    DeadMemberAnalysis Analysis(Run.Comp->context(),
+                                Run.Comp->hierarchy(), {});
+    DeadMemberResult Result = Analysis.run(Run.Comp->mainFunction());
+    EliminationResult Elim = eliminateDeadMembers(
+        Run.Comp->context(), Result, Analysis.callGraph());
+
+    auto After = compileProgram(
+        {{Run.Spec.Name + ".elim.mcc", Elim.Source, false}}, nullptr);
+    if (!After->Success) {
+      std::fprintf(stderr, "error: transformed '%s' failed to compile\n",
+                   Run.Spec.Name.c_str());
+      return 1;
+    }
+
+    AllocationTrace T1, T2;
+    InterpOptions IO1, IO2;
+    IO1.Trace = &T1;
+    IO2.Trace = &T2;
+    Interpreter I1(Run.Comp->context(), Run.Comp->hierarchy(), IO1);
+    Interpreter I2(After->context(), After->hierarchy(), IO2);
+    ExecResult E1 = I1.run(Run.Comp->mainFunction());
+    ExecResult E2 = I2.run(After->mainFunction());
+    if (!E1.Completed || !E2.Completed) {
+      std::fprintf(stderr, "error: '%s' failed to run\n",
+                    Run.Spec.Name.c_str());
+      return 1;
+    }
+    bool SameOutput =
+        E1.Output == E2.Output && E1.ExitCode == E2.ExitCode;
+
+    LayoutEngine L1(Run.Comp->hierarchy());
+    LayoutEngine L2(After->hierarchy());
+    DynamicMetrics M1 = computeDynamicMetrics(T1, L1, {});
+    DynamicMetrics M2 = computeDynamicMetrics(T2, L2, {});
+    DynamicMetrics Predicted =
+        computeDynamicMetrics(T1, L1, Result.deadSet());
+
+    double Saved =
+        M1.ObjectSpace
+            ? 100.0 * (double)(M1.ObjectSpace - M2.ObjectSpace) /
+                  (double)M1.ObjectSpace
+            : 0.0;
+    std::printf("%-10s %8zu %6zu %14llu %14llu %8.2f%% %9.2f%% %9s\n",
+                Run.Spec.Name.c_str(), Elim.Removed.size(),
+                Elim.Kept.size(), (unsigned long long)M1.ObjectSpace,
+                (unsigned long long)M2.ObjectSpace, Saved,
+                Predicted.deadSpacePercent(),
+                SameOutput ? "identical" : "DIFFERS!");
+    if (!SameOutput)
+      return 1;
+  }
+  printRule(96);
+  std::printf("'saved%%' is measured on the re-laid-out transformed "
+              "program; 'predicted%%' is the\nFigure 4 dead-space share "
+              "of the original. Realized savings can exceed the\n"
+              "prediction when removal also eliminates padding, and fall "
+              "short when dead members\nhide in alignment holes.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===-- bench/figure3_static_dead.cpp - Paper Figure 3 --------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 3: "Percentage of dead data members detected in
+/// the benchmark programs" — the paper's headline static result. The
+/// checked properties: richards and deltablue report zero; the other
+/// nine range from 3.0% to 27.3% and average 12.5%; the class-library
+/// users (taldict, simulate, hotwire) have the highest percentages.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmm;
+using namespace dmm::bench;
+
+int main() {
+  std::printf("Figure 3: percentage of dead data members in used classes\n");
+  printRule(72);
+  std::printf("%-10s %8s %10s  %-6s %s\n", "benchmark", "paper%",
+              "measured%", "lib?", "bar (measured)");
+  printRule(72);
+
+  auto Runs = runSuite(/*Scale=*/1.0);
+  double PaperSum = 0, MeasuredSum = 0;
+  unsigned NonTrivial = 0;
+  for (const BenchmarkRun &R : Runs) {
+    double Measured = R.Stats.percentDead();
+    std::string Bar(static_cast<size_t>(Measured + 0.5), '#');
+    std::printf("%-10s %8.1f %10.1f  %-6s %s\n", R.Spec.Name.c_str(),
+                R.Spec.TargetStaticDeadPct, Measured,
+                R.Spec.UsesClassLibrary ? "yes" : "", Bar.c_str());
+    if (!R.Spec.HandWritten) {
+      PaperSum += R.Spec.TargetStaticDeadPct;
+      MeasuredSum += Measured;
+      ++NonTrivial;
+    }
+  }
+  printRule(72);
+  std::printf("average over the %u non-trivial benchmarks: paper %.1f%%, "
+              "measured %.1f%%\n",
+              NonTrivial, PaperSum / NonTrivial, MeasuredSum / NonTrivial);
+  std::printf("(paper reports an average of 12.5%%, a range of "
+              "3.0%%..27.3%%, and zero dead\nmembers in richards and "
+              "deltablue)\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===-- bench/perf_pipeline.cpp - Pipeline throughput ---------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark timings for each pipeline stage over representative
+/// suite programs: frontend (lex+parse+sema), call-graph construction
+/// per algorithm, the dead-member analysis itself, and instrumented
+/// execution. Demonstrates the paper's "simple and efficient" claim: the
+/// analysis is a small fraction of frontend time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace dmm;
+using namespace dmm::bench;
+
+namespace {
+
+GeneratedBenchmark &programFor(const std::string &Name) {
+  static std::vector<GeneratedBenchmark> Cache =
+      paperBenchmarkPrograms(/*Scale=*/0.3);
+  for (GeneratedBenchmark &G : Cache)
+    if (G.Spec.Name == Name)
+      return G;
+  std::abort();
+}
+
+std::unique_ptr<Compilation> &compiledFor(const std::string &Name) {
+  static std::map<std::string, std::unique_ptr<Compilation>> Cache;
+  auto It = Cache.find(Name);
+  if (It == Cache.end()) {
+    auto C = compileProgram(programFor(Name).Files, nullptr);
+    if (!C->Success)
+      std::abort();
+    It = Cache.emplace(Name, std::move(C)).first;
+  }
+  return It->second;
+}
+
+void BM_Frontend(benchmark::State &State, const std::string &Name) {
+  GeneratedBenchmark &G = programFor(Name);
+  size_t Bytes = 0;
+  for (const SourceFile &F : G.Files)
+    Bytes += F.Text.size();
+  for (auto _ : State) {
+    auto C = compileProgram(G.Files, nullptr);
+    benchmark::DoNotOptimize(C->Success);
+  }
+  State.SetBytesProcessed(State.iterations() * Bytes);
+}
+
+void BM_CallGraph(benchmark::State &State, const std::string &Name,
+                  CallGraphKind Kind) {
+  auto &C = compiledFor(Name);
+  for (auto _ : State) {
+    CallGraph G = buildCallGraph(C->context(), C->hierarchy(),
+                                 C->mainFunction(), Kind);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+}
+
+void BM_Analysis(benchmark::State &State, const std::string &Name) {
+  auto &C = compiledFor(Name);
+  // Share one call graph: measure the Fig. 2 walk itself.
+  CallGraph G = buildCallGraph(C->context(), C->hierarchy(),
+                               C->mainFunction(), CallGraphKind::RTA);
+  for (auto _ : State) {
+    DeadMemberAnalysis A(C->context(), C->hierarchy(), {});
+    A.setCallGraph(&G);
+    DeadMemberResult R = A.run(C->mainFunction());
+    benchmark::DoNotOptimize(R.classifiableMembers().size());
+  }
+}
+
+void BM_Interpret(benchmark::State &State, const std::string &Name) {
+  auto &C = compiledFor(Name);
+  for (auto _ : State) {
+    Interpreter I(C->context(), C->hierarchy(), {});
+    ExecResult E = I.run(C->mainFunction());
+    if (!E.Completed)
+      std::abort();
+    benchmark::DoNotOptimize(E.ExitCode);
+  }
+}
+
+void registerAll() {
+  for (const char *Name : {"richards", "deltablue", "sched", "lcom",
+                           "jikes"}) {
+    std::string N = Name;
+    benchmark::RegisterBenchmark(("frontend/" + N).c_str(),
+                                 [N](benchmark::State &S) {
+                                   BM_Frontend(S, N);
+                                 });
+    benchmark::RegisterBenchmark(("callgraph_rta/" + N).c_str(),
+                                 [N](benchmark::State &S) {
+                                   BM_CallGraph(S, N, CallGraphKind::RTA);
+                                 });
+    benchmark::RegisterBenchmark(("callgraph_cha/" + N).c_str(),
+                                 [N](benchmark::State &S) {
+                                   BM_CallGraph(S, N, CallGraphKind::CHA);
+                                 });
+    benchmark::RegisterBenchmark(("callgraph_pta/" + N).c_str(),
+                                 [N](benchmark::State &S) {
+                                   BM_CallGraph(S, N, CallGraphKind::PTA);
+                                 });
+    benchmark::RegisterBenchmark(("analysis/" + N).c_str(),
+                                 [N](benchmark::State &S) {
+                                   BM_Analysis(S, N);
+                                 });
+    benchmark::RegisterBenchmark(("interpret/" + N).c_str(),
+                                 [N](benchmark::State &S) {
+                                   BM_Interpret(S, N);
+                                 });
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===-- bench/table2_dynamic.cpp - Paper Table 2 --------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 2: "Execution characteristics of the benchmark
+/// programs" — object space, dead-data-member space, high water mark,
+/// and high water mark without dead members, all in bytes.
+///
+/// Absolute byte counts differ from the paper's (our corpus reproduces
+/// percentages and shapes, not the authors' exact heaps), so each cell
+/// prints the paper's value above our measured value. The shape checks:
+/// sched, hotwire, and richards have HWM == total object space
+/// (allocate-and-hold), and the dead-space ratios track Figure 4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmm;
+using namespace dmm::bench;
+
+int main() {
+  std::printf("Table 2: execution characteristics (bytes)\n");
+  printRule(92);
+  std::printf("%-10s %-6s %14s %16s %16s %18s\n", "benchmark", "",
+              "object space", "dead member sp.", "high water mark",
+              "HWM w/o dead");
+  printRule(92);
+
+  auto Runs = runSuite(/*Scale=*/1.0);
+  for (const BenchmarkRun &R : Runs) {
+    std::printf("%-10s %-6s %14llu %16llu %16llu %18llu\n",
+                R.Spec.Name.c_str(), "paper",
+                (unsigned long long)R.Spec.PaperObjectSpace,
+                (unsigned long long)R.Spec.PaperDeadSpace,
+                (unsigned long long)R.Spec.PaperHighWaterMark,
+                (unsigned long long)R.Spec.PaperHighWaterMarkNoDead);
+    std::printf("%-10s %-6s %14llu %16llu %16llu %18llu\n", "", "ours",
+                (unsigned long long)R.Dynamic.ObjectSpace,
+                (unsigned long long)R.Dynamic.DeadMemberSpace,
+                (unsigned long long)R.Dynamic.HighWaterMark,
+                (unsigned long long)R.Dynamic.HighWaterMarkNoDead);
+  }
+  printRule(92);
+
+  // Shape check: allocate-and-hold benchmarks.
+  std::printf("allocate-and-hold check (HWM == object space, paper "
+              "sec. 4.3):\n");
+  for (const BenchmarkRun &R : Runs) {
+    bool PaperHolds = R.Spec.PaperHighWaterMark == R.Spec.PaperObjectSpace;
+    double OursRatio =
+        R.Dynamic.ObjectSpace
+            ? 100.0 * R.Dynamic.HighWaterMark / R.Dynamic.ObjectSpace
+            : 0.0;
+    if (PaperHolds)
+      std::printf("  %-10s paper: HWM==total; ours: HWM = %.1f%% of "
+                  "total\n",
+                  R.Spec.Name.c_str(), OursRatio);
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+//===-- examples/space_optimizer.cpp - Compiler optimization view ---------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's optimization use case: "Elimination of unused data
+/// members ... reduces the amount of memory consumed by an application."
+/// This example plays the role of an optimizing compiler's space pass on
+/// the richards benchmark port plus a lightly bloated variant: it runs
+/// the analysis under each call-graph algorithm, simulates execution to
+/// collect an allocation trace, and reports how much object space a
+/// dead-member-elimination pass would reclaim under each configuration —
+/// the precision/payoff trade-off of paper section 3.1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadMemberAnalysis.h"
+#include "benchgen/Synthesizer.h"
+#include "driver/Frontend.h"
+#include "interp/Interpreter.h"
+#include "trace/DynamicMetrics.h"
+#include "transform/DeadMemberEliminator.h"
+
+#include <iostream>
+#include <string>
+
+using namespace dmm;
+
+namespace {
+
+// A "maintained for years" variant of the richards port: three fields
+// were added for features that no longer exist.
+std::string bloatedRichards() {
+  std::string Src = richardsSource();
+  auto ReplaceOnce = [&](const std::string &From, const std::string &To) {
+    size_t Pos = Src.find(From);
+    if (Pos != std::string::npos)
+      Src.replace(Pos, From.size(), To);
+  };
+  // Dead weight in the hottest class (Packet) and in the TCB.
+  ReplaceOnce("  Packet *link;",
+              "  Packet *link;\n"
+              "  int retryCount;   // dead: written below, never read\n"
+              "  double timestamp; // dead: never accessed\n");
+  ReplaceOnce("  link = l;",
+              "  link = l;\n  retryCount = 0;\n");
+  ReplaceOnce("  TaskControlBlock *link;",
+              "  TaskControlBlock *link;\n"
+              "  int wakeups;      // dead: maintained, never consumed\n");
+  ReplaceOnce("  link = aLink;",
+              "  link = aLink;\n  wakeups = 0;\n");
+  return Src;
+}
+
+void optimize(const std::string &Label, const std::string &Source) {
+  auto Comp = compileString(Source, &std::cerr);
+  if (!Comp->Success)
+    return;
+
+  // One instrumented execution gives the allocation trace.
+  AllocationTrace Trace;
+  InterpOptions IO;
+  IO.Trace = &Trace;
+  Interpreter Interp(Comp->context(), Comp->hierarchy(), IO);
+  ExecResult Exec = Interp.run(Comp->mainFunction());
+  if (!Exec.Completed) {
+    std::cerr << "runtime error: " << Exec.Error << "\n";
+    return;
+  }
+
+  std::cout << Label << "\n";
+  LayoutEngine Layout(Comp->hierarchy());
+  for (CallGraphKind Kind : {CallGraphKind::Trivial, CallGraphKind::CHA,
+                             CallGraphKind::RTA}) {
+    AnalysisOptions Opts;
+    Opts.CallGraph = Kind;
+    DeadMemberAnalysis Analysis(Comp->context(), Comp->hierarchy(), Opts);
+    DeadMemberResult Result = Analysis.run(Comp->mainFunction());
+    DynamicMetrics M =
+        computeDynamicMetrics(Trace, Layout, Result.deadSet());
+    std::cout << "  callgraph=" << callGraphKindName(Kind) << ": "
+              << Result.deadMembers().size() << " dead members, "
+              << M.DeadMemberSpace << " of " << M.ObjectSpace
+              << " object bytes reclaimable (" << M.deadSpacePercent()
+              << "%), high water mark " << M.HighWaterMark << " -> "
+              << M.HighWaterMarkNoDead << "\n";
+  }
+  std::cout << "\n";
+}
+
+} // namespace
+
+// Actually applies the optimization: transform, re-run, compare.
+void applyAndVerify(const std::string &Source) {
+  auto Comp = compileString(Source, &std::cerr);
+  if (!Comp->Success)
+    return;
+  DeadMemberAnalysis Analysis(Comp->context(), Comp->hierarchy(), {});
+  DeadMemberResult Result = Analysis.run(Comp->mainFunction());
+  EliminationResult Elim =
+      eliminateDeadMembers(Comp->context(), Result, Analysis.callGraph());
+
+  auto After = compileString(Elim.Source, &std::cerr);
+  if (!After->Success)
+    return;
+
+  Interpreter I1(Comp->context(), Comp->hierarchy(), {});
+  Interpreter I2(After->context(), After->hierarchy(), {});
+  ExecResult E1 = I1.run(Comp->mainFunction());
+  ExecResult E2 = I2.run(After->mainFunction());
+  std::cout << "applied the transformation: removed " << Elim.Removed.size()
+            << " members, stripped " << Elim.RemovedFunctions.size()
+            << " unreachable bodies;\noutput "
+            << (E1.Completed && E2.Completed && E1.Output == E2.Output &&
+                        E1.ExitCode == E2.ExitCode
+                    ? "IDENTICAL"
+                    : "DIFFERS (bug!)")
+            << " before and after.\n\n";
+}
+
+int main() {
+  optimize("richards (pristine port; the paper found zero dead members)",
+           richardsSource());
+  optimize("richards (after simulated maintenance history)",
+           bloatedRichards());
+  applyAndVerify(bloatedRichards());
+  std::cout << "Given the simplicity of the algorithm, 'this "
+               "optimization should be\nincorporated in any optimizing "
+               "compiler' (paper sec. 4.4).\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Rebuilds everything, runs the full test suite, and regenerates every
+# paper table/figure into test_output.txt and bench_output.txt.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $b ====="
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Examples:"
+for e in quickstart library_pruning ide_feedback space_optimizer; do
+  echo "--- $e ---"
+  ./build/examples/$e
+done

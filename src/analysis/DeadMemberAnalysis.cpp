@@ -1,0 +1,357 @@
+//===-- analysis/DeadMemberAnalysis.cpp -----------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadMemberAnalysis.h"
+
+#include "ast/ASTContext.h"
+#include "ast/ASTWalker.h"
+#include "ast/Expr.h"
+#include "hierarchy/ClassHierarchy.h"
+
+#include <cassert>
+
+using namespace dmm;
+
+const char *dmm::livenessReasonName(LivenessReason Reason) {
+  switch (Reason) {
+  case LivenessReason::NotAccessed: return "not accessed (dead)";
+  case LivenessReason::Read: return "value read";
+  case LivenessReason::AddressTaken: return "address taken";
+  case LivenessReason::PointerToMember: return "pointer-to-member constant";
+  case LivenessReason::UnsafeCast: return "reached by unsafe cast";
+  case LivenessReason::SizeofConservative: return "sizeof (conservative)";
+  case LivenessReason::UnionClosure: return "union closure";
+  case LivenessReason::VolatileWrite: return "volatile member written";
+  case LivenessReason::Written: return "written (baseline mode)";
+  }
+  return "unknown";
+}
+
+FieldSet DeadMemberResult::deadSet() const {
+  FieldSet Dead;
+  for (const FieldDecl *F : Classifiable)
+    if (!Live.count(F))
+      Dead.insert(F);
+  return Dead;
+}
+
+std::vector<const FieldDecl *> DeadMemberResult::deadMembers() const {
+  std::vector<const FieldDecl *> Dead;
+  for (const FieldDecl *F : Classifiable)
+    if (!Live.count(F))
+      Dead.push_back(F);
+  return Dead;
+}
+
+DeadMemberAnalysis::DeadMemberAnalysis(const ASTContext &Ctx,
+                                       const ClassHierarchy &CH,
+                                       AnalysisOptions Options)
+    : Ctx(Ctx), CH(CH), Options(Options) {}
+
+DeadMemberResult DeadMemberAnalysis::run(const FunctionDecl *Main) {
+  Result = DeadMemberResult();
+  MarkVisited.clear();
+
+  // Line 3 of Fig. 2: all data members start dead. We track the live set;
+  // classifiable members are enumerated here.
+  for (const FieldDecl *F : Ctx.fields())
+    if (Result.canClassify(F))
+      Result.Classifiable.push_back(F);
+
+  // Line 5: construct the call graph.
+  if (InjectedGraph) {
+    UsedGraph = InjectedGraph;
+  } else {
+    OwnedGraph = buildCallGraph(Ctx, CH, Main, Options.CallGraph);
+    UsedGraph = &OwnedGraph;
+  }
+
+  // Globals are initialized before main: their initializers execute.
+  for (const VarDecl *GV : Ctx.globals()) {
+    for (const Expr *Arg : GV->ctorArgs())
+      visit(Arg);
+    if (const Expr *Init = GV->init())
+      visit(Init);
+  }
+
+  // Lines 6-8: process every statement of every reachable function.
+  for (const FunctionDecl *FD : UsedGraph->reachableFunctions())
+    processFunction(FD);
+
+  // Lines 9-11: union closure. A union must be closed when any member it
+  // (transitively) contains is live: a write through one alternative can
+  // otherwise change a live member's value unnoticed. Iterate to a fixed
+  // point since closing one union may enliven members of another.
+  if (Options.UnionClosure) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const ClassDecl *CD : Ctx.classes()) {
+        if (!CD->isUnion() || MarkVisited.count(CD))
+          continue;
+        if (!containsLiveMember(CD))
+          continue;
+        markAllContainedMembers(CD, LivenessReason::UnionClosure);
+        Changed = true;
+      }
+    }
+  }
+
+  return Result;
+}
+
+bool DeadMemberAnalysis::containsLiveMember(const ClassDecl *CD) const {
+  std::set<const ClassDecl *> Seen;
+  struct Walker {
+    const DeadMemberResult &Result;
+    std::set<const ClassDecl *> &Seen;
+    bool walk(const ClassDecl *C) const {
+      if (!Seen.insert(C).second)
+        return false;
+      for (const FieldDecl *F : C->fields()) {
+        if (Result.isLive(F))
+          return true;
+        const Type *Ty = F->type();
+        if (const auto *AT = dyn_cast<ArrayType>(Ty))
+          Ty = AT->element();
+        if (const ClassDecl *Nested = Ty->asClassDecl())
+          if (walk(Nested))
+            return true;
+      }
+      for (const BaseSpecifier &BS : C->bases())
+        if (walk(BS.Base))
+          return true;
+      return false;
+    }
+  };
+  return Walker{Result, Seen}.walk(CD);
+}
+
+void DeadMemberAnalysis::markLive(const FieldDecl *F,
+                                  LivenessReason Reason) {
+  if (Result.Live.insert(F).second)
+    Result.Reasons[F] = Reason;
+}
+
+void DeadMemberAnalysis::markAllContainedMembers(const ClassDecl *CD,
+                                                 LivenessReason Reason) {
+  // Paper Fig. 2 lines 36-50, with the not-visited guard.
+  if (!MarkVisited.insert(CD).second)
+    return;
+  for (const FieldDecl *F : CD->fields()) {
+    markLive(F, Reason);
+    if (const ClassDecl *Nested = F->type()->asClassDecl())
+      markAllContainedMembers(Nested, Reason);
+    else if (const auto *AT = dyn_cast<ArrayType>(F->type()))
+      if (const ClassDecl *Elem = AT->element()->asClassDecl())
+        markAllContainedMembers(Elem, Reason);
+  }
+  for (const BaseSpecifier &BS : CD->bases())
+    markAllContainedMembers(BS.Base, Reason);
+}
+
+void DeadMemberAnalysis::markContainedOfType(const Type *Ty,
+                                             LivenessReason Reason) {
+  // Strip indirections: an unsafe cast of a C* exposes C's members.
+  for (;;) {
+    if (const auto *PT = dyn_cast<PointerType>(Ty)) {
+      Ty = PT->pointee();
+      continue;
+    }
+    if (const auto *RT = dyn_cast<ReferenceType>(Ty)) {
+      Ty = RT->pointee();
+      continue;
+    }
+    if (const auto *AT = dyn_cast<ArrayType>(Ty)) {
+      Ty = AT->element();
+      continue;
+    }
+    break;
+  }
+  if (const ClassDecl *CD = Ty->asClassDecl())
+    markAllContainedMembers(CD, Reason);
+}
+
+void DeadMemberAnalysis::noteWrite(const FieldDecl *F) {
+  if (F->isVolatile()) {
+    markLive(F, LivenessReason::VolatileWrite);
+    return;
+  }
+  if (Options.TreatWritesAsLive)
+    markLive(F, LivenessReason::Written);
+}
+
+/// Returns the field accessed by \p E when E is a direct member access
+/// (MemberExpr to a FieldDecl, or an implicit-this DeclRefExpr naming a
+/// field); null otherwise.
+static const FieldDecl *directFieldAccess(const Expr *E) {
+  if (const auto *ME = dyn_cast<MemberExpr>(E))
+    return dyn_cast_or_null<FieldDecl>(ME->member());
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+    return dyn_cast_or_null<FieldDecl>(DRE->referent());
+  return nullptr;
+}
+
+/// Strips casts the analysis can see through when matching deallocation
+/// arguments (`delete (T*)m`).
+static const Expr *stripCasts(const Expr *E) {
+  while (const auto *CE = dyn_cast<CastExpr>(E))
+    E = CE->sub();
+  return E;
+}
+
+void DeadMemberAnalysis::processFunction(const FunctionDecl *FD) {
+  // Constructor initializer lists: targets are writes; arguments are
+  // reads.
+  if (const auto *Ctor = dyn_cast<ConstructorDecl>(FD)) {
+    for (const CtorInitializer &Init : Ctor->initializers()) {
+      if (Init.Field)
+        noteWrite(Init.Field);
+      for (const Expr *Arg : Init.Args)
+        visit(Arg);
+    }
+  }
+
+  if (!FD->body())
+    return;
+  forEachStmtPreorder(FD->body(), [&](const Stmt *S) {
+    forEachDirectExpr(S, [&](const Expr *E) { visit(E); });
+  });
+}
+
+void DeadMemberAnalysis::visitWriteTarget(const Expr *E) {
+  if (const FieldDecl *F = directFieldAccess(E)) {
+    noteWrite(F);
+    // The base object expression is still evaluated.
+    if (const auto *ME = dyn_cast<MemberExpr>(E))
+      visit(ME->base());
+    return;
+  }
+  // Any other target shape (deref, subscript, member-pointer access...)
+  // evaluates its operands as reads.
+  visit(E);
+}
+
+void DeadMemberAnalysis::visitDeallocArg(const Expr *E) {
+  // Process casts along the way (an unsafe cast in a delete argument
+  // still marks members).
+  for (const Expr *Cur = E; const auto *CE = dyn_cast<CastExpr>(Cur);
+       Cur = CE->sub()) {
+    bool Unsafe = CE->safety() == CastSafety::Unrelated ||
+                  (CE->safety() == CastSafety::Downcast &&
+                   !Options.AssumeDowncastsSafe);
+    if (Unsafe)
+      markContainedOfType(CE->sub()->type(), LivenessReason::UnsafeCast);
+  }
+  const Expr *Stripped = stripCasts(E);
+  if (const FieldDecl *F = directFieldAccess(Stripped)) {
+    (void)F; // The member's value only feeds deallocation: not live.
+    if (const auto *ME = dyn_cast<MemberExpr>(Stripped))
+      visit(ME->base());
+    return;
+  }
+  visit(Stripped);
+}
+
+void DeadMemberAnalysis::visit(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    if (const auto *F = dyn_cast_or_null<FieldDecl>(ME->member()))
+      markLive(F, LivenessReason::Read);
+    visit(ME->base());
+    return;
+  }
+  case Expr::Kind::DeclRef: {
+    const auto *DRE = cast<DeclRefExpr>(E);
+    if (const auto *F = dyn_cast_or_null<FieldDecl>(DRE->referent()))
+      markLive(F, LivenessReason::Read);
+    return;
+  }
+  case Expr::Kind::MemberPointerConstant: {
+    // Fig. 2 lines 26-28: the member's offset is computed; assume it may
+    // be accessed anywhere.
+    const auto *MPC = cast<MemberPointerConstantExpr>(E);
+    if (const FieldDecl *F = MPC->member())
+      markLive(F, LivenessReason::PointerToMember);
+    return;
+  }
+  case Expr::Kind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    if (UE->op() == UnaryOpKind::AddrOf) {
+      if (const FieldDecl *F = directFieldAccess(UE->sub())) {
+        // &e.m: conservatively live; we do not trace the address.
+        markLive(F, LivenessReason::AddressTaken);
+        if (const auto *ME = dyn_cast<MemberExpr>(UE->sub()))
+          visit(ME->base());
+        return;
+      }
+    }
+    visit(UE->sub());
+    return;
+  }
+  case Expr::Kind::Assign: {
+    const auto *AE = cast<AssignExpr>(E);
+    if (AE->isCompound()) {
+      // Compound assignment reads the target too.
+      visit(AE->lhs());
+    } else {
+      visitWriteTarget(AE->lhs());
+    }
+    visit(AE->rhs());
+    return;
+  }
+  case Expr::Kind::Delete: {
+    const auto *DE = cast<DeleteExpr>(E);
+    if (Options.ExemptDeallocationArgs && !Options.TreatWritesAsLive)
+      visitDeallocArg(DE->sub());
+    else
+      visit(DE->sub());
+    return;
+  }
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    const FunctionDecl *Direct = Call->directCallee();
+    bool IsFree = Direct && (Direct->builtinKind() == BuiltinKind::Free ||
+                             Options.InertFunctions.count(Direct->name()));
+    // The callee expression is evaluated: a method callee's base object,
+    // or a function-pointer load (possibly from a member, which counts
+    // as a read).
+    visit(Call->callee());
+    for (const Expr *Arg : Call->args()) {
+      if (IsFree && Options.ExemptDeallocationArgs &&
+          !Options.TreatWritesAsLive)
+        visitDeallocArg(Arg);
+      else
+        visit(Arg);
+    }
+    return;
+  }
+  case Expr::Kind::Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    bool Unsafe = CE->safety() == CastSafety::Unrelated ||
+                  (CE->safety() == CastSafety::Downcast &&
+                   !Options.AssumeDowncastsSafe);
+    if (Unsafe)
+      markContainedOfType(CE->sub()->type(), LivenessReason::UnsafeCast);
+    visit(CE->sub());
+    return;
+  }
+  case Expr::Kind::Sizeof: {
+    if (Options.Sizeof == SizeofPolicy::Conservative) {
+      const auto *SE = cast<SizeofExpr>(E);
+      const Type *Ty =
+          SE->typeOperand() ? SE->typeOperand() : SE->exprOperand()->type();
+      markContainedOfType(Ty, LivenessReason::SizeofConservative);
+    }
+    // The operand of sizeof is unevaluated: no reads occur.
+    return;
+  }
+  default:
+    forEachChildExpr(E, [&](const Expr *Child) { visit(Child); });
+    return;
+  }
+}

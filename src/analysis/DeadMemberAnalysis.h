@@ -1,0 +1,196 @@
+//===-- analysis/DeadMemberAnalysis.h - Paper Fig. 2 algorithm --*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution: a whole-program analysis that
+/// conservatively detects dead data members. A member is marked live when
+/// its value is read or its address is taken in a function reachable from
+/// main(); plain writes (including constructor initialization) do not
+/// create liveness. Special cases follow paper §3:
+///
+///  - volatile members are live when written;
+///  - values passed (directly) to `delete`/`free` do not create liveness;
+///  - pointer-to-member constants `&C::m` mark the member live;
+///  - unsafe casts mark all members transitively contained in the source
+///    type live (MarkAllContainedMembers);
+///  - a union with one live member has all contained members marked live;
+///  - `sizeof` is conservative by default, ignorable by user policy
+///    (paper §3.2);
+///  - members of library classes are never classified (paper §3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_ANALYSIS_DEADMEMBERANALYSIS_H
+#define DMM_ANALYSIS_DEADMEMBERANALYSIS_H
+
+#include "ast/Decl.h"
+#include "callgraph/CallGraph.h"
+#include "hierarchy/ObjectLayout.h"
+
+#include <map>
+#include <string>
+#include <set>
+#include <vector>
+
+namespace dmm {
+
+class ASTContext;
+class ClassHierarchy;
+class Expr;
+
+/// How `sizeof` affects liveness (paper §3.2).
+enum class SizeofPolicy {
+  /// Any sizeof over a class marks all contained members live.
+  Conservative,
+  /// The user asserts every sizeof is used only for storage allocation
+  /// (true for all of the paper's benchmarks).
+  IgnoreAll,
+};
+
+/// Tunable policies. Defaults reproduce the paper's configuration except
+/// where noted.
+struct AnalysisOptions {
+  /// Call-graph construction algorithm (the paper uses a PVG/RTA-family
+  /// algorithm).
+  CallGraphKind CallGraph = CallGraphKind::RTA;
+
+  /// The user has verified that all down-casts are safe (the paper's
+  /// authors did so for their benchmarks). When false, down-casts are
+  /// unsafe and trigger MarkAllContainedMembers.
+  bool AssumeDowncastsSafe = true;
+
+  SizeofPolicy Sizeof = SizeofPolicy::IgnoreAll;
+
+  /// Exempt values passed to delete/free from creating liveness
+  /// (paper's deallocation special case). Disable for ablation.
+  bool ExemptDeallocationArgs = true;
+
+  /// Names of additional functions "known not to affect some of their
+  /// parameters" (paper footnote 3 suggests strcpy-style special
+  /// cases): member values passed directly to them do not become live.
+  /// The user asserts this; it is not verified.
+  std::set<std::string> InertFunctions;
+
+  /// Mark all members of a union live when any one of them is
+  /// (required for soundness; disable only to demonstrate the loss).
+  bool UnionClosure = true;
+
+  /// Baseline mode: any access (including writes) marks a member live —
+  /// what a naive "unused field" linter computes. Disables the
+  /// deallocation exemption implicitly.
+  bool TreatWritesAsLive = false;
+};
+
+/// Why a member was marked live (first cause wins).
+enum class LivenessReason {
+  NotAccessed, ///< Member is dead.
+  Read,
+  AddressTaken,
+  PointerToMember,
+  UnsafeCast,
+  SizeofConservative,
+  UnionClosure,
+  VolatileWrite,
+  Written, ///< Baseline mode only.
+};
+
+const char *livenessReasonName(LivenessReason Reason);
+
+/// Analysis output.
+class DeadMemberResult {
+public:
+  /// True if \p F can be classified at all: members of library or
+  /// incomplete classes cannot (paper §3.3).
+  bool canClassify(const FieldDecl *F) const {
+    return !F->parent()->isLibrary() && F->parent()->isComplete();
+  }
+
+  /// True if \p F was proven dead. Always false for unclassifiable
+  /// members.
+  bool isDead(const FieldDecl *F) const {
+    return canClassify(F) && !Live.count(F);
+  }
+
+  bool isLive(const FieldDecl *F) const { return Live.count(F) != 0; }
+
+  LivenessReason reason(const FieldDecl *F) const {
+    auto It = Reasons.find(F);
+    return It == Reasons.end() ? LivenessReason::NotAccessed : It->second;
+  }
+
+  /// The dead set over classifiable members, as a FieldSet usable by the
+  /// layout engine.
+  FieldSet deadSet() const;
+
+  /// All classifiable members, in decl order.
+  const std::vector<const FieldDecl *> &classifiableMembers() const {
+    return Classifiable;
+  }
+
+  /// Dead members in decl order.
+  std::vector<const FieldDecl *> deadMembers() const;
+
+private:
+  friend class DeadMemberAnalysis;
+  std::set<const FieldDecl *> Live;
+  std::map<const FieldDecl *, LivenessReason> Reasons;
+  std::vector<const FieldDecl *> Classifiable;
+};
+
+/// Runs the detection algorithm of paper Figure 2.
+class DeadMemberAnalysis {
+public:
+  DeadMemberAnalysis(const ASTContext &Ctx, const ClassHierarchy &CH,
+                     AnalysisOptions Options = {});
+
+  /// Runs the analysis: builds the call graph (unless one is injected
+  /// via setCallGraph), walks every reachable function, then applies the
+  /// union closure.
+  DeadMemberResult run(const FunctionDecl *Main);
+
+  /// Injects a pre-built call graph (used by ablation benchmarks to
+  /// share graphs); must match Options.CallGraph semantics.
+  void setCallGraph(const CallGraph *Graph) { InjectedGraph = Graph; }
+
+  /// The call graph used by the last run().
+  const CallGraph &callGraph() const { return *UsedGraph; }
+
+private:
+  /// True if \p CD transitively contains a live member (union closure
+  /// trigger).
+  bool containsLiveMember(const ClassDecl *CD) const;
+
+  void markLive(const FieldDecl *F, LivenessReason Reason);
+  void markAllContainedMembers(const ClassDecl *CD, LivenessReason Reason);
+  /// Applies MarkAllContainedMembers to the class named by \p Ty
+  /// (stripping pointers/references/arrays), if any.
+  void markContainedOfType(const Type *Ty, LivenessReason Reason);
+
+  void processFunction(const FunctionDecl *FD);
+  /// Visits \p E in read context.
+  void visit(const Expr *E);
+  /// Visits the outermost node of an assignment target (plain `=`).
+  void visitWriteTarget(const Expr *E);
+  /// Handles a deallocation argument: the (cast-stripped) top-level
+  /// member value does not become live; everything beneath it does.
+  void visitDeallocArg(const Expr *E);
+  /// Records a write to \p F (ctor initializers and assignment LHS).
+  void noteWrite(const FieldDecl *F);
+
+  const ASTContext &Ctx;
+  const ClassHierarchy &CH;
+  AnalysisOptions Options;
+  const CallGraph *InjectedGraph = nullptr;
+  const CallGraph *UsedGraph = nullptr;
+  CallGraph OwnedGraph;
+
+  DeadMemberResult Result;
+  std::set<const ClassDecl *> MarkVisited; ///< MarkAllContainedMembers.
+};
+
+} // namespace dmm
+
+#endif // DMM_ANALYSIS_DEADMEMBERANALYSIS_H

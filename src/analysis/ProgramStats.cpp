@@ -1,0 +1,99 @@
+//===-- analysis/ProgramStats.cpp -----------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProgramStats.h"
+
+#include "ast/ASTContext.h"
+#include "ast/ASTWalker.h"
+#include "ast/Expr.h"
+#include "support/SourceManager.h"
+
+using namespace dmm;
+
+/// Adds \p CD and (transitively) the classes of its member objects.
+static void addUsedClass(const ClassDecl *CD,
+                         std::set<const ClassDecl *> &Used) {
+  if (!CD || !CD->isComplete() || !Used.insert(CD).second)
+    return;
+  auto VisitFields = [&](const ClassDecl *Cls) {
+    for (const FieldDecl *F : Cls->fields()) {
+      const Type *Ty = F->type();
+      if (const auto *AT = dyn_cast<ArrayType>(Ty))
+        Ty = AT->element();
+      if (const ClassDecl *Member = Ty->asClassDecl())
+        addUsedClass(Member, Used);
+    }
+  };
+  VisitFields(CD);
+  // Base subobjects are constructed along with CD.
+  for (const BaseSpecifier &BS : CD->bases())
+    addUsedClass(BS.Base, Used);
+}
+
+static void addVarClass(const VarDecl *V, std::set<const ClassDecl *> &Used) {
+  const Type *Ty = V->type()->nonReferenceType();
+  if (const auto *AT = dyn_cast<ArrayType>(Ty))
+    Ty = AT->element();
+  if (V->type()->isReference())
+    return;
+  if (const ClassDecl *CD = Ty->asClassDecl())
+    addUsedClass(CD, Used);
+}
+
+std::set<const ClassDecl *> dmm::computeUsedClasses(const ASTContext &Ctx) {
+  std::set<const ClassDecl *> Used;
+
+  for (const VarDecl *GV : Ctx.globals())
+    addVarClass(GV, Used);
+
+  for (const FunctionDecl *FD : Ctx.functions()) {
+    forEachExprInFunction(FD, [&](const Expr *E) {
+      if (const auto *N = dyn_cast<NewExpr>(E))
+        if (const ClassDecl *CD = N->allocType()->asClassDecl())
+          addUsedClass(CD, Used);
+    });
+    if (!FD->body())
+      continue;
+    forEachStmtPreorder(FD->body(), [&](const Stmt *S) {
+      if (const auto *DS = dyn_cast<DeclStmt>(S))
+        for (const VarDecl *V : DS->vars())
+          addVarClass(V, Used);
+    });
+  }
+
+  // Library classes are excluded from the application's statistics.
+  std::set<const ClassDecl *> Result;
+  for (const ClassDecl *CD : Used)
+    if (!CD->isLibrary())
+      Result.insert(CD);
+  return Result;
+}
+
+ProgramStats dmm::computeProgramStats(
+    const ASTContext &Ctx, const DeadMemberResult &Result,
+    const SourceManager *SM, const std::vector<uint32_t> &UserFileIDs) {
+  ProgramStats Stats;
+
+  if (SM)
+    for (uint32_t ID : UserFileIDs)
+      Stats.LinesOfCode += SM->countCodeLines(ID);
+
+  std::set<const ClassDecl *> Used = computeUsedClasses(Ctx);
+  for (const ClassDecl *CD : Ctx.classes()) {
+    if (CD->isLibrary() || !CD->isComplete())
+      continue;
+    ++Stats.NumClasses;
+    if (!Used.count(CD))
+      continue;
+    ++Stats.NumUsedClasses;
+    for (const FieldDecl *F : CD->fields()) {
+      ++Stats.NumMembersInUsedClasses;
+      if (Result.isDead(F))
+        ++Stats.NumDeadMembersInUsedClasses;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,202 @@
+//===-- analysis/Report.cpp -----------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Report.h"
+
+#include "ast/ASTContext.h"
+#include "callgraph/CallGraph.h"
+#include "hierarchy/ObjectLayout.h"
+#include "support/SourceManager.h"
+
+#include <cstdio>
+#include <iomanip>
+
+using namespace dmm;
+
+static void printLocation(std::ostream &OS, const SourceManager *SM,
+                          SourceLocation Loc) {
+  if (!SM)
+    return;
+  PresumedLoc P = SM->presumedLoc(Loc);
+  if (!P.isValid())
+    return;
+  OS << " [" << P.Filename << ":" << P.Line << ":" << P.Column << "]";
+}
+
+void dmm::printMemberReport(std::ostream &OS, const ASTContext &Ctx,
+                            const DeadMemberResult &Result,
+                            const SourceManager *SM, ReportOptions Options) {
+  unsigned NumDead = 0;
+  unsigned NumTotal = 0;
+  for (const ClassDecl *CD : Ctx.classes()) {
+    if (CD->isLibrary() || !CD->isComplete() || CD->fields().empty())
+      continue;
+    bool PrintedHeader = false;
+    for (const FieldDecl *F : CD->fields()) {
+      ++NumTotal;
+      bool Dead = Result.isDead(F);
+      if (Dead)
+        ++NumDead;
+      if (!Dead && !Options.ShowLiveMembers)
+        continue;
+      if (!PrintedHeader) {
+        OS << CD->name() << ":\n";
+        PrintedHeader = true;
+      }
+      OS << "  " << (Dead ? "dead" : "live") << "  " << F->name() << " : "
+         << F->type()->str();
+      if (!Dead)
+        OS << "  (" << livenessReasonName(Result.reason(F)) << ")";
+      printLocation(OS, SM, F->location());
+      OS << "\n";
+    }
+  }
+  OS << NumDead << " of " << NumTotal << " data members are dead";
+  if (NumTotal)
+    OS << " (" << std::fixed << std::setprecision(1)
+       << 100.0 * NumDead / NumTotal << "%)";
+  OS << "\n";
+}
+
+void dmm::printStatsReport(std::ostream &OS, const ProgramStats &Stats) {
+  OS << "lines of code:            " << Stats.LinesOfCode << "\n"
+     << "classes:                  " << Stats.NumClasses << " ("
+     << Stats.NumUsedClasses << " used)\n"
+     << "members in used classes:  " << Stats.NumMembersInUsedClasses << "\n"
+     << "dead members:             " << Stats.NumDeadMembersInUsedClasses
+     << " (" << std::fixed << std::setprecision(1) << Stats.percentDead()
+     << "%)\n";
+}
+
+//===----------------------------------------------------------------------===//
+// JSON report
+//===----------------------------------------------------------------------===//
+
+static void printJsonString(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"': OS << "\\\""; break;
+    case '\\': OS << "\\\\"; break;
+    case '\n': OS << "\\n"; break;
+    case '\t': OS << "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+void dmm::printJsonReport(std::ostream &OS, const ASTContext &Ctx,
+                          const DeadMemberResult &Result,
+                          const SourceManager *SM) {
+  unsigned Total = 0;
+  unsigned Dead = 0;
+  OS << "{\n  \"members\": [\n";
+  bool First = true;
+  for (const ClassDecl *CD : Ctx.classes()) {
+    if (CD->isLibrary() || !CD->isComplete())
+      continue;
+    for (const FieldDecl *F : CD->fields()) {
+      ++Total;
+      bool IsDead = Result.isDead(F);
+      if (IsDead)
+        ++Dead;
+      if (!First)
+        OS << ",\n";
+      First = false;
+      OS << "    {\"class\": ";
+      printJsonString(OS, CD->name());
+      OS << ", \"name\": ";
+      printJsonString(OS, F->name());
+      OS << ", \"type\": ";
+      printJsonString(OS, F->type()->str());
+      OS << ", \"dead\": " << (IsDead ? "true" : "false");
+      if (!IsDead) {
+        OS << ", \"reason\": ";
+        printJsonString(OS, livenessReasonName(Result.reason(F)));
+      }
+      if (SM) {
+        PresumedLoc P = SM->presumedLoc(F->location());
+        if (P.isValid()) {
+          OS << ", \"file\": ";
+          printJsonString(OS, std::string(P.Filename));
+          OS << ", \"line\": " << P.Line << ", \"column\": " << P.Column;
+        }
+      }
+      OS << "}";
+    }
+  }
+  OS << "\n  ],\n  \"summary\": {\"total\": " << Total
+     << ", \"dead\": " << Dead << ", \"percentDead\": "
+     << (Total ? 100.0 * Dead / Total : 0.0) << "}\n}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Layout report
+//===----------------------------------------------------------------------===//
+
+void dmm::printLayoutReport(std::ostream &OS, const ASTContext &Ctx,
+                            const ClassHierarchy &CH,
+                            const DeadMemberResult &Result) {
+  LayoutEngine Engine(CH);
+  FieldSet Dead = Result.deadSet();
+  for (const ClassDecl *CD : Ctx.classes()) {
+    if (!CD->isComplete())
+      continue;
+    const ClassLayout &L = Engine.layout(CD);
+    OS << (CD->isUnion() ? "union " : "class ") << CD->name()
+       << " (size " << L.CompleteSize << ", align " << L.Align;
+    if (L.HasOwnVPtr)
+      OS << ", vptr";
+    if (L.OverheadBytes)
+      OS << ", " << L.OverheadBytes << " overhead bytes";
+    OS << ")\n";
+    for (const FieldSlot &Slot : L.AllFields) {
+      OS << "  +" << Slot.Offset << "\t" << Slot.Field->qualifiedName()
+         << " : " << Slot.Field->type()->str() << " (" << Slot.Size
+         << " bytes)";
+      if (Dead.count(Slot.Field))
+        OS << "  [dead]";
+      OS << "\n";
+    }
+    uint64_t Shrunk = Engine.sizeWithoutDead(CD, Dead);
+    if (Shrunk != L.CompleteSize)
+      OS << "  without dead members: " << Shrunk << " bytes\n";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dead function report
+//===----------------------------------------------------------------------===//
+
+unsigned dmm::printDeadFunctionReport(std::ostream &OS,
+                                      const ASTContext &Ctx,
+                                      const CallGraph &Graph,
+                                      const SourceManager *SM) {
+  unsigned NumDead = 0;
+  unsigned NumTotal = 0;
+  for (const FunctionDecl *FD : Ctx.functions()) {
+    if (FD->isBuiltin() || !FD->isDefined())
+      continue;
+    ++NumTotal;
+    if (Graph.isReachable(FD))
+      continue;
+    ++NumDead;
+    OS << "dead function: " << FD->qualifiedName();
+    printLocation(OS, SM, FD->location());
+    OS << "\n";
+  }
+  OS << NumDead << " of " << NumTotal
+     << " defined functions are unreachable\n";
+  return NumDead;
+}

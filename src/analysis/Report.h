@@ -1,0 +1,64 @@
+//===-- analysis/Report.h - Human-readable analysis reports -----*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering of analysis results for the `deadmember` tool and the
+/// examples: a per-class member classification listing and a one-line
+/// summary, the "feedback to the programmer" use case the paper's
+/// introduction motivates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_ANALYSIS_REPORT_H
+#define DMM_ANALYSIS_REPORT_H
+
+#include "analysis/DeadMemberAnalysis.h"
+#include "analysis/ProgramStats.h"
+#include "hierarchy/ClassHierarchy.h"
+
+#include <ostream>
+
+namespace dmm {
+
+class SourceManager;
+
+/// Controls report verbosity.
+struct ReportOptions {
+  bool ShowLiveMembers = false; ///< Also list live members with reasons.
+  bool ShowLocations = true;    ///< Append file:line:col per member.
+};
+
+/// Writes the member classification report to \p OS.
+void printMemberReport(std::ostream &OS, const ASTContext &Ctx,
+                       const DeadMemberResult &Result,
+                       const SourceManager *SM = nullptr,
+                       ReportOptions Options = {});
+
+/// Writes the Table 1-style characteristics line to \p OS.
+void printStatsReport(std::ostream &OS, const ProgramStats &Stats);
+
+/// Writes the member classification as a JSON document (one object per
+/// classifiable member plus a summary), for editor/CI integration.
+void printJsonReport(std::ostream &OS, const ASTContext &Ctx,
+                     const DeadMemberResult &Result,
+                     const SourceManager *SM = nullptr);
+
+/// Writes every complete class' object layout (size, alignment, vptr,
+/// member offsets) to \p OS; dead members per \p Result are marked.
+void printLayoutReport(std::ostream &OS, const ASTContext &Ctx,
+                       const ClassHierarchy &CH,
+                       const DeadMemberResult &Result);
+
+/// Lists every defined function that is unreachable in \p Graph — the
+/// companion "unreachable procedures" optimization the paper cites
+/// (refs [5, 19]). Returns the number of dead functions.
+unsigned printDeadFunctionReport(std::ostream &OS, const ASTContext &Ctx,
+                                 const CallGraph &Graph,
+                                 const SourceManager *SM = nullptr);
+
+} // namespace dmm
+
+#endif // DMM_ANALYSIS_REPORT_H

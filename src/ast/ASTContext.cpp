@@ -1,0 +1,98 @@
+//===-- ast/ASTContext.cpp ------------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTContext.h"
+
+using namespace dmm;
+
+ASTContext::ASTContext()
+    : VoidTy(BuiltinType::BK::Void), BoolTy(BuiltinType::BK::Bool),
+      CharTy(BuiltinType::BK::Char), IntTy(BuiltinType::BK::Int),
+      DoubleTy(BuiltinType::BK::Double), NullPtrTy(BuiltinType::BK::NullPtr) {
+  TU = create<TranslationUnitDecl>();
+}
+
+void ASTContext::registerDecl(Decl *D) {
+  D->setDeclID(NextDeclID++);
+  switch (D->kind()) {
+  case Decl::Kind::Class:
+    Classes.push_back(static_cast<ClassDecl *>(D));
+    break;
+  case Decl::Kind::Field:
+    Fields.push_back(static_cast<FieldDecl *>(D));
+    break;
+  case Decl::Kind::Function:
+  case Decl::Kind::Method:
+  case Decl::Kind::Constructor:
+  case Decl::Kind::Destructor:
+    Functions.push_back(static_cast<FunctionDecl *>(D));
+    break;
+  default:
+    break;
+  }
+}
+
+const Type *ASTContext::classType(const ClassDecl *CD) {
+  auto It = ClassTypes.find(CD);
+  if (It != ClassTypes.end())
+    return It->second;
+  const ClassType *T = Alloc.create<ClassType>(CD);
+  ClassTypes[CD] = T;
+  return T;
+}
+
+const PointerType *ASTContext::pointerType(const Type *Pointee) {
+  auto It = PointerTypes.find(Pointee);
+  if (It != PointerTypes.end())
+    return It->second;
+  const PointerType *T = Alloc.create<PointerType>(Pointee);
+  PointerTypes[Pointee] = T;
+  return T;
+}
+
+const ReferenceType *ASTContext::referenceType(const Type *Pointee) {
+  auto It = ReferenceTypes.find(Pointee);
+  if (It != ReferenceTypes.end())
+    return It->second;
+  const ReferenceType *T = Alloc.create<ReferenceType>(Pointee);
+  ReferenceTypes[Pointee] = T;
+  return T;
+}
+
+const ArrayType *ASTContext::arrayType(const Type *Element, uint64_t Size) {
+  auto Key = std::make_pair(Element, Size);
+  auto It = ArrayTypes.find(Key);
+  if (It != ArrayTypes.end())
+    return It->second;
+  const ArrayType *T = Alloc.create<ArrayType>(Element, Size);
+  ArrayTypes[Key] = T;
+  return T;
+}
+
+const MemberPointerType *
+ASTContext::memberPointerType(const ClassDecl *Class, const Type *Pointee) {
+  auto Key = std::make_pair(Class, Pointee);
+  auto It = MemberPointerTypes.find(Key);
+  if (It != MemberPointerTypes.end())
+    return It->second;
+  const MemberPointerType *T =
+      Alloc.create<MemberPointerType>(Class, Pointee);
+  MemberPointerTypes[Key] = T;
+  return T;
+}
+
+const FunctionType *
+ASTContext::functionType(const Type *Result,
+                         std::vector<const Type *> Params) {
+  // Linear search: programs have few distinct function-pointer signatures.
+  for (const FunctionType *FT : FunctionTypes)
+    if (FT->result() == Result && FT->params() == Params)
+      return FT;
+  const FunctionType *T =
+      Alloc.create<FunctionType>(Result, std::move(Params));
+  FunctionTypes.push_back(T);
+  return T;
+}

@@ -1,0 +1,216 @@
+//===-- ast/ASTWalker.h - AST traversal helpers -----------------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Header-only traversal helpers. The dead-member analysis (paper Fig. 2)
+/// iterates "each statement s in each function f", then "each expression e
+/// in statement s"; these templates implement exactly those loops,
+/// including the places expressions hide outside statement bodies:
+/// variable initializers and constructor initializer lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_AST_ASTWALKER_H
+#define DMM_AST_ASTWALKER_H
+
+#include "ast/Decl.h"
+#include "ast/Expr.h"
+#include "ast/Stmt.h"
+
+namespace dmm {
+
+/// Invokes \p Fn on each direct sub-expression of \p E (not on E itself).
+template <typename Fn> void forEachChildExpr(const Expr *E, Fn &&F) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::DoubleLiteral:
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::CharLiteral:
+  case Expr::Kind::StringLiteral:
+  case Expr::Kind::NullptrLiteral:
+  case Expr::Kind::DeclRef:
+  case Expr::Kind::This:
+  case Expr::Kind::MemberPointerConstant:
+    return;
+  case Expr::Kind::Member:
+    F(cast<MemberExpr>(E)->base());
+    return;
+  case Expr::Kind::MemberPointerAccess: {
+    const auto *MPA = cast<MemberPointerAccessExpr>(E);
+    F(MPA->base());
+    F(MPA->pointer());
+    return;
+  }
+  case Expr::Kind::Unary:
+    F(cast<UnaryExpr>(E)->sub());
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    F(B->lhs());
+    F(B->rhs());
+    return;
+  }
+  case Expr::Kind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    F(A->lhs());
+    F(A->rhs());
+    return;
+  }
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    F(C->cond());
+    F(C->thenExpr());
+    F(C->elseExpr());
+    return;
+  }
+  case Expr::Kind::Comma: {
+    const auto *C = cast<CommaExpr>(E);
+    F(C->lhs());
+    F(C->rhs());
+    return;
+  }
+  case Expr::Kind::Subscript: {
+    const auto *S = cast<SubscriptExpr>(E);
+    F(S->base());
+    F(S->index());
+    return;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    F(C->callee());
+    for (const Expr *Arg : C->args())
+      F(Arg);
+    return;
+  }
+  case Expr::Kind::New: {
+    const auto *N = cast<NewExpr>(E);
+    if (N->arraySize())
+      F(N->arraySize());
+    for (const Expr *Arg : N->ctorArgs())
+      F(Arg);
+    return;
+  }
+  case Expr::Kind::Delete:
+    F(cast<DeleteExpr>(E)->sub());
+    return;
+  case Expr::Kind::Cast:
+    F(cast<CastExpr>(E)->sub());
+    return;
+  case Expr::Kind::Sizeof:
+    if (const Expr *Operand = cast<SizeofExpr>(E)->exprOperand())
+      F(Operand);
+    return;
+  }
+}
+
+/// Invokes \p Fn on \p E and every transitive sub-expression, preorder.
+template <typename Fn> void forEachExprPreorder(const Expr *E, Fn &&F) {
+  F(E);
+  forEachChildExpr(E, [&](const Expr *Child) { forEachExprPreorder(Child, F); });
+}
+
+/// Invokes \p Fn on each expression directly owned by statement \p S
+/// (conditions, values, variable initializers) without descending into
+/// nested statements or into sub-expressions.
+template <typename Fn> void forEachDirectExpr(const Stmt *S, Fn &&F) {
+  switch (S->kind()) {
+  case Stmt::Kind::Compound:
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+  case Stmt::Kind::Null:
+    return;
+  case Stmt::Kind::Decl:
+    for (const VarDecl *V : cast<DeclStmt>(S)->vars()) {
+      if (const Expr *Init = V->init())
+        F(Init);
+      for (const Expr *Arg : V->ctorArgs())
+        F(Arg);
+    }
+    return;
+  case Stmt::Kind::Expr:
+    F(cast<ExprStmt>(S)->expr());
+    return;
+  case Stmt::Kind::If:
+    F(cast<IfStmt>(S)->cond());
+    return;
+  case Stmt::Kind::While:
+    F(cast<WhileStmt>(S)->cond());
+    return;
+  case Stmt::Kind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    if (FS->cond())
+      F(FS->cond());
+    if (FS->step())
+      F(FS->step());
+    return;
+  }
+  case Stmt::Kind::Return:
+    if (const Expr *Value = cast<ReturnStmt>(S)->value())
+      F(Value);
+    return;
+  }
+}
+
+/// Invokes \p Fn on \p S and every transitively nested statement,
+/// preorder.
+template <typename Fn> void forEachStmtPreorder(const Stmt *S, Fn &&F) {
+  F(S);
+  switch (S->kind()) {
+  case Stmt::Kind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->stmts())
+      forEachStmtPreorder(Child, F);
+    return;
+  case Stmt::Kind::If: {
+    const auto *IS = cast<IfStmt>(S);
+    forEachStmtPreorder(IS->thenStmt(), F);
+    if (IS->elseStmt())
+      forEachStmtPreorder(IS->elseStmt(), F);
+    return;
+  }
+  case Stmt::Kind::While:
+    forEachStmtPreorder(cast<WhileStmt>(S)->body(), F);
+    return;
+  case Stmt::Kind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    if (FS->init())
+      forEachStmtPreorder(FS->init(), F);
+    forEachStmtPreorder(FS->body(), F);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// Invokes \p Fn on every top-level expression tree in \p F's body and,
+/// for constructors, in the initializer list. "Top-level" means the roots
+/// handed out by forEachDirectExpr; use forEachExprPreorder on each to
+/// reach sub-expressions.
+template <typename Fn>
+void forEachTopLevelExprInFunction(const FunctionDecl *FD, Fn &&F) {
+  if (const auto *Ctor = dyn_cast<ConstructorDecl>(FD))
+    for (const CtorInitializer &Init : Ctor->initializers())
+      for (const Expr *Arg : Init.Args)
+        F(Arg);
+  if (!FD->body())
+    return;
+  forEachStmtPreorder(FD->body(), [&](const Stmt *S) {
+    forEachDirectExpr(S, [&](const Expr *E) { F(E); });
+  });
+}
+
+/// Invokes \p Fn on every expression (preorder, including nested) in \p
+/// FD: body statements, variable initializers, and constructor
+/// initializer arguments.
+template <typename Fn>
+void forEachExprInFunction(const FunctionDecl *FD, Fn &&F) {
+  forEachTopLevelExprInFunction(
+      FD, [&](const Expr *E) { forEachExprPreorder(E, F); });
+}
+
+} // namespace dmm
+
+#endif // DMM_AST_ASTWALKER_H

@@ -1,0 +1,110 @@
+//===-- ast/Type.cpp ------------------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Type.h"
+#include "ast/Decl.h"
+
+#include <sstream>
+
+using namespace dmm;
+
+bool Type::isVoid() const {
+  const auto *B = dyn_cast<BuiltinType>(this);
+  return B && B->builtinKind() == BuiltinType::BK::Void;
+}
+
+bool Type::isBool() const {
+  const auto *B = dyn_cast<BuiltinType>(this);
+  return B && B->builtinKind() == BuiltinType::BK::Bool;
+}
+
+bool Type::isArithmetic() const {
+  const auto *B = dyn_cast<BuiltinType>(this);
+  if (!B)
+    return false;
+  switch (B->builtinKind()) {
+  case BuiltinType::BK::Bool:
+  case BuiltinType::BK::Char:
+  case BuiltinType::BK::Int:
+  case BuiltinType::BK::Double:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Type::isInteger() const {
+  const auto *B = dyn_cast<BuiltinType>(this);
+  if (!B)
+    return false;
+  switch (B->builtinKind()) {
+  case BuiltinType::BK::Bool:
+  case BuiltinType::BK::Char:
+  case BuiltinType::BK::Int:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const ClassDecl *Type::asClassDecl() const {
+  if (const auto *CT = dyn_cast<ClassType>(this))
+    return CT->decl();
+  return nullptr;
+}
+
+const Type *Type::nonReferenceType() const {
+  if (const auto *RT = dyn_cast<ReferenceType>(this))
+    return RT->pointee();
+  return this;
+}
+
+std::string Type::str() const {
+  switch (kind()) {
+  case Kind::Builtin:
+    switch (cast<BuiltinType>(this)->builtinKind()) {
+    case BuiltinType::BK::Void: return "void";
+    case BuiltinType::BK::Bool: return "bool";
+    case BuiltinType::BK::Char: return "char";
+    case BuiltinType::BK::Int: return "int";
+    case BuiltinType::BK::Double: return "double";
+    case BuiltinType::BK::NullPtr: return "nullptr_t";
+    }
+    return "<builtin>";
+  case Kind::Class:
+    return cast<ClassType>(this)->decl()->name();
+  case Kind::Pointer:
+    return cast<PointerType>(this)->pointee()->str() + "*";
+  case Kind::Reference:
+    return cast<ReferenceType>(this)->pointee()->str() + "&";
+  case Kind::Array: {
+    // C spelling lists extents outermost-first: `int[3][4]` is an array
+    // of 3 arrays of 4 ints.
+    const Type *Elem = this;
+    std::ostringstream Dims;
+    while (const auto *AT = dyn_cast<ArrayType>(Elem)) {
+      Dims << "[" << AT->size() << "]";
+      Elem = AT->element();
+    }
+    return Elem->str() + Dims.str();
+  }
+  case Kind::MemberPointer: {
+    const auto *MPT = cast<MemberPointerType>(this);
+    return MPT->pointee()->str() + " " + MPT->classDecl()->name() + "::*";
+  }
+  case Kind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    std::string S = FT->result()->str() + "(";
+    for (size_t I = 0; I != FT->params().size(); ++I) {
+      if (I)
+        S += ", ";
+      S += FT->params()[I]->str();
+    }
+    return S + ")";
+  }
+  }
+  return "<type>";
+}

@@ -1,0 +1,256 @@
+//===-- benchgen/BenchmarkSpec.cpp ----------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/BenchmarkSpec.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace dmm;
+
+std::vector<BenchmarkSpec> dmm::paperBenchmarks() {
+  std::vector<BenchmarkSpec> Specs;
+  auto Add = [&](BenchmarkSpec S) { Specs.push_back(std::move(S)); };
+
+  {
+    BenchmarkSpec S;
+    S.Name = "jikes";
+    S.Description = "Java source-to-bytecode compiler";
+    S.TargetLoC = 58296;
+    S.NumClasses = 268;
+    S.NumUsedClasses = 161;
+    S.NumMembers = 1052;
+    S.TargetStaticDeadPct = 8.0; // Reconstructed.
+    S.PaperObjectSpace = 2921490;
+    S.PaperDeadSpace = 87645;    // Reconstructed (~3%).
+    S.PaperHighWaterMark = 2179730;
+    S.PaperHighWaterMarkNoDead = 2113000; // Reconstructed.
+    S.Seed = 101;
+    S.HeapRetention = 0.72;
+    S.DeadInHotFraction = 0.35;
+    S.TargetObjects = 20000;
+    S.InheritanceFraction = 0.45;
+    S.StructFraction = 0.1;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "idl";
+    S.Description = "SunSoft IDL compiler front end (heavy virtual "
+                    "inheritance)";
+    S.TargetLoC = 30941; // Reconstructed.
+    S.NumClasses = 82;
+    S.NumUsedClasses = 48;
+    S.NumMembers = 312;
+    S.TargetStaticDeadPct = 7.0; // Reconstructed.
+    S.PaperObjectSpace = 708249;
+    S.PaperDeadSpace = 15388;
+    S.PaperHighWaterMark = 701273;
+    S.PaperHighWaterMarkNoDead = 686886;
+    S.Seed = 102;
+    S.HeapRetention = 0.99;
+    S.DeadInHotFraction = 0.3;
+    S.TargetObjects = 8000;
+    S.InheritanceFraction = 0.6;
+    S.StructFraction = 0.05;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "npic";
+    S.Description = "Numerical particle-in-cell simulation (reconstructed "
+                    "description)";
+    S.TargetLoC = 12000; // Reconstructed.
+    S.NumClasses = 31;   // Reconstructed.
+    S.NumUsedClasses = 22;
+    S.NumMembers = 150;
+    S.TargetStaticDeadPct = 9.0; // Reconstructed.
+    S.PaperObjectSpace = 115248;
+    S.PaperDeadSpace = 5616;
+    S.PaperHighWaterMark = 24972;
+    S.PaperHighWaterMarkNoDead = 23840;
+    S.Seed = 103;
+    S.HeapRetention = 0.18;
+    S.DeadInHotFraction = 0.5;
+    S.TargetObjects = 2500;
+    S.InheritanceFraction = 0.3;
+    S.StructFraction = 0.25;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "lcom";
+    S.Description = "Compiler for the L hardware description language";
+    S.TargetLoC = 17278; // Reconstructed.
+    S.NumClasses = 72;   // Reconstructed.
+    S.NumUsedClasses = 51;
+    S.NumMembers = 362;
+    S.TargetStaticDeadPct = 10.0; // Reconstructed.
+    S.PaperObjectSpace = 2274956;
+    S.PaperDeadSpace = 241435;
+    S.PaperHighWaterMark = 1652828;
+    S.PaperHighWaterMarkNoDead = 1491048;
+    S.Seed = 104;
+    S.HeapRetention = 0.70;
+    S.DeadInHotFraction = 0.75;
+    S.TargetObjects = 15000;
+    S.InheritanceFraction = 0.4;
+    S.StructFraction = 0.15;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "taldict";
+    S.Description = "Taligent dictionary benchmark (general-purpose "
+                    "collection class library)";
+    S.TargetLoC = 8566; // Reconstructed.
+    S.NumClasses = 56;  // Reconstructed.
+    S.NumUsedClasses = 30;
+    S.NumMembers = 290;
+    S.TargetStaticDeadPct = 27.3; // The paper's maximum.
+    S.UsesClassLibrary = true;
+    S.PaperObjectSpace = 7080;
+    S.PaperDeadSpace = 36;
+    S.PaperHighWaterMark = 6998; // Reconstructed (garbled in the copy).
+    S.PaperHighWaterMarkNoDead = 6972;
+    S.Seed = 105;
+    S.HeapRetention = 0.97;
+    S.DeadInHotFraction = 0.02;
+    S.TargetObjects = 9000;
+    S.InheritanceFraction = 0.5;
+    S.StructFraction = 0.0;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "ixx";
+    S.Description = "IDL-to-C++ stub-code generator (Fresco)";
+    S.TargetLoC = 11600; // Reconstructed.
+    S.NumClasses = 90;   // Reconstructed.
+    S.NumUsedClasses = 60;
+    S.NumMembers = 420;
+    S.TargetStaticDeadPct = 6.0; // Reconstructed.
+    S.PaperObjectSpace = 551160;
+    S.PaperDeadSpace = 29745;
+    S.PaperHighWaterMark = 299516;
+    S.PaperHighWaterMarkNoDead = 269775;
+    S.Seed = 106;
+    S.HeapRetention = 0.52;
+    S.DeadInHotFraction = 0.8;
+    S.TargetObjects = 6000;
+    S.InheritanceFraction = 0.4;
+    S.StructFraction = 0.1;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "simulate";
+    S.Description = "Simula-style simulation class library and application";
+    S.TargetLoC = 6400; // Reconstructed.
+    S.NumClasses = 46;  // Reconstructed.
+    S.NumUsedClasses = 24;
+    S.NumMembers = 220;
+    S.TargetStaticDeadPct = 24.0; // Reconstructed (library-using: high).
+    S.UsesClassLibrary = true;
+    S.PaperObjectSpace = 64869;
+    S.PaperDeadSpace = 41;
+    S.PaperHighWaterMark = 11586;
+    S.PaperHighWaterMarkNoDead = 11544; // Reconstructed (garbled).
+    S.Seed = 107;
+    S.HeapRetention = 0.15;
+    S.DeadInHotFraction = 0.0;
+    S.TargetObjects = 8000;
+    S.InheritanceFraction = 0.55;
+    S.StructFraction = 0.0;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "sched";
+    S.Description = "RS/6000 instruction scheduler (struct-heavy, little "
+                    "inheritance)";
+    S.TargetLoC = 5712; // Reconstructed.
+    S.NumClasses = 24;  // Reconstructed.
+    S.NumUsedClasses = 18;
+    S.NumMembers = 140;
+    S.TargetStaticDeadPct = 3.0; // The paper's minimum.
+    S.PaperObjectSpace = 9032676;
+    S.PaperDeadSpace = 1049148; // 11.6%: the paper's dynamic maximum.
+    S.PaperHighWaterMark = 9032676; // == object space (allocate and hold).
+    S.PaperHighWaterMarkNoDead = 7983528;
+    S.Seed = 108;
+    S.HeapRetention = 1.0;
+    S.DeadInHotFraction = 1.0;
+    S.TargetObjects = 40000;
+    S.InheritanceFraction = 0.05;
+    S.StructFraction = 0.8;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "hotwire";
+    S.Description = "Scriptable graphical presentation builder";
+    S.TargetLoC = 5355;
+    S.NumClasses = 37;
+    S.NumUsedClasses = 21;
+    S.NumMembers = 166;
+    S.TargetStaticDeadPct = 18.2; // Reconstructed (library-using: high).
+    S.UsesClassLibrary = true;
+    S.PaperObjectSpace = 10780;
+    S.PaperDeadSpace = 284;
+    S.PaperHighWaterMark = 10780; // == object space.
+    S.PaperHighWaterMarkNoDead = 10496;
+    S.Seed = 109;
+    S.HeapRetention = 1.0;
+    S.DeadInHotFraction = 0.1;
+    S.TargetObjects = 2200;
+    S.InheritanceFraction = 0.45;
+    S.StructFraction = 0.0;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "deltablue";
+    S.Description = "Incremental dataflow constraint solver";
+    S.HandWritten = true;
+    S.TargetLoC = 1250;
+    S.NumClasses = 10;
+    S.NumUsedClasses = 8;
+    S.NumMembers = 23;
+    S.TargetStaticDeadPct = 0.0;
+    S.PaperObjectSpace = 276364;
+    S.PaperDeadSpace = 0;
+    S.PaperHighWaterMark = 196212;
+    S.PaperHighWaterMarkNoDead = 196212;
+    Add(S);
+  }
+  {
+    BenchmarkSpec S;
+    S.Name = "richards";
+    S.Description = "Simple operating system simulator";
+    S.HandWritten = true;
+    S.TargetLoC = 606;
+    S.NumClasses = 12;
+    S.NumUsedClasses = 12;
+    S.NumMembers = 28;
+    S.TargetStaticDeadPct = 0.0;
+    S.PaperObjectSpace = 4889;
+    S.PaperDeadSpace = 0;
+    S.PaperHighWaterMark = 4880;
+    S.PaperHighWaterMarkNoDead = 4880;
+    Add(S);
+  }
+
+  return Specs;
+}
+
+BenchmarkSpec dmm::benchmarkByName(const std::string &Name) {
+  for (BenchmarkSpec &S : paperBenchmarks())
+    if (S.Name == Name)
+      return S;
+  assert(false && "unknown benchmark name");
+  std::abort();
+}

@@ -1,0 +1,700 @@
+//===-- benchgen/Programs_deltablue.cpp -----------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A MiniC++ port of the DeltaBlue incremental dataflow constraint
+/// solver (Freeman-Benson & Maloney), the paper's second small benchmark
+/// (1,250 LoC, 10 classes, 23 data members, zero dead members). The port
+/// follows the classic structure: a strength-ordered constraint graph
+/// over variables, an incremental planner, and plan extraction/execution
+/// over a chain of equality constraints. Every data member of a used
+/// class is read on a reachable path; ScaleConstraint is deliberately
+/// never instantiated (the paper reports two of deltablue's ten classes
+/// as unused).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Synthesizer.h"
+
+const char *dmm::deltablueSource() {
+  return R"MCC(// deltablue: incremental dataflow constraint solver (MiniC++ port).
+
+// Strengths are small integers; lower value = stronger.
+int REQUIRED = 0;
+int STRONG_PREFERRED = 1;
+int PREFERRED = 2;
+int STRONG_DEFAULT = 3;
+int NORMAL = 4;
+int WEAK_DEFAULT = 5;
+int WEAKEST = 6;
+
+// Binary constraint directions.
+int DIR_NONE = 0;
+int DIR_FORWARD = 1;
+int DIR_BACKWARD = 2;
+
+bool stronger(int s1, int s2) { return s1 < s2; }
+bool weaker(int s1, int s2) { return s1 > s2; }
+int weakestOf(int s1, int s2) {
+  if (weaker(s1, s2)) {
+    return s1;
+  }
+  return s2;
+}
+int nextWeaker(int s) { return s + 1; }
+
+class Constraint;
+class Planner;
+
+int g_nextCid = 0;
+
+// A constrainable variable in the dataflow graph.
+class Variable {
+public:
+  int value;
+  Constraint *constraints[8];
+  int nconstraints;
+  Constraint *determinedBy;
+  int mark;
+  int walkStrength;
+  bool stay;
+  int id;
+  int updateCount;
+
+  Variable(int anId, int initial);
+  void addConstraint(Constraint *c);
+  void removeConstraint(Constraint *c);
+};
+
+Variable::Variable(int anId, int initial) {
+  value = initial;
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    constraints[i] = nullptr;
+  }
+  nconstraints = 0;
+  determinedBy = nullptr;
+  mark = 0;
+  walkStrength = WEAKEST;
+  stay = true;
+  id = anId;
+  updateCount = 0;
+}
+
+void Variable::addConstraint(Constraint *c) {
+  constraints[nconstraints] = c;
+  nconstraints = nconstraints + 1;
+}
+
+void Variable::removeConstraint(Constraint *c) {
+  int i;
+  int j = 0;
+  for (i = 0; i < nconstraints; i = i + 1) {
+    if (constraints[i] != c) {
+      constraints[j] = constraints[i];
+      j = j + 1;
+    }
+  }
+  nconstraints = j;
+  if (determinedBy == c) {
+    determinedBy = nullptr;
+  }
+}
+
+// Abstract base of all constraints.
+class Constraint {
+public:
+  int strength;
+  int cid;
+
+  Constraint(int s);
+  virtual bool isSatisfied();
+  virtual void markUnsatisfied();
+  virtual void addToGraph();
+  virtual void removeFromGraph();
+  virtual void chooseMethod(int mark);
+  virtual void markInputs(int mark);
+  virtual bool inputsKnown(int mark);
+  virtual Variable *output();
+  virtual void execute();
+  virtual void recalculate();
+  virtual bool isInput();
+  void addConstraint(Planner *planner);
+  Constraint *satisfy(int mark, Planner *planner);
+  void destroyConstraint(Planner *planner);
+};
+
+Constraint::Constraint(int s) {
+  strength = s;
+  cid = g_nextCid;
+  g_nextCid = g_nextCid + 1;
+}
+
+bool Constraint::isSatisfied() { return false; }
+void Constraint::markUnsatisfied() {}
+void Constraint::addToGraph() {}
+void Constraint::removeFromGraph() {}
+void Constraint::chooseMethod(int mark) {
+  if (mark < 0) {
+    print_int(mark);
+  }
+}
+void Constraint::markInputs(int mark) {
+  if (mark < 0) {
+    print_int(mark);
+  }
+}
+bool Constraint::inputsKnown(int mark) { return mark >= 0; }
+Variable *Constraint::output() { return nullptr; }
+void Constraint::execute() {}
+void Constraint::recalculate() {}
+bool Constraint::isInput() { return false; }
+
+// Constraints over a single variable.
+class UnaryConstraint : public Constraint {
+public:
+  Variable *myOutput;
+  bool satisfied;
+
+  UnaryConstraint(Variable *v, int s);
+  virtual bool isSatisfied();
+  virtual void markUnsatisfied();
+  virtual void addToGraph();
+  virtual void removeFromGraph();
+  virtual void chooseMethod(int mark);
+  virtual void markInputs(int mark);
+  virtual bool inputsKnown(int mark);
+  virtual Variable *output();
+  virtual void recalculate();
+};
+
+UnaryConstraint::UnaryConstraint(Variable *v, int s) : Constraint(s) {
+  myOutput = v;
+  satisfied = false;
+}
+
+bool UnaryConstraint::isSatisfied() { return satisfied; }
+void UnaryConstraint::markUnsatisfied() { satisfied = false; }
+
+void UnaryConstraint::addToGraph() {
+  myOutput->addConstraint(this);
+  satisfied = false;
+}
+
+void UnaryConstraint::removeFromGraph() {
+  if (myOutput != nullptr) {
+    myOutput->removeConstraint(this);
+  }
+  satisfied = false;
+}
+
+void UnaryConstraint::chooseMethod(int mark) {
+  satisfied = (myOutput->mark != mark) &&
+              stronger(strength, myOutput->walkStrength);
+}
+
+void UnaryConstraint::markInputs(int mark) {
+  if (mark < 0) {
+    print_int(mark);
+  }
+}
+
+bool UnaryConstraint::inputsKnown(int mark) { return mark >= 0; }
+
+Variable *UnaryConstraint::output() { return myOutput; }
+
+void UnaryConstraint::recalculate() {
+  myOutput->walkStrength = strength;
+  myOutput->stay = !isInput();
+  if (myOutput->stay) {
+    execute();
+  }
+}
+
+// Marks a variable as wanting to keep its current value.
+class StayConstraint : public UnaryConstraint {
+public:
+  StayConstraint(Variable *v, int s);
+  virtual void execute();
+};
+
+StayConstraint::StayConstraint(Variable *v, int s) : UnaryConstraint(v, s) {}
+
+// Stay constraints do nothing when executed: the output value is
+// already correct.
+void StayConstraint::execute() {}
+
+// An input constraint: forces a variable to an externally chosen value.
+class EditConstraint : public UnaryConstraint {
+public:
+  int pendingValue;
+
+  EditConstraint(Variable *v, int s);
+  virtual bool isInput();
+  virtual void execute();
+};
+
+EditConstraint::EditConstraint(Variable *v, int s) : UnaryConstraint(v, s) {
+  pendingValue = 0;
+}
+
+bool EditConstraint::isInput() { return true; }
+
+void EditConstraint::execute() { myOutput->value = pendingValue; }
+
+// Constraints over two variables.
+class BinaryConstraint : public Constraint {
+public:
+  Variable *v1;
+  Variable *v2;
+  int direction;
+
+  BinaryConstraint(Variable *a, Variable *b, int s);
+  Variable *input();
+  virtual bool isSatisfied();
+  virtual void markUnsatisfied();
+  virtual void addToGraph();
+  virtual void removeFromGraph();
+  virtual void chooseMethod(int mark);
+  virtual void markInputs(int mark);
+  virtual bool inputsKnown(int mark);
+  virtual Variable *output();
+  virtual void recalculate();
+};
+
+BinaryConstraint::BinaryConstraint(Variable *a, Variable *b, int s)
+    : Constraint(s) {
+  v1 = a;
+  v2 = b;
+  direction = DIR_NONE;
+}
+
+bool BinaryConstraint::isSatisfied() { return direction != DIR_NONE; }
+void BinaryConstraint::markUnsatisfied() { direction = DIR_NONE; }
+
+void BinaryConstraint::addToGraph() {
+  v1->addConstraint(this);
+  v2->addConstraint(this);
+  direction = DIR_NONE;
+}
+
+void BinaryConstraint::removeFromGraph() {
+  if (v1 != nullptr) {
+    v1->removeConstraint(this);
+  }
+  if (v2 != nullptr) {
+    v2->removeConstraint(this);
+  }
+  direction = DIR_NONE;
+}
+
+void BinaryConstraint::chooseMethod(int mark) {
+  if (v1->mark == mark) {
+    if (v2->mark != mark && stronger(strength, v2->walkStrength)) {
+      direction = DIR_FORWARD;
+    } else {
+      direction = DIR_NONE;
+    }
+    return;
+  }
+  if (v2->mark == mark) {
+    if (v1->mark != mark && stronger(strength, v1->walkStrength)) {
+      direction = DIR_BACKWARD;
+    } else {
+      direction = DIR_NONE;
+    }
+    return;
+  }
+  if (weaker(v1->walkStrength, v2->walkStrength)) {
+    if (stronger(strength, v1->walkStrength)) {
+      direction = DIR_BACKWARD;
+    } else {
+      direction = DIR_NONE;
+    }
+  } else {
+    if (stronger(strength, v2->walkStrength)) {
+      direction = DIR_FORWARD;
+    } else {
+      direction = DIR_NONE;
+    }
+  }
+}
+
+Variable *BinaryConstraint::input() {
+  if (direction == DIR_FORWARD) {
+    return v1;
+  }
+  return v2;
+}
+
+Variable *BinaryConstraint::output() {
+  if (direction == DIR_FORWARD) {
+    return v2;
+  }
+  return v1;
+}
+
+void BinaryConstraint::markInputs(int mark) { input()->mark = mark; }
+
+bool BinaryConstraint::inputsKnown(int mark) {
+  Variable *i = input();
+  return i->mark == mark || i->stay || i->determinedBy == nullptr;
+}
+
+void BinaryConstraint::recalculate() {
+  Variable *ihn = input();
+  Variable *out = output();
+  out->walkStrength = weakestOf(strength, ihn->walkStrength);
+  out->stay = ihn->stay;
+  if (out->stay) {
+    execute();
+  }
+}
+
+// v1 == v2.
+class EqualityConstraint : public BinaryConstraint {
+public:
+  EqualityConstraint(Variable *a, Variable *b, int s);
+  virtual void execute();
+};
+
+EqualityConstraint::EqualityConstraint(Variable *a, Variable *b, int s)
+    : BinaryConstraint(a, b, s) {}
+
+void EqualityConstraint::execute() { output()->value = input()->value; }
+
+// v2 == v1 * scale + offset. Present in the library but never
+// instantiated by this application (the projection test is not run),
+// mirroring the paper's two unused deltablue classes.
+class ScaleConstraint : public BinaryConstraint {
+public:
+  Variable *scale;
+  Variable *offset;
+
+  ScaleConstraint(Variable *a, Variable *b, Variable *sc, Variable *o,
+                  int s);
+  virtual void execute();
+  virtual void recalculate();
+};
+
+ScaleConstraint::ScaleConstraint(Variable *a, Variable *b, Variable *sc,
+                                 Variable *o, int s)
+    : BinaryConstraint(a, b, s) {
+  scale = sc;
+  offset = o;
+}
+
+void ScaleConstraint::execute() {
+  if (direction == DIR_FORWARD) {
+    v2->value = v1->value * scale->value + offset->value;
+  } else {
+    v1->value = (v2->value - offset->value) / scale->value;
+  }
+}
+
+void ScaleConstraint::recalculate() {
+  Variable *ihn = input();
+  Variable *out = output();
+  out->walkStrength = weakestOf(strength, ihn->walkStrength);
+  out->stay = ihn->stay && scale->stay && offset->stay;
+  if (out->stay) {
+    execute();
+  }
+}
+
+// An ordered list of constraints to execute.
+class Plan {
+public:
+  Constraint *steps[128];
+  int nsteps;
+  int executed;
+
+  Plan();
+  void addConstraint(Constraint *c);
+  void execute();
+};
+
+Plan::Plan() {
+  nsteps = 0;
+  executed = 0;
+}
+
+void Plan::addConstraint(Constraint *c) {
+  steps[nsteps] = c;
+  nsteps = nsteps + 1;
+}
+
+void Plan::execute() {
+  int i;
+  for (i = 0; i < nsteps; i = i + 1) {
+    steps[i]->execute();
+    executed = executed + 1;
+  }
+}
+
+// The incremental planner.
+class Planner {
+public:
+  int currentMark;
+  int plansMade;
+  int cidSum;
+
+  Planner();
+  int newMark();
+  void incrementalAdd(Constraint *c);
+  void incrementalRemove(Constraint *c);
+  bool addPropagate(Constraint *c, int mark);
+  void addConstraintsConsumingTo(Variable *v, Constraint **coll,
+                                 int *ncoll);
+  Plan *makePlan(Constraint **sources, int nsources);
+  Plan *extractPlanFromConstraints(Constraint **constraints, int n);
+};
+
+Planner::Planner() {
+  currentMark = 0;
+  plansMade = 0;
+  cidSum = 0;
+}
+
+int Planner::newMark() {
+  currentMark = currentMark + 1;
+  return currentMark;
+}
+
+void Planner::incrementalAdd(Constraint *c) {
+  cidSum = cidSum + c->cid;
+  int mark = newMark();
+  Constraint *overridden = c->satisfy(mark, this);
+  while (overridden != nullptr) {
+    overridden = overridden->satisfy(newMark(), this);
+  }
+}
+
+void Planner::addConstraintsConsumingTo(Variable *v, Constraint **coll,
+                                        int *ncoll) {
+  Constraint *determining = v->determinedBy;
+  int i;
+  for (i = 0; i < v->nconstraints; i = i + 1) {
+    Constraint *c = v->constraints[i];
+    if (c != determining && c->isSatisfied()) {
+      coll[*ncoll] = c;
+      *ncoll = *ncoll + 1;
+    }
+  }
+}
+
+bool Planner::addPropagate(Constraint *c, int mark) {
+  Constraint *todo[128];
+  int ntodo = 0;
+  todo[ntodo] = c;
+  ntodo = ntodo + 1;
+  while (ntodo > 0) {
+    ntodo = ntodo - 1;
+    Constraint *d = todo[ntodo];
+    if (d->output()->mark == mark) {
+      incrementalRemove(c);
+      return false;
+    }
+    d->recalculate();
+    addConstraintsConsumingTo(d->output(), todo, &ntodo);
+  }
+  return true;
+}
+
+void Planner::incrementalRemove(Constraint *c) {
+  Variable *out = c->output();
+  c->markUnsatisfied();
+  c->removeFromGraph();
+
+  // removePropagateFrom(out):
+  Constraint *unsatisfied[128];
+  int nunsatisfied = 0;
+  out->determinedBy = nullptr;
+  out->walkStrength = WEAKEST;
+  out->stay = true;
+  Variable *todo[128];
+  int ntodo = 0;
+  todo[ntodo] = out;
+  ntodo = ntodo + 1;
+  while (ntodo > 0) {
+    ntodo = ntodo - 1;
+    Variable *v = todo[ntodo];
+    int i;
+    for (i = 0; i < v->nconstraints; i = i + 1) {
+      Constraint *d = v->constraints[i];
+      if (!d->isSatisfied()) {
+        unsatisfied[nunsatisfied] = d;
+        nunsatisfied = nunsatisfied + 1;
+      }
+    }
+    Constraint *determining = v->determinedBy;
+    for (i = 0; i < v->nconstraints; i = i + 1) {
+      Constraint *next = v->constraints[i];
+      if (next != determining && next->isSatisfied()) {
+        next->recalculate();
+        todo[ntodo] = next->output();
+        ntodo = ntodo + 1;
+      }
+    }
+  }
+
+  int strength = REQUIRED;
+  while (strength <= WEAKEST) {
+    int i;
+    for (i = 0; i < nunsatisfied; i = i + 1) {
+      if (unsatisfied[i]->strength == strength) {
+        incrementalAdd(unsatisfied[i]);
+      }
+    }
+    strength = nextWeaker(strength);
+  }
+}
+
+Plan *Planner::makePlan(Constraint **sources, int nsources) {
+  plansMade = plansMade + 1;
+  int mark = newMark();
+  Plan *plan = new Plan();
+  Constraint *todo[128];
+  int ntodo = 0;
+  int i;
+  for (i = 0; i < nsources; i = i + 1) {
+    todo[ntodo] = sources[i];
+    ntodo = ntodo + 1;
+  }
+  while (ntodo > 0) {
+    ntodo = ntodo - 1;
+    Constraint *c = todo[ntodo];
+    if (c->output()->mark != mark && c->inputsKnown(mark)) {
+      plan->addConstraint(c);
+      c->output()->mark = mark;
+      addConstraintsConsumingTo(c->output(), todo, &ntodo);
+    }
+  }
+  return plan;
+}
+
+Plan *Planner::extractPlanFromConstraints(Constraint **constraints, int n) {
+  Constraint *sources[128];
+  int nsources = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    Constraint *c = constraints[i];
+    if (c->isInput() && c->isSatisfied()) {
+      sources[nsources] = c;
+      nsources = nsources + 1;
+    }
+  }
+  return makePlan(sources, nsources);
+}
+
+void Constraint::addConstraint(Planner *planner) {
+  addToGraph();
+  planner->incrementalAdd(this);
+}
+
+Constraint *Constraint::satisfy(int mark, Planner *planner) {
+  chooseMethod(mark);
+  if (!isSatisfied()) {
+    if (strength == REQUIRED) {
+      print_str("failure: could not satisfy a required constraint");
+    }
+    return nullptr;
+  }
+  markInputs(mark);
+  Variable *out = output();
+  Constraint *overridden = out->determinedBy;
+  if (overridden != nullptr) {
+    overridden->markUnsatisfied();
+  }
+  out->determinedBy = this;
+  if (!planner->addPropagate(this, mark)) {
+    print_str("failure: cycle encountered");
+    return nullptr;
+  }
+  out->mark = mark;
+  return overridden;
+}
+
+void Constraint::destroyConstraint(Planner *planner) {
+  if (isSatisfied()) {
+    planner->incrementalRemove(this);
+  } else {
+    removeFromGraph();
+  }
+}
+
+Planner *planner;
+
+// Builds a chain of n equality constraints with an edit at the head and
+// a stay at the tail, extracts a plan, and pumps values through it.
+int chainTest(int n) {
+  planner = new Planner();
+  Variable *vars[64];
+  int i;
+  for (i = 0; i <= n; i = i + 1) {
+    vars[i] = new Variable(i, 0);
+  }
+  for (i = 0; i < n; i = i + 1) {
+    EqualityConstraint *eq =
+        new EqualityConstraint(vars[i], vars[i + 1], REQUIRED);
+    eq->addConstraint(planner);
+  }
+  Variable *first = vars[0];
+  Variable *last = vars[n];
+
+  StayConstraint *stay = new StayConstraint(last, STRONG_DEFAULT);
+  stay->addConstraint(planner);
+
+  EditConstraint *edit = new EditConstraint(first, PREFERRED);
+  edit->addConstraint(planner);
+
+  Constraint *editList[1];
+  editList[0] = edit;
+  Plan *plan = planner->extractPlanFromConstraints(editList, 1);
+
+  int errors = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    edit->pendingValue = i;
+    first->updateCount = first->updateCount + 1;
+    plan->execute();
+    if (last->value != i) {
+      errors = errors + 1;
+    }
+  }
+  edit->destroyConstraint(planner);
+
+  print_str("chain errors=");
+  print_int(errors);
+  print_str("last var id=");
+  print_int(last->id);
+  print_str("updates=");
+  print_int(first->updateCount);
+  print_str("plan steps=");
+  print_int(plan->nsteps);
+  print_str("plan executed=");
+  print_int(plan->executed);
+  print_str("plans made=");
+  print_int(planner->plansMade);
+  print_str("cid sum=");
+  print_int(planner->cidSum);
+  return errors;
+}
+
+int main() {
+  int errors = 0;
+  int round;
+  for (round = 0; round < 3; round = round + 1) {
+    errors = errors + chainTest(40);
+  }
+  print_str("deltablue errors=");
+  print_int(errors);
+  if (errors == 0) {
+    return 0;
+  }
+  return 1;
+}
+)MCC";
+}

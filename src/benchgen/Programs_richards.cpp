@@ -1,0 +1,516 @@
+//===-- benchgen/Programs_richards.cpp ------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A MiniC++ port of Martin Richards' operating-system simulation
+/// benchmark (the paper's smallest program: 606 LoC, 12 classes, 28 data
+/// members, zero dead members). The port follows the classic structure:
+/// a scheduler multiplexes idle/worker/handler/device tasks exchanging
+/// packets. Every data member is read on a path reachable from main, so
+/// the analysis must classify all 28 as live.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Synthesizer.h"
+
+const char *dmm::richardsSource() {
+  return R"MCC(// richards: simple operating system simulator (MiniC++ port).
+// Martin Richards' benchmark, following the widely used OO adaptation.
+
+int ID_IDLE = 0;
+int ID_WORKER = 1;
+int ID_HANDLER_A = 2;
+int ID_HANDLER_B = 3;
+int ID_DEVICE_A = 4;
+int ID_DEVICE_B = 5;
+int NUMBER_OF_IDS = 6;
+
+int KIND_DEVICE = 0;
+int KIND_WORK = 1;
+
+int STATE_RUNNING = 0;
+int STATE_RUNNABLE = 1;
+int STATE_SUSPENDED = 2;
+int STATE_HELD = 4;
+
+int DATA_SIZE = 4;
+int COUNT = 1000;
+
+// Expected results for COUNT == 1000.
+int EXPECTED_QUEUE_COUNT = 2322;
+int EXPECTED_HOLD_COUNT = 928;
+
+class Scheduler;
+class TaskControlBlock;
+class Packet;
+
+// A unit of work flowing between tasks.
+class Packet {
+public:
+  Packet *link;
+  int id;
+  int kind;
+  int a1;
+  int a2[4];
+
+  Packet(Packet *l, int anId, int aKind);
+  Packet *addTo(Packet *queue);
+};
+
+Packet::Packet(Packet *l, int anId, int aKind) {
+  link = l;
+  id = anId;
+  kind = aKind;
+  a1 = 0;
+  int i;
+  for (i = 0; i < DATA_SIZE; i = i + 1) {
+    a2[i] = 0;
+  }
+}
+
+// Appends this packet at the end of the given queue.
+Packet *Packet::addTo(Packet *queue) {
+  link = nullptr;
+  if (queue == nullptr) {
+    return this;
+  }
+  Packet *peek;
+  Packet *next = queue;
+  peek = next->link;
+  while (peek != nullptr) {
+    next = peek;
+    peek = next->link;
+  }
+  next->link = this;
+  return queue;
+}
+
+// Holds a task's scheduling state word.
+class TaskState {
+public:
+  int state;
+
+  TaskState();
+  void setRunning();
+  void setRunnable();
+  void markAsSuspended();
+  void markAsRunnable();
+  void markAsHeld();
+  void markAsNotHeld();
+  bool isHeldOrSuspended();
+  bool isSuspendedRunnable();
+  bool isSuspended();
+};
+
+TaskState::TaskState() { state = STATE_SUSPENDED; }
+void TaskState::setRunning() { state = STATE_RUNNING; }
+void TaskState::setRunnable() { state = STATE_RUNNABLE; }
+void TaskState::markAsSuspended() { state = state | STATE_SUSPENDED; }
+void TaskState::markAsRunnable() { state = state | STATE_RUNNABLE; }
+void TaskState::markAsHeld() { state = state | STATE_HELD; }
+void TaskState::markAsNotHeld() { state = state & (~STATE_HELD); }
+bool TaskState::isHeldOrSuspended() {
+  return ((state & STATE_HELD) != 0) ||
+         (state == STATE_SUSPENDED);
+}
+bool TaskState::isSuspendedRunnable() {
+  return state == (STATE_SUSPENDED | STATE_RUNNABLE);
+}
+bool TaskState::isSuspended() { return state == STATE_SUSPENDED; }
+
+// The behaviour attached to a task control block.
+class Task {
+public:
+  virtual TaskControlBlock *run(Packet *packet);
+};
+
+// Prints scheduler trace events when enabled.
+class Tracer {
+public:
+  int enabled;
+
+  Tracer();
+  void trace(int id);
+};
+
+Tracer::Tracer() { enabled = 0; }
+
+void Tracer::trace(int id) {
+  if (enabled != 0) {
+    print_int(id);
+  }
+}
+
+// Scrambles worker payload data deterministically.
+class SeedGenerator {
+public:
+  int seed;
+
+  SeedGenerator(int s);
+  int nextValue(int limit);
+};
+
+SeedGenerator::SeedGenerator(int s) { seed = s; }
+
+int SeedGenerator::nextValue(int limit) {
+  seed = (seed * 131 + 7) % 1009;
+  return seed % limit;
+}
+
+// One schedulable entity: links the state word with a Task behaviour.
+class TaskControlBlock : public TaskState {
+public:
+  TaskControlBlock *link;
+  int id;
+  int priority;
+  Packet *queue;
+  Task *task;
+
+  TaskControlBlock(TaskControlBlock *aLink, int anId, int aPriority,
+                   Packet *aQueue, Task *aTask);
+  TaskControlBlock *run();
+  TaskControlBlock *checkPriorityAdd(TaskControlBlock *other,
+                                     Packet *packet);
+};
+
+TaskControlBlock::TaskControlBlock(TaskControlBlock *aLink, int anId,
+                                   int aPriority, Packet *aQueue,
+                                   Task *aTask) {
+  link = aLink;
+  id = anId;
+  priority = aPriority;
+  queue = aQueue;
+  task = aTask;
+  if (queue == nullptr) {
+    state = STATE_SUSPENDED;
+  } else {
+    state = STATE_SUSPENDED | STATE_RUNNABLE;
+  }
+}
+
+TaskControlBlock *TaskControlBlock::run() {
+  Packet *packet;
+  if (isSuspendedRunnable()) {
+    packet = queue;
+    queue = packet->link;
+    if (queue == nullptr) {
+      setRunning();
+    } else {
+      setRunnable();
+    }
+  } else {
+    packet = nullptr;
+  }
+  return task->run(packet);
+}
+
+// Adds a packet to this task's queue; preempts when this task has a
+// higher priority than the other (currently running) task.
+TaskControlBlock *
+TaskControlBlock::checkPriorityAdd(TaskControlBlock *other,
+                                   Packet *packet) {
+  if (queue == nullptr) {
+    queue = packet;
+    markAsRunnable();
+    if (priority > other->priority) {
+      return this;
+    }
+  } else {
+    queue = packet->addTo(queue);
+  }
+  return other;
+}
+
+// The round-robin scheduler.
+class Scheduler {
+public:
+  TaskControlBlock *tcbList;
+  TaskControlBlock *currentTcb;
+  int currentId;
+  int queueCount;
+  int holdCount;
+  TaskControlBlock *table[6];
+  Tracer *tracer;
+
+  Scheduler();
+  void addTask(int id, int priority, Packet *queue, Task *task);
+  void schedule();
+  TaskControlBlock *release(int id);
+  TaskControlBlock *holdCurrent();
+  TaskControlBlock *suspendCurrent();
+  TaskControlBlock *queuePacket(Packet *packet);
+};
+
+Scheduler::Scheduler() {
+  tcbList = nullptr;
+  currentTcb = nullptr;
+  currentId = 0;
+  queueCount = 0;
+  holdCount = 0;
+  int i;
+  for (i = 0; i < NUMBER_OF_IDS; i = i + 1) {
+    table[i] = nullptr;
+  }
+  tracer = new Tracer();
+}
+
+void Scheduler::addTask(int id, int priority, Packet *queue, Task *task) {
+  tcbList = new TaskControlBlock(tcbList, id, priority, queue, task);
+  table[id] = tcbList;
+}
+
+void Scheduler::schedule() {
+  currentTcb = tcbList;
+  while (currentTcb != nullptr) {
+    if (currentTcb->isHeldOrSuspended()) {
+      currentTcb = currentTcb->link;
+    } else {
+      currentId = currentTcb->id;
+      tracer->trace(currentId);
+      currentTcb = currentTcb->run();
+    }
+  }
+}
+
+TaskControlBlock *Scheduler::release(int id) {
+  TaskControlBlock *tcb = table[id];
+  if (tcb == nullptr) {
+    return tcb;
+  }
+  tcb->markAsNotHeld();
+  if (tcb->priority > currentTcb->priority) {
+    return tcb;
+  }
+  return currentTcb;
+}
+
+TaskControlBlock *Scheduler::holdCurrent() {
+  holdCount = holdCount + 1;
+  currentTcb->markAsHeld();
+  return currentTcb->link;
+}
+
+TaskControlBlock *Scheduler::suspendCurrent() {
+  currentTcb->markAsSuspended();
+  return currentTcb;
+}
+
+TaskControlBlock *Scheduler::queuePacket(Packet *packet) {
+  TaskControlBlock *t = table[packet->id];
+  if (t == nullptr) {
+    return t;
+  }
+  queueCount = queueCount + 1;
+  packet->link = nullptr;
+  packet->id = currentId;
+  return t->checkPriorityAdd(currentTcb, packet);
+}
+
+Scheduler *g_sched;
+
+// The idle task repeatedly releases one of the two devices.
+class IdleTask : public Task {
+public:
+  int control;
+  int count;
+
+  IdleTask(int c, int n);
+  virtual TaskControlBlock *run(Packet *packet);
+};
+
+IdleTask::IdleTask(int c, int n) {
+  control = c;
+  count = n;
+}
+
+TaskControlBlock *IdleTask::run(Packet *packet) {
+  if (packet != nullptr) {
+    packet->link = nullptr;
+  }
+  count = count - 1;
+  if (count == 0) {
+    return g_sched->holdCurrent();
+  }
+  if ((control & 1) == 0) {
+    control = control / 2;
+    return g_sched->release(ID_DEVICE_A);
+  }
+  control = (control / 2) ^ 53256;
+  return g_sched->release(ID_DEVICE_B);
+}
+
+// The worker task fills packets with data and ships them to handlers.
+class WorkerTask : public Task {
+public:
+  int destination;
+  int count;
+
+  WorkerTask(int d, int n);
+  virtual TaskControlBlock *run(Packet *packet);
+};
+
+WorkerTask::WorkerTask(int d, int n) {
+  destination = d;
+  count = n;
+}
+
+TaskControlBlock *WorkerTask::run(Packet *packet) {
+  if (packet == nullptr) {
+    return g_sched->suspendCurrent();
+  }
+  if (destination == ID_HANDLER_A) {
+    destination = ID_HANDLER_B;
+  } else {
+    destination = ID_HANDLER_A;
+  }
+  packet->id = destination;
+  packet->a1 = 0;
+  int i;
+  for (i = 0; i < DATA_SIZE; i = i + 1) {
+    count = count + 1;
+    if (count > 26) {
+      count = 1;
+    }
+    packet->a2[i] = 97 + count - 1;
+  }
+  return g_sched->queuePacket(packet);
+}
+
+// Handler tasks route work packets through device packets.
+class HandlerTask : public Task {
+public:
+  Packet *workIn;
+  Packet *deviceIn;
+
+  HandlerTask();
+  virtual TaskControlBlock *run(Packet *packet);
+};
+
+HandlerTask::HandlerTask() {
+  workIn = nullptr;
+  deviceIn = nullptr;
+}
+
+TaskControlBlock *HandlerTask::run(Packet *packet) {
+  if (packet != nullptr) {
+    if (packet->kind == KIND_WORK) {
+      workIn = packet->addTo(workIn);
+    } else {
+      deviceIn = packet->addTo(deviceIn);
+    }
+  }
+  if (workIn != nullptr) {
+    Packet *workPacket = workIn;
+    int count = workPacket->a1;
+    if (count >= DATA_SIZE) {
+      workIn = workPacket->link;
+      return g_sched->queuePacket(workPacket);
+    }
+    if (deviceIn != nullptr) {
+      Packet *devicePacket = deviceIn;
+      deviceIn = devicePacket->link;
+      devicePacket->a1 = workPacket->a2[count];
+      workPacket->a1 = count + 1;
+      return g_sched->queuePacket(devicePacket);
+    }
+  }
+  return g_sched->suspendCurrent();
+}
+
+// Device tasks hand packets back to the idle loop.
+class DeviceTask : public Task {
+public:
+  Packet *pending;
+
+  DeviceTask();
+  virtual TaskControlBlock *run(Packet *packet);
+};
+
+DeviceTask::DeviceTask() { pending = nullptr; }
+
+TaskControlBlock *DeviceTask::run(Packet *packet) {
+  if (packet == nullptr) {
+    if (pending == nullptr) {
+      return g_sched->suspendCurrent();
+    }
+    Packet *v = pending;
+    pending = nullptr;
+    return g_sched->queuePacket(v);
+  }
+  pending = packet;
+  return g_sched->holdCurrent();
+}
+
+// The benchmark harness: builds the task graph and checks the counters.
+class RBench {
+public:
+  int result;
+
+  RBench();
+  int runBenchmark();
+};
+
+RBench::RBench() { result = 0; }
+
+int RBench::runBenchmark() {
+  g_sched = new Scheduler();
+
+  g_sched->addTask(ID_IDLE, 0, nullptr,
+                   new IdleTask(1, COUNT));
+  // The idle task starts out running (addRunningTask in the original).
+  g_sched->tcbList->setRunning();
+
+  Packet *queue = new Packet(nullptr, ID_WORKER, KIND_WORK);
+  queue = new Packet(queue, ID_WORKER, KIND_WORK);
+  g_sched->addTask(ID_WORKER, 1000, queue,
+                   new WorkerTask(ID_HANDLER_A, 0));
+
+  queue = new Packet(nullptr, ID_DEVICE_A, KIND_DEVICE);
+  queue = new Packet(queue, ID_DEVICE_A, KIND_DEVICE);
+  queue = new Packet(queue, ID_DEVICE_A, KIND_DEVICE);
+  g_sched->addTask(ID_HANDLER_A, 2000, queue, new HandlerTask());
+
+  queue = new Packet(nullptr, ID_DEVICE_B, KIND_DEVICE);
+  queue = new Packet(queue, ID_DEVICE_B, KIND_DEVICE);
+  queue = new Packet(queue, ID_DEVICE_B, KIND_DEVICE);
+  g_sched->addTask(ID_HANDLER_B, 3000, queue, new HandlerTask());
+
+  g_sched->addTask(ID_DEVICE_A, 4000, nullptr, new DeviceTask());
+  g_sched->addTask(ID_DEVICE_B, 5000, nullptr, new DeviceTask());
+
+  g_sched->schedule();
+
+  SeedGenerator *gen = new SeedGenerator(42);
+  int fuzz = gen->nextValue(2);
+
+  result = 0;
+  if (g_sched->queueCount == EXPECTED_QUEUE_COUNT) {
+    if (g_sched->holdCount == EXPECTED_HOLD_COUNT) {
+      result = 1;
+    }
+  }
+  print_str("queueCount=");
+  print_int(g_sched->queueCount);
+  print_str("holdCount=");
+  print_int(g_sched->holdCount);
+  print_str("fuzz=");
+  print_int(fuzz);
+  return result;
+}
+
+int main() {
+  RBench *bench = new RBench();
+  int ok = bench->runBenchmark();
+  print_str("richards ok=");
+  print_int(ok);
+  delete bench;
+  if (ok == 1) {
+    return 0;
+  }
+  return 1;
+}
+)MCC";
+}

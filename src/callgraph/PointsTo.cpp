@@ -1,0 +1,614 @@
+//===-- callgraph/PointsTo.cpp --------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/PointsTo.h"
+
+#include "ast/ASTWalker.h"
+#include "hierarchy/ClassHierarchy.h"
+
+#include <cassert>
+
+using namespace dmm;
+
+PointsToAnalysis::PointsToAnalysis(const ASTContext &Ctx,
+                                   const ClassHierarchy &CH)
+    : Ctx(Ctx), CH(CH) {}
+
+//===----------------------------------------------------------------------===//
+// Union-find with tag and pointee merging
+//===----------------------------------------------------------------------===//
+
+unsigned PointsToAnalysis::makeNode() {
+  unsigned N = static_cast<unsigned>(Parent.size());
+  Parent.push_back(N);
+  Pointee.push_back(0); // 0 = "no pointee yet" (node 0 is a sentinel).
+  ClassTags.emplace_back();
+  FunctionTags.emplace_back();
+  Tainted.push_back(false);
+  return N;
+}
+
+unsigned PointsToAnalysis::find(unsigned N) const {
+  while (Parent[N] != N) {
+    Parent[N] = Parent[Parent[N]];
+    N = Parent[N];
+  }
+  return N;
+}
+
+void PointsToAnalysis::unify(unsigned A, unsigned B) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return;
+  Parent[B] = A;
+  ClassTags[A].insert(ClassTags[B].begin(), ClassTags[B].end());
+  FunctionTags[A].insert(FunctionTags[B].begin(), FunctionTags[B].end());
+  Tainted[A] = Tainted[A] || Tainted[B];
+  unsigned PA = Pointee[A];
+  unsigned PB = Pointee[B];
+  if (PA && PB)
+    unify(PA, PB); // Steensgaard's conditional join.
+  else if (PB)
+    Pointee[A] = PB;
+}
+
+unsigned PointsToAnalysis::pointeeOf(unsigned Loc) {
+  Loc = find(Loc);
+  if (!Pointee[Loc]) {
+    unsigned Fresh = makeNode();
+    Loc = find(Loc); // makeNode may not move roots, but stay safe.
+    Pointee[Loc] = Fresh;
+  }
+  return find(Pointee[find(Loc)]);
+}
+
+void PointsToAnalysis::tagClass(unsigned N, const ClassDecl *CD) {
+  ClassTags[find(N)].insert(CD);
+}
+
+void PointsToAnalysis::tagFunction(unsigned N, const FunctionDecl *FD) {
+  FunctionTags[find(N)].insert(FD);
+}
+
+void PointsToAnalysis::taint(unsigned N) { Tainted[find(N)] = true; }
+
+//===----------------------------------------------------------------------===//
+// Program model nodes
+//===----------------------------------------------------------------------===//
+
+unsigned PointsToAnalysis::varNode(const VarDecl *V) {
+  auto It = DeclNodes.find(V);
+  if (It != DeclNodes.end())
+    return find(It->second);
+  unsigned N = makeNode();
+  DeclNodes[V] = N;
+  // A class-typed variable *is* an object of that (dynamic) class.
+  const Type *Ty = V->type()->nonReferenceType();
+  if (const auto *AT = dyn_cast<ArrayType>(Ty))
+    Ty = AT->element();
+  if (const ClassDecl *CD = Ty->asClassDecl())
+    tagClass(N, CD);
+  return N;
+}
+
+unsigned PointsToAnalysis::fieldNode(const FieldDecl *F) {
+  auto It = DeclNodes.find(F);
+  if (It != DeclNodes.end())
+    return find(It->second);
+  unsigned N = makeNode();
+  DeclNodes[F] = N;
+  const Type *Ty = F->type();
+  if (const auto *AT = dyn_cast<ArrayType>(Ty))
+    Ty = AT->element();
+  if (const ClassDecl *CD = Ty->asClassDecl())
+    tagClass(N, CD);
+  return N;
+}
+
+unsigned PointsToAnalysis::siteNode(const Expr *AllocSite,
+                                    const ClassDecl *CD) {
+  auto It = SiteNodes.find(AllocSite);
+  if (It != SiteNodes.end())
+    return find(It->second);
+  unsigned N = makeNode();
+  SiteNodes[AllocSite] = N;
+  if (CD)
+    tagClass(N, CD);
+  return N;
+}
+
+unsigned PointsToAnalysis::thisNode(const FunctionDecl *Method) {
+  auto It = ThisNodes.find(Method);
+  if (It != ThisNodes.end())
+    return find(It->second);
+  unsigned N = makeNode();
+  ThisNodes[Method] = N;
+  return N;
+}
+
+unsigned PointsToAnalysis::returnNode(const FunctionDecl *FD) {
+  auto It = ReturnNodes.find(FD);
+  if (It != ReturnNodes.end())
+    return find(It->second);
+  unsigned N = makeNode();
+  ReturnNodes[FD] = N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Locations and values
+//===----------------------------------------------------------------------===//
+
+unsigned PointsToAnalysis::locOf(const Expr *E) {
+  auto Cached = ExprLocNodes.find(E);
+  if (Cached != ExprLocNodes.end())
+    return find(Cached->second);
+  unsigned Result = locOfUncached(E);
+  ExprLocNodes[E] = Result;
+  return Result;
+}
+
+unsigned PointsToAnalysis::locOfUncached(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::DeclRef: {
+    const auto *DRE = cast<DeclRefExpr>(E);
+    if (const auto *V = dyn_cast_or_null<VarDecl>(DRE->referent()))
+      return varNode(V);
+    if (const auto *F = dyn_cast_or_null<FieldDecl>(DRE->referent()))
+      return fieldNode(F);
+    break;
+  }
+  case Expr::Kind::Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    if (const auto *F = dyn_cast_or_null<FieldDecl>(ME->member()))
+      return fieldNode(F);
+    break;
+  }
+  case Expr::Kind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    if (UE->op() == UnaryOpKind::Deref)
+      return valueNodeOf(UE->sub());
+    break;
+  }
+  case Expr::Kind::Subscript: {
+    const auto *SE = cast<SubscriptExpr>(E);
+    const Type *BaseTy = SE->base()->type();
+    if (BaseTy && BaseTy->isArray())
+      return locOf(SE->base()); // Elements conflated with the array.
+    return valueNodeOf(SE->base());
+  }
+  case Expr::Kind::Cast:
+    return locOf(cast<CastExpr>(E)->sub());
+  default:
+    break;
+  }
+  unsigned Fresh = makeNode();
+  taint(Fresh);
+  return Fresh;
+}
+
+unsigned PointsToAnalysis::valueNodeOf(const Expr *E) {
+  auto It = ExprValueNodes.find(E);
+  if (It != ExprValueNodes.end())
+    return find(It->second);
+
+  unsigned N = 0;
+  switch (E->kind()) {
+  case Expr::Kind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    if (UE->op() == UnaryOpKind::AddrOf) {
+      // &f for a function.
+      if (const auto *DRE = dyn_cast<DeclRefExpr>(UE->sub()))
+        if (const auto *FD =
+                dyn_cast_or_null<FunctionDecl>(DRE->referent())) {
+          N = makeNode();
+          tagFunction(N, FD);
+          break;
+        }
+      N = locOf(UE->sub());
+      break;
+    }
+    if (UE->op() == UnaryOpKind::Deref || UE->isIncDec()) {
+      if (UE->op() == UnaryOpKind::Deref)
+        N = pointeeOf(locOf(E));
+      else
+        N = valueNodeOf(UE->sub());
+      break;
+    }
+    N = makeNode();
+    break;
+  }
+  case Expr::Kind::DeclRef: {
+    const auto *DRE = cast<DeclRefExpr>(E);
+    if (const auto *FD = dyn_cast_or_null<FunctionDecl>(DRE->referent())) {
+      N = makeNode();
+      tagFunction(N, FD);
+      break;
+    }
+    N = pointeeOf(locOf(E));
+    break;
+  }
+  case Expr::Kind::Member:
+  case Expr::Kind::Subscript:
+    N = pointeeOf(locOf(E));
+    break;
+  case Expr::Kind::MemberPointerAccess: {
+    N = makeNode();
+    taint(N);
+    break;
+  }
+  case Expr::Kind::This:
+    N = thisNode(CurrentFunction);
+    break;
+  case Expr::Kind::New: {
+    const auto *NE = cast<NewExpr>(E);
+    const Type *Ty = NE->allocType();
+    N = siteNode(E, Ty->asClassDecl());
+    break;
+  }
+  case Expr::Kind::Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    N = valueNodeOf(CE->sub());
+    if (CE->safety() == CastSafety::Unrelated)
+      taint(N);
+    break;
+  }
+  case Expr::Kind::Conditional: {
+    const auto *CE = cast<ConditionalExpr>(E);
+    N = makeNode();
+    unify(N, valueNodeOf(CE->thenExpr()));
+    unify(N, valueNodeOf(CE->elseExpr()));
+    break;
+  }
+  case Expr::Kind::Comma:
+    N = valueNodeOf(cast<CommaExpr>(E)->rhs());
+    break;
+  case Expr::Kind::Assign:
+    N = valueNodeOf(cast<AssignExpr>(E)->rhs());
+    break;
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    N = makeNode();
+    for (const FunctionDecl *Callee : possibleCallees(Call))
+      unify(N, returnNode(Callee));
+    if (!Call->directCallee() && possibleCallees(Call).empty())
+      taint(N);
+    break;
+  }
+  case Expr::Kind::Binary: {
+    // Pointer arithmetic (only): the result aliases the pointer
+    // operand(s). Comparisons must NOT unify their operands.
+    const auto *BE = cast<BinaryExpr>(E);
+    N = makeNode();
+    if (BE->op() == BinaryOpKind::Add || BE->op() == BinaryOpKind::Sub) {
+      if (BE->lhs()->type() && (BE->lhs()->type()->isPointer() ||
+                                BE->lhs()->type()->isArray()))
+        unify(N, valueNodeOf(BE->lhs()));
+      if (BE->rhs()->type() && (BE->rhs()->type()->isPointer() ||
+                                BE->rhs()->type()->isArray()))
+        unify(N, valueNodeOf(BE->rhs()));
+    }
+    break;
+  }
+  default:
+    N = makeNode(); // Literals, sizeof, ...: point to nothing.
+    break;
+  }
+
+  ExprValueNodes[E] = N;
+  return find(N);
+}
+
+//===----------------------------------------------------------------------===//
+// Constraints
+//===----------------------------------------------------------------------===//
+
+std::vector<const FunctionDecl *>
+PointsToAnalysis::possibleCallees(const CallExpr *Call) const {
+  std::vector<const FunctionDecl *> Callees;
+  if (const FunctionDecl *Direct = Call->directCallee()) {
+    Callees.push_back(Direct);
+    if (Call->isVirtualCall())
+      if (const auto *M = dyn_cast<MethodDecl>(Direct))
+        for (MethodDecl *Override : CH.overriders(M))
+          Callees.push_back(Override);
+    return Callees;
+  }
+  // Indirect: any defined function of matching arity (conservative; the
+  // refined target set is computed from function tags at query time).
+  for (const FunctionDecl *FD : Ctx.functions())
+    if (FD->kind() == Decl::Kind::Function && FD->isDefined() &&
+        FD->params().size() == Call->args().size())
+      Callees.push_back(FD);
+  return Callees;
+}
+
+void PointsToAnalysis::assignInto(unsigned L, const Expr *RHS) {
+  unify(pointeeOf(L), valueNodeOf(RHS));
+}
+
+void PointsToAnalysis::processCall(const CallExpr *Call) {
+  // Evaluate the callee so later pointeeFunctions queries on this call
+  // site have a cached node (function-pointer loads flow through here).
+  valueNodeOf(Call->callee());
+
+  // Receiver binding.
+  const Expr *ReceiverBase = nullptr;
+  bool Arrow = false;
+  if (const auto *ME = dyn_cast<MemberExpr>(Call->callee())) {
+    ReceiverBase = ME->base();
+    Arrow = ME->isArrow();
+  }
+
+  for (const FunctionDecl *Callee : possibleCallees(Call)) {
+    // Arguments to parameters.
+    for (size_t I = 0;
+         I < Call->args().size() && I < Callee->params().size(); ++I) {
+      const ParamDecl *P = Callee->params()[I];
+      if (P->type()->isReference() || P->type()->asClassDecl())
+        unify(varNode(P), locOf(Call->args()[I]));
+      else
+        assignInto(varNode(P), Call->args()[I]);
+    }
+    // Receiver to `this`.
+    if (const auto *M = dyn_cast<MethodDecl>(Callee)) {
+      (void)M;
+      if (ReceiverBase) {
+        if (Arrow)
+          unify(thisNode(Callee), valueNodeOf(ReceiverBase));
+        else
+          unify(thisNode(Callee), locOf(ReceiverBase));
+      } else if (CurrentFunction &&
+                 isa<MethodDecl>(CurrentFunction)) {
+        // Implicit this call: same receiver as the caller.
+        unify(thisNode(Callee), thisNode(CurrentFunction));
+      }
+    }
+  }
+}
+
+void PointsToAnalysis::processExprTree(const Expr *Root) {
+  forEachExprPreorder(Root, [&](const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::Assign: {
+      const auto *AE = cast<AssignExpr>(E);
+      assignInto(locOf(AE->lhs()), AE->rhs());
+      return;
+    }
+    case Expr::Kind::Call:
+      processCall(cast<CallExpr>(E));
+      return;
+    case Expr::Kind::New: {
+      const auto *NE = cast<NewExpr>(E);
+      const ClassDecl *CD = NE->allocType()->asClassDecl();
+      if (!CD)
+        return;
+      unsigned Site = siteNode(E, CD);
+      const ConstructorDecl *Ctor = NE->constructor();
+      if (Ctor) {
+        unify(thisNode(Ctor), Site);
+        for (size_t I = 0; I < NE->ctorArgs().size() &&
+                           I < Ctor->params().size();
+             ++I) {
+          const ParamDecl *P = Ctor->params()[I];
+          if (P->type()->isReference() || P->type()->asClassDecl())
+            unify(varNode(P), locOf(NE->ctorArgs()[I]));
+          else
+            assignInto(varNode(P), NE->ctorArgs()[I]);
+        }
+      } else {
+        bindImplicitConstruction(Site, CD);
+      }
+      return;
+    }
+    case Expr::Kind::Delete: {
+      // Destructors of every possible dynamic class receive the object.
+      const auto *DE = cast<DeleteExpr>(E);
+      const Type *SubTy = DE->sub()->type();
+      const ClassDecl *Static = nullptr;
+      if (const auto *PT = dyn_cast_or_null<PointerType>(SubTy))
+        Static = PT->pointee()->asClassDecl();
+      if (!Static)
+        return;
+      unsigned V = valueNodeOf(DE->sub());
+      for (const ClassDecl *Dyn : CH.selfAndSubclasses(Static))
+        if (DestructorDecl *Dtor = Dyn->destructor())
+          unify(thisNode(Dtor), V);
+      return;
+    }
+    default:
+      return;
+    }
+  });
+}
+
+void PointsToAnalysis::bindImplicitConstruction(unsigned ObjectNode,
+                                                const ClassDecl *CD) {
+  // Default construction without a declared constructor still runs base
+  // and member constructors; their `this` sees the same object (for
+  // member objects: the member's field node).
+  for (const BaseSpecifier &BS : CD->bases()) {
+    for (ConstructorDecl *BC : BS.Base->constructors())
+      if (BC->params().empty())
+        unify(thisNode(BC), ObjectNode);
+    if (BS.Base->constructors().empty())
+      bindImplicitConstruction(ObjectNode, BS.Base);
+  }
+  for (const FieldDecl *F : CD->fields()) {
+    const Type *Ty = F->type();
+    if (const auto *AT = dyn_cast<ArrayType>(Ty))
+      Ty = AT->element();
+    if (const ClassDecl *Member = Ty->asClassDecl()) {
+      unsigned FieldObj = fieldNode(F);
+      for (ConstructorDecl *MC : Member->constructors())
+        if (MC->params().empty())
+          unify(thisNode(MC), FieldObj);
+      if (Member->constructors().empty())
+        bindImplicitConstruction(FieldObj, Member);
+    }
+  }
+}
+
+void PointsToAnalysis::processStmtTree(const Stmt *Root) {
+  forEachStmtPreorder(Root, [&](const Stmt *S) {
+    if (const auto *DS = dyn_cast<DeclStmt>(S)) {
+      for (const VarDecl *V : DS->vars())
+        processVarDecl(V);
+      return;
+    }
+    if (const auto *RS = dyn_cast<ReturnStmt>(S)) {
+      if (RS->value() && CurrentFunction)
+        unify(returnNode(CurrentFunction), valueNodeOf(RS->value()));
+    }
+    forEachDirectExpr(S, [&](const Expr *E) { processExprTree(E); });
+  });
+}
+
+void PointsToAnalysis::processVarDecl(const VarDecl *V) {
+  unsigned N = varNode(V);
+  if (V->type()->isReference()) {
+    if (V->init())
+      unify(N, locOf(V->init()));
+    return;
+  }
+  if (const Expr *Init = V->init()) {
+    processExprTree(Init);
+    assignInto(N, Init);
+  }
+  const Type *Ty = V->type();
+  if (const auto *AT = dyn_cast<ArrayType>(Ty))
+    Ty = AT->element();
+  if (const ClassDecl *CD = Ty->asClassDecl()) {
+    const ConstructorDecl *Ctor = V->ctor();
+    if (Ctor) {
+      unify(thisNode(Ctor), N);
+      for (size_t I = 0;
+           I < V->ctorArgs().size() && I < Ctor->params().size(); ++I) {
+        processExprTree(V->ctorArgs()[I]);
+        const ParamDecl *P = Ctor->params()[I];
+        if (P->type()->isReference() || P->type()->asClassDecl())
+          unify(varNode(P), locOf(V->ctorArgs()[I]));
+        else
+          assignInto(varNode(P), V->ctorArgs()[I]);
+      }
+    } else {
+      for (const Expr *Arg : V->ctorArgs())
+        processExprTree(Arg);
+      bindImplicitConstruction(N, CD);
+    }
+    // Local/global objects are also destroyed.
+    if (DestructorDecl *Dtor = CD->destructor())
+      unify(thisNode(Dtor), N);
+  }
+}
+
+void PointsToAnalysis::processFunction(const FunctionDecl *FD) {
+  CurrentFunction = FD;
+
+  if (const auto *Ctor = dyn_cast<ConstructorDecl>(FD)) {
+    for (const CtorInitializer &Init : Ctor->initializers()) {
+      for (const Expr *Arg : Init.Args)
+        processExprTree(Arg);
+      if (Init.Base && Init.TargetCtor) {
+        unify(thisNode(Init.TargetCtor), thisNode(Ctor));
+        for (size_t I = 0; I < Init.Args.size() &&
+                           I < Init.TargetCtor->params().size();
+             ++I) {
+          const ParamDecl *P = Init.TargetCtor->params()[I];
+          if (P->type()->isReference() || P->type()->asClassDecl())
+            unify(varNode(P), locOf(Init.Args[I]));
+          else
+            assignInto(varNode(P), Init.Args[I]);
+        }
+      } else if (Init.Field) {
+        if (Init.TargetCtor) {
+          unify(thisNode(Init.TargetCtor), fieldNode(Init.Field));
+          for (size_t I = 0; I < Init.Args.size() &&
+                             I < Init.TargetCtor->params().size();
+               ++I)
+            assignInto(varNode(Init.TargetCtor->params()[I]),
+                       Init.Args[I]);
+        } else if (Init.Args.size() == 1) {
+          assignInto(fieldNode(Init.Field), Init.Args[0]);
+        }
+      }
+    }
+    // Implicitly-constructed bases/members share this object.
+    bindImplicitConstruction(thisNode(Ctor), Ctor->parent());
+  }
+
+  if (const auto *M = dyn_cast<MethodDecl>(FD)) {
+    // A destructor's receiver is whatever its class' constructors saw
+    // (same objects die as were created).
+    if (isa<DestructorDecl>(M))
+      for (ConstructorDecl *Ctor : M->parent()->constructors())
+        unify(thisNode(M), thisNode(Ctor));
+  }
+
+  if (FD->body())
+    processStmtTree(FD->body());
+  CurrentFunction = nullptr;
+}
+
+void PointsToAnalysis::run() {
+  makeNode(); // Node 0: sentinel so "no pointee" can be encoded as 0.
+
+  CurrentFunction = nullptr;
+  for (const VarDecl *GV : Ctx.globals())
+    processVarDecl(GV);
+
+  for (const FunctionDecl *FD : Ctx.functions())
+    processFunction(FD);
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+std::pair<std::set<const ClassDecl *>, bool>
+PointsToAnalysis::locationClasses(const Expr *E) const {
+  auto It = ExprLocNodes.find(E);
+  if (It == ExprLocNodes.end())
+    return {{}, false};
+  unsigned N = find(It->second);
+  if (Tainted[N])
+    return {{}, false};
+  return {ClassTags[N], true};
+}
+
+std::pair<std::set<const ClassDecl *>, bool>
+PointsToAnalysis::pointeeClasses(const Expr *E) const {
+  auto It = ExprValueNodes.find(E);
+  if (It == ExprValueNodes.end())
+    return {{}, false};
+  unsigned N = find(It->second);
+  if (Tainted[N])
+    return {{}, false};
+  return {ClassTags[N], true};
+}
+
+std::pair<std::set<const ClassDecl *>, bool>
+PointsToAnalysis::receiverClasses(const FunctionDecl *Method) const {
+  auto It = ThisNodes.find(Method);
+  if (It == ThisNodes.end())
+    return {{}, false};
+  unsigned N = find(It->second);
+  if (Tainted[N])
+    return {{}, false};
+  return {ClassTags[N], true};
+}
+
+std::pair<std::set<const FunctionDecl *>, bool>
+PointsToAnalysis::pointeeFunctions(const Expr *E) const {
+  auto It = ExprValueNodes.find(E);
+  if (It == ExprValueNodes.end())
+    return {{}, false};
+  unsigned N = find(It->second);
+  if (Tainted[N])
+    return {{}, false};
+  return {FunctionTags[N], true};
+}

@@ -1,0 +1,140 @@
+//===-- callgraph/PointsTo.h - Steensgaard-style points-to ------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A unification-based (Steensgaard) points-to analysis, field-based and
+/// flow-insensitive, in the style of the alias analyses the paper cites
+/// ([15, 17, 20]) when discussing how "a more accurate call graph" can
+/// improve the results (§3.1): knowing that `ap` never points to a `C`
+/// object excludes `C::f` from the graph and lets `C::mc1` be classified
+/// dead.
+///
+/// The abstraction:
+///  - one node per variable, per data member (field-based: all instances
+///    of a member share a node), per allocation site, per function
+///    value, and per method receiver (`this`);
+///  - assignments unify the pointees of both sides; `&x` makes the LHS
+///    pointee the node of `x`;
+///  - nodes carry *class tags* (the dynamic classes of the objects they
+///    may denote) and *function tags* (for function pointers), merged on
+///    unification.
+///
+/// Constructs the abstraction cannot track (pointer-to-member accesses,
+/// unsafe casts' sources) conservatively taint the involved nodes as
+/// "unknown", and queries on tainted nodes return no information — the
+/// call-graph builder then falls back to RTA behaviour for that site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_CALLGRAPH_POINTSTO_H
+#define DMM_CALLGRAPH_POINTSTO_H
+
+#include "ast/ASTContext.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dmm {
+
+class ClassHierarchy;
+
+/// Whole-program Steensgaard points-to information.
+class PointsToAnalysis {
+public:
+  PointsToAnalysis(const ASTContext &Ctx, const ClassHierarchy &CH);
+
+  /// Runs the analysis over the whole program (including unreachable
+  /// code: extra flows only make the result more conservative).
+  void run();
+
+  /// The dynamic classes the *value* of \p E (a pointer expression) may
+  /// reference. Empty optional-style contract: when the second member
+  /// of the pair is false, nothing is known (caller must fall back).
+  std::pair<std::set<const ClassDecl *>, bool>
+  pointeeClasses(const Expr *E) const;
+
+  /// The dynamic classes of the object denoted by lvalue \p E (e.g. the
+  /// base of an `obj.f()` call, which may be a reference binding a
+  /// derived object).
+  std::pair<std::set<const ClassDecl *>, bool>
+  locationClasses(const Expr *E) const;
+
+  /// The dynamic classes `this` may have inside \p Method.
+  std::pair<std::set<const ClassDecl *>, bool>
+  receiverClasses(const FunctionDecl *Method) const;
+
+  /// The functions the value of \p E may address.
+  std::pair<std::set<const FunctionDecl *>, bool>
+  pointeeFunctions(const Expr *E) const;
+
+private:
+  /// \name Union-find nodes
+  /// @{
+  unsigned makeNode();
+  unsigned find(unsigned N) const;
+  void unify(unsigned A, unsigned B);
+  /// The node a location node's content points to (created on demand).
+  unsigned pointeeOf(unsigned Loc);
+  void tagClass(unsigned N, const ClassDecl *CD);
+  void tagFunction(unsigned N, const FunctionDecl *FD);
+  void taint(unsigned N);
+  /// @}
+
+  /// \name Program model nodes
+  /// @{
+  unsigned varNode(const VarDecl *V);
+  unsigned fieldNode(const FieldDecl *F);
+  unsigned siteNode(const Expr *AllocSite, const ClassDecl *CD);
+  unsigned thisNode(const FunctionDecl *Method);
+  unsigned returnNode(const FunctionDecl *FD);
+  /// @}
+
+  /// \name Constraint generation
+  /// @{
+  void processFunction(const FunctionDecl *FD);
+  void processStmtTree(const Stmt *S);
+  void processExprTree(const Expr *E);
+  void processVarDecl(const VarDecl *V);
+  /// Location node of an lvalue expression (fresh tainted node when the
+  /// shape is untrackable). Cached per expression for later queries.
+  unsigned locOf(const Expr *E);
+  unsigned locOfUncached(const Expr *E);
+  /// Node describing what \p E's value may point to (cached per node).
+  unsigned valueNodeOf(const Expr *E);
+  /// Connects location \p L so its content may be \p RHS's value.
+  void assignInto(unsigned L, const Expr *RHS);
+  void processCall(const CallExpr *Call);
+  /// Receivers for implicit base/member construction of \p CD objects.
+  void bindImplicitConstruction(unsigned ObjectNode, const ClassDecl *CD);
+  /// Conservative callee set used while generating constraints.
+  std::vector<const FunctionDecl *>
+  possibleCallees(const CallExpr *Call) const;
+  /// @}
+
+  const ASTContext &Ctx;
+  const ClassHierarchy &CH;
+
+  mutable std::vector<unsigned> Parent;
+  std::vector<unsigned> Pointee; ///< 0 = none (indexed by root, lazily).
+  std::vector<std::set<const ClassDecl *>> ClassTags;
+  std::vector<std::set<const FunctionDecl *>> FunctionTags;
+  std::vector<bool> Tainted;
+
+  std::map<const Decl *, unsigned> DeclNodes;
+  std::map<const Expr *, unsigned> SiteNodes;
+  std::map<const FunctionDecl *, unsigned> ThisNodes;
+  std::map<const FunctionDecl *, unsigned> ReturnNodes;
+  /// Caches answering post-hoc queries about expressions.
+  std::map<const Expr *, unsigned> ExprValueNodes;
+  std::map<const Expr *, unsigned> ExprLocNodes;
+
+  const FunctionDecl *CurrentFunction = nullptr;
+};
+
+} // namespace dmm
+
+#endif // DMM_CALLGRAPH_POINTSTO_H

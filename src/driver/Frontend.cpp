@@ -1,0 +1,48 @@
+//===-- driver/Frontend.cpp -----------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Frontend.h"
+
+#include "parser/Parser.h"
+
+using namespace dmm;
+
+std::unique_ptr<Compilation> dmm::compileProgram(std::vector<SourceFile> Files,
+                                                 std::ostream *DiagOS) {
+  auto C = std::make_unique<Compilation>(DiagOS);
+
+  Parser P(*C->Ctx, C->SM, C->Diags);
+  std::vector<std::pair<uint32_t, bool>> Buffers;
+  for (SourceFile &F : Files) {
+    uint32_t ID = C->SM.addBuffer(std::move(F.Name), std::move(F.Text));
+    C->FileIDs.push_back(ID);
+    if (!F.IsLibrary)
+      C->UserFileIDs.push_back(ID);
+    Buffers.emplace_back(ID, F.IsLibrary);
+  }
+
+  bool ParseOK = true;
+  for (auto [ID, IsLibrary] : Buffers) {
+    size_t ClassesBefore = C->Ctx->classes().size();
+    if (!P.parseBuffer(ID))
+      ParseOK = false;
+    if (IsLibrary)
+      for (size_t I = ClassesBefore; I != C->Ctx->classes().size(); ++I)
+        C->Ctx->classes()[I]->setLibrary();
+  }
+
+  C->TheSema = std::make_unique<Sema>(*C->Ctx, C->Diags);
+  bool SemaOK = C->TheSema->run();
+  C->Success = ParseOK && SemaOK;
+  return C;
+}
+
+std::unique_ptr<Compilation> dmm::compileString(std::string Source,
+                                                std::ostream *DiagOS) {
+  std::vector<SourceFile> Files;
+  Files.push_back({"<input>", std::move(Source), /*IsLibrary=*/false});
+  return compileProgram(std::move(Files), DiagOS);
+}

@@ -1,0 +1,282 @@
+//===-- driver/Main.cpp - The deadmember command-line tool ----------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `deadmember`: parse MiniC++ sources, run the dead-data-member
+/// analysis, and report. Mirrors the paper's tool: static detection plus
+/// the dynamic measurement pipeline (instrumented execution over the
+/// interpreter).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Report.h"
+#include "driver/Frontend.h"
+#include "interp/Interpreter.h"
+#include "trace/DynamicMetrics.h"
+#include "transform/DeadMemberEliminator.h"
+
+#include <cstring>
+#include <set>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dmm;
+
+namespace {
+
+struct DriverOptions {
+  std::vector<SourceFile> Files;
+  AnalysisOptions Analysis;
+  ReportOptions Report;
+  bool ShowStats = false;
+  bool RunProgram = false;
+  bool Measure = false;
+  bool DumpCallGraph = false;
+  bool Eliminate = false;
+  bool Json = false;
+  bool DumpLayout = false;
+  bool Check = false;
+  bool DeadFunctions = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: deadmember [options] <file.mcc>...\n"
+         "\n"
+         "Detects dead data members in MiniC++ programs (Sweeney & Tip,\n"
+         "PLDI 1998).\n"
+         "\n"
+         "options:\n"
+         "  --library <file>        parse <file> as a library (its classes\n"
+         "                           are not classified; paper sec. 3.3)\n"
+         "  --callgraph=<pta|rta|cha|trivial>  call-graph algorithm "
+         "(default rta)\n"
+         "  --baseline               'accessed = live' linter baseline\n"
+         "  --no-dealloc-exempt      delete/free arguments create liveness\n"
+         "  --no-union-closure       disable the union soundness closure\n"
+         "  --sizeof=<ignore|conservative>  sizeof policy (default "
+         "ignore)\n"
+         "  --downcasts=<safe|conservative> down-cast policy (default "
+         "safe)\n"
+         "  --show-live              list live members with their reasons\n"
+         "  --stats                  print Table 1-style characteristics\n"
+         "  --run                    interpret the program\n"
+         "  --measure                interpret and print the dynamic\n"
+         "                           measurements (Table 2 columns)\n"
+         "  --dump-callgraph         list reachable functions\n"
+         "  --eliminate              print the transformed program with\n"
+         "                           dead members and unreachable code\n"
+         "                           removed (to stdout)\n"
+         "  --inert=<name>           assert that function <name> does not\n"
+         "                           observe its arguments (paper fn. 3)\n"
+         "  --json                   emit the classification as JSON\n"
+         "  --dump-layout            print object layouts with offsets\n"
+         "  --check                  execute the program and verify the\n"
+         "                           soundness invariant (every member\n"
+         "                           read at run time is classified "
+         "live)\n"
+         "  --dead-functions         also list unreachable functions\n";
+  return 2;
+}
+
+bool readFile(const char *Path, bool IsLibrary, DriverOptions &Opts) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "error: cannot open '" << Path << "'\n";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Opts.Files.push_back({Path, SS.str(), IsLibrary});
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--library") {
+      if (++I >= Argc) {
+        std::cerr << "error: --library requires a file\n";
+        return false;
+      }
+      if (!readFile(Argv[I], /*IsLibrary=*/true, Opts))
+        return false;
+    } else if (Arg.rfind("--callgraph=", 0) == 0) {
+      std::string Kind = Arg.substr(12);
+      if (Kind == "rta")
+        Opts.Analysis.CallGraph = CallGraphKind::RTA;
+      else if (Kind == "pta")
+        Opts.Analysis.CallGraph = CallGraphKind::PTA;
+      else if (Kind == "cha")
+        Opts.Analysis.CallGraph = CallGraphKind::CHA;
+      else if (Kind == "trivial")
+        Opts.Analysis.CallGraph = CallGraphKind::Trivial;
+      else {
+        std::cerr << "error: unknown call graph kind '" << Kind << "'\n";
+        return false;
+      }
+    } else if (Arg == "--baseline") {
+      Opts.Analysis.TreatWritesAsLive = true;
+    } else if (Arg == "--no-dealloc-exempt") {
+      Opts.Analysis.ExemptDeallocationArgs = false;
+    } else if (Arg == "--no-union-closure") {
+      Opts.Analysis.UnionClosure = false;
+    } else if (Arg == "--sizeof=ignore") {
+      Opts.Analysis.Sizeof = SizeofPolicy::IgnoreAll;
+    } else if (Arg == "--sizeof=conservative") {
+      Opts.Analysis.Sizeof = SizeofPolicy::Conservative;
+    } else if (Arg == "--downcasts=safe") {
+      Opts.Analysis.AssumeDowncastsSafe = true;
+    } else if (Arg == "--downcasts=conservative") {
+      Opts.Analysis.AssumeDowncastsSafe = false;
+    } else if (Arg == "--show-live") {
+      Opts.Report.ShowLiveMembers = true;
+    } else if (Arg == "--stats") {
+      Opts.ShowStats = true;
+    } else if (Arg == "--run") {
+      Opts.RunProgram = true;
+    } else if (Arg == "--measure") {
+      Opts.Measure = true;
+    } else if (Arg == "--dump-callgraph") {
+      Opts.DumpCallGraph = true;
+    } else if (Arg == "--eliminate") {
+      Opts.Eliminate = true;
+    } else if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--dump-layout") {
+      Opts.DumpLayout = true;
+    } else if (Arg == "--check") {
+      Opts.Check = true;
+    } else if (Arg == "--dead-functions") {
+      Opts.DeadFunctions = true;
+    } else if (Arg.rfind("--inert=", 0) == 0) {
+      Opts.Analysis.InertFunctions.insert(Arg.substr(8));
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown option '" << Arg << "'\n";
+      return false;
+    } else if (!readFile(Argv[I], /*IsLibrary=*/false, Opts)) {
+      return false;
+    }
+  }
+  return !Opts.Files.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+
+  auto C = compileProgram(std::move(Opts.Files), &std::cerr);
+  if (!C->Success)
+    return 1;
+
+  DeadMemberAnalysis Analysis(C->context(), C->hierarchy(), Opts.Analysis);
+  DeadMemberResult Result = Analysis.run(C->mainFunction());
+
+  if (Opts.Eliminate) {
+    EliminationResult Elim = eliminateDeadMembers(C->context(), Result,
+                                                  Analysis.callGraph());
+    std::cerr << "removed " << Elim.Removed.size() << " dead members ("
+              << Elim.Kept.size() << " kept), stripped "
+              << Elim.RemovedFunctions.size()
+              << " unreachable function bodies\n";
+    std::cout << Elim.Source;
+    return 0;
+  }
+
+  if (Opts.Json)
+    printJsonReport(std::cout, C->context(), Result, &C->SM);
+  else
+    printMemberReport(std::cout, C->context(), Result, &C->SM, Opts.Report);
+
+  if (Opts.DumpLayout) {
+    std::cout << "\n";
+    printLayoutReport(std::cout, C->context(), C->hierarchy(), Result);
+  }
+
+  if (Opts.ShowStats) {
+    ProgramStats Stats = computeProgramStats(C->context(), Result, &C->SM,
+                                             C->UserFileIDs);
+    std::cout << "\n";
+    printStatsReport(std::cout, Stats);
+  }
+
+  if (Opts.DeadFunctions) {
+    std::cout << "\n";
+    printDeadFunctionReport(std::cout, C->context(), Analysis.callGraph(),
+                            &C->SM);
+  }
+
+  if (Opts.DumpCallGraph) {
+    std::cout << "\nreachable functions ("
+              << callGraphKindName(Opts.Analysis.CallGraph) << "):\n";
+    for (const FunctionDecl *FD : Analysis.callGraph().reachableFunctions())
+      std::cout << "  " << FD->qualifiedName() << "\n";
+  }
+
+  if (Opts.Check) {
+    std::set<const FieldDecl *> Reads;
+    InterpOptions IO;
+    IO.ReadSet = &Reads;
+    Interpreter Interp(C->context(), C->hierarchy(), IO);
+    ExecResult Exec = Interp.run(C->mainFunction());
+    if (!Exec.Completed) {
+      std::cerr << "runtime error: " << Exec.Error << "\n";
+      return 1;
+    }
+    unsigned Violations = 0;
+    for (const FieldDecl *F : Reads)
+      if (Result.isDead(F)) {
+        ++Violations;
+        std::cout << "UNSOUND: " << F->qualifiedName()
+                  << " was read at run time but classified dead\n";
+      }
+    std::cout << "soundness check: " << Reads.size()
+              << " members dynamically read, " << Violations
+              << " violations"
+              << (Violations == 0 ? " (OK)" : " (FAILED)") << "\n";
+    if (Violations)
+      return 1;
+  }
+
+  if (Opts.RunProgram || Opts.Measure) {
+    AllocationTrace Trace;
+    InterpOptions IO;
+    IO.Trace = &Trace;
+    Interpreter Interp(C->context(), C->hierarchy(), IO);
+    ExecResult Exec = Interp.run(C->mainFunction());
+    if (!Exec.Completed) {
+      std::cerr << "runtime error: " << Exec.Error << "\n";
+      return 1;
+    }
+    if (Opts.RunProgram) {
+      std::cout << "\n--- program output ---\n"
+                << Exec.Output << "--- exit code " << Exec.ExitCode
+                << " ---\n";
+    }
+    if (Opts.Measure) {
+      LayoutEngine Layout(C->hierarchy());
+      DynamicMetrics M =
+          computeDynamicMetrics(Trace, Layout, Result.deadSet());
+      std::cout << "\ndynamic measurements:\n"
+                << "  object space:           " << M.ObjectSpace
+                << " bytes (" << M.NumObjects << " objects)\n"
+                << "  dead data member space: " << M.DeadMemberSpace
+                << " bytes (" << M.deadSpacePercent() << "%)\n"
+                << "  high water mark:        " << M.HighWaterMark
+                << " bytes\n"
+                << "  high water mark w/o dead members: "
+                << M.HighWaterMarkNoDead << " bytes ("
+                << M.highWaterMarkReductionPercent() << "% reduction)\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===-- interp/Memory.h - Interpreter storage model -------------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage nodes for the interpreter: scalars, class instances, and
+/// arrays. Scalar storages owned by a data member record that member, so
+/// every dynamic read/write can be attributed to a FieldDecl — the hook
+/// the soundness property tests and the dynamic dead-space measurements
+/// rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_INTERP_MEMORY_H
+#define DMM_INTERP_MEMORY_H
+
+#include "ast/Decl.h"
+#include "interp/Value.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace dmm {
+
+/// One storage node. A tagged union of scalar / object / array.
+struct Storage {
+  enum class SK { Scalar, Object, Array };
+
+  SK Kind = SK::Scalar;
+
+  /// The data member this storage (or aggregate) realizes, when it is a
+  /// field subobject; null for locals, globals, temporaries, and array
+  /// elements.
+  const FieldDecl *OwnerField = nullptr;
+
+  /// Scalar payload.
+  Value V;
+
+  /// Object payload.
+  const ClassDecl *Class = nullptr;
+  std::unordered_map<const FieldDecl *, Storage *> Fields;
+  /// Identity of the complete object this node belongs to (for trace
+  /// attribution); 0 when not part of a traced object.
+  uint64_t ObjectID = 0;
+
+  /// Array payload.
+  const Type *ElemType = nullptr;
+  std::vector<Storage *> Elems;
+
+  bool Alive = true; ///< Cleared on delete / scope exit (use-after-free
+                     ///< detection).
+};
+
+/// Owns all Storage nodes of one execution; addresses are stable.
+class MemoryArena {
+public:
+  Storage *createScalar(const FieldDecl *Owner = nullptr) {
+    Storage &S = Nodes.emplace_back();
+    S.Kind = Storage::SK::Scalar;
+    S.OwnerField = Owner;
+    return &S;
+  }
+
+  Storage *createObject(const ClassDecl *CD,
+                        const FieldDecl *Owner = nullptr) {
+    Storage &S = Nodes.emplace_back();
+    S.Kind = Storage::SK::Object;
+    S.Class = CD;
+    S.OwnerField = Owner;
+    return &S;
+  }
+
+  Storage *createArray(const Type *ElemType,
+                       const FieldDecl *Owner = nullptr) {
+    Storage &S = Nodes.emplace_back();
+    S.Kind = Storage::SK::Array;
+    S.ElemType = ElemType;
+    S.OwnerField = Owner;
+    return &S;
+  }
+
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  std::deque<Storage> Nodes;
+};
+
+} // namespace dmm
+
+#endif // DMM_INTERP_MEMORY_H

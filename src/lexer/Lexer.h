@@ -1,0 +1,65 @@
+//===-- lexer/Lexer.h - MiniC++ lexer ---------------------------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the MiniC++ subset. Produces a stream of Tokens;
+/// comments and whitespace are skipped. Malformed literals are reported via
+/// the DiagnosticsEngine and yield Unknown tokens, which the parser treats
+/// as hard errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_LEXER_LEXER_H
+#define DMM_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace dmm {
+
+class DiagnosticsEngine;
+class SourceManager;
+
+/// Converts one source buffer into tokens.
+class Lexer {
+public:
+  /// \param FileID buffer to lex, previously registered with \p SM.
+  Lexer(const SourceManager &SM, uint32_t FileID, DiagnosticsEngine &Diags);
+
+  /// Lexes and returns the next token; returns EndOfFile forever at the end.
+  Token lex();
+
+  /// Lexes the whole buffer (convenience for tests). The trailing
+  /// EndOfFile token is included.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned LookAhead = 0) const;
+  char advance();
+  bool match(char Expected);
+  SourceLocation curLoc() const;
+  void skipTrivia();
+
+  Token makeToken(TokenKind Kind, uint32_t Begin);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+  /// Decodes an escape sequence after the backslash; returns the character.
+  char lexEscape();
+
+  const SourceManager &SM;
+  DiagnosticsEngine &Diags;
+  std::string_view Text;
+  uint32_t FileID;
+  uint32_t Pos = 0;
+};
+
+} // namespace dmm
+
+#endif // DMM_LEXER_LEXER_H

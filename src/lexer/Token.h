@@ -1,0 +1,136 @@
+//===-- lexer/Token.h - MiniC++ tokens --------------------------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the Lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_LEXER_TOKEN_H
+#define DMM_LEXER_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+
+namespace dmm {
+
+/// All token kinds of the MiniC++ subset.
+enum class TokenKind {
+  EndOfFile,
+  Unknown,
+
+  Identifier,
+  IntLiteral,
+  DoubleLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwClass,
+  KwStruct,
+  KwUnion,
+  KwPublic,
+  KwPrivate,
+  KwProtected,
+  KwVirtual,
+  KwVolatile,
+  KwConst,
+  KwVoid,
+  KwBool,
+  KwChar,
+  KwInt,
+  KwDouble,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwNew,
+  KwDelete,
+  KwThis,
+  KwSizeof,
+  KwStaticCast,
+  KwReinterpretCast,
+  KwTrue,
+  KwFalse,
+  KwNullptr,
+
+  // Punctuation and operators.
+  LBrace,       // {
+  RBrace,       // }
+  LParen,       // (
+  RParen,       // )
+  LBracket,     // [
+  RBracket,     // ]
+  Semi,         // ;
+  Comma,        // ,
+  Colon,        // :
+  ColonColon,   // ::
+  Period,       // .
+  Arrow,        // ->
+  PeriodStar,   // .*
+  ArrowStar,    // ->*
+  Amp,          // &
+  AmpAmp,       // &&
+  Pipe,         // |
+  PipePipe,     // ||
+  Caret,        // ^
+  Tilde,        // ~
+  Exclaim,      // !
+  Plus,         // +
+  Minus,        // -
+  Star,         // *
+  Slash,        // /
+  Percent,      // %
+  Equal,        // =
+  EqualEqual,   // ==
+  ExclaimEqual, // !=
+  Less,         // <
+  Greater,      // >
+  LessEqual,    // <=
+  GreaterEqual, // >=
+  LessLess,     // <<
+  GreaterGreater, // >>
+  PlusEqual,    // +=
+  MinusEqual,   // -=
+  StarEqual,    // *=
+  SlashEqual,   // /=
+  PercentEqual, // %=
+  PlusPlus,     // ++
+  MinusMinus,   // --
+  Question,     // ?
+};
+
+/// Returns a stable display name for \p Kind (e.g. "'::'" or "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// A lexed token. Text points into the SourceManager's buffer.
+struct Token {
+  TokenKind Kind = TokenKind::Unknown;
+  SourceLocation Loc;
+  std::string_view Text;
+
+  /// Decoded literal payloads (valid per Kind).
+  long long IntValue = 0;
+  double DoubleValue = 0.0;
+  std::string StringValue; ///< For string/char literals, after unescaping.
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+  bool isOneOf(TokenKind K1, TokenKind K2) const { return is(K1) || is(K2); }
+  template <typename... Ts>
+  bool isOneOf(TokenKind K1, TokenKind K2, Ts... Ks) const {
+    return is(K1) || isOneOf(K2, Ks...);
+  }
+};
+
+} // namespace dmm
+
+#endif // DMM_LEXER_TOKEN_H

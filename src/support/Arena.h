@@ -1,0 +1,83 @@
+//===-- support/Arena.h - Bump-pointer allocator ----------------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena used by ASTContext. AST nodes are allocated
+/// here and destroyed all at once when the context dies; nodes must be
+/// trivially destructible or own no resources beyond arena memory.
+/// (Our AST nodes hold std::string/std::vector, so the arena tracks and
+/// runs destructors for registered objects.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_SUPPORT_ARENA_H
+#define DMM_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace dmm {
+
+/// Bump allocator with destructor tracking.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  ~Arena() {
+    // Run destructors in reverse allocation order.
+    for (auto It = Dtors.rbegin(), E = Dtors.rend(); It != E; ++It)
+      It->Fn(It->Obj);
+  }
+
+  /// Allocates and constructs a T; its destructor runs when the arena dies.
+  template <typename T, typename... Args> T *create(Args &&...A) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    T *Obj = new (Mem) T(std::forward<Args>(A)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Dtors.push_back({Obj, [](void *P) { static_cast<T *>(P)->~T(); }});
+    return Obj;
+  }
+
+  /// Total bytes handed out (for statistics).
+  size_t bytesAllocated() const { return Allocated; }
+
+private:
+  void *allocate(size_t Size, size_t Align) {
+    size_t Aligned = (Cur + Align - 1) & ~(Align - 1);
+    if (Aligned + Size > End) {
+      size_t SlabSize = std::max<size_t>(DefaultSlabSize, Size + Align);
+      Slabs.push_back(std::make_unique<char[]>(SlabSize));
+      Cur = reinterpret_cast<uintptr_t>(Slabs.back().get());
+      End = Cur + SlabSize;
+      Aligned = (Cur + Align - 1) & ~(Align - 1);
+    }
+    Cur = Aligned + Size;
+    Allocated += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  static constexpr size_t DefaultSlabSize = 64 * 1024;
+
+  struct DtorRecord {
+    void *Obj;
+    void (*Fn)(void *);
+  };
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  std::vector<DtorRecord> Dtors;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t Allocated = 0;
+};
+
+} // namespace dmm
+
+#endif // DMM_SUPPORT_ARENA_H

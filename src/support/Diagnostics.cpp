@@ -1,0 +1,45 @@
+//===-- support/Diagnostics.cpp -------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <sstream>
+
+using namespace dmm;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticsEngine::format(const Diagnostic &D) const {
+  std::ostringstream SS;
+  PresumedLoc P = SM.presumedLoc(D.Loc);
+  if (P.isValid())
+    SS << P.Filename << ":" << P.Line << ":" << P.Column << ": ";
+  SS << kindName(D.Kind) << ": " << D.Message;
+  return SS.str();
+}
+
+void DiagnosticsEngine::report(DiagKind Kind, SourceLocation Loc,
+                               std::string Message) {
+  Diagnostic D{Kind, Loc, std::move(Message)};
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+  else if (Kind == DiagKind::Warning)
+    ++NumWarnings;
+  if (OS)
+    *OS << format(D) << "\n";
+  Diags.push_back(std::move(D));
+}

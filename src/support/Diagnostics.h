@@ -1,0 +1,77 @@
+//===-- support/Diagnostics.h - Diagnostic engine ---------------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error/warning/note reporting for the MiniC++ frontend and the analysis
+/// driver. Diagnostics are collected and optionally echoed to a stream so
+/// tests can assert on exact messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_SUPPORT_DIAGNOSTICS_H
+#define DMM_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmm {
+
+class SourceManager;
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for a compilation.
+///
+/// Messages follow the LLVM style: lowercase first letter, no trailing
+/// period.
+class DiagnosticsEngine {
+public:
+  explicit DiagnosticsEngine(const SourceManager &SM, std::ostream *OS = nullptr)
+      : SM(SM), OS(OS) {}
+
+  void error(SourceLocation Loc, std::string Message) {
+    report(DiagKind::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLocation Loc, std::string Message) {
+    report(DiagKind::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLocation Loc, std::string Message) {
+    report(DiagKind::Note, Loc, std::move(Message));
+  }
+
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+  bool hasErrors() const { return NumErrors != 0; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders \p D as "file:line:col: severity: message".
+  std::string format(const Diagnostic &D) const;
+
+private:
+  void report(DiagKind Kind, SourceLocation Loc, std::string Message);
+
+  const SourceManager &SM;
+  std::ostream *OS;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace dmm
+
+#endif // DMM_SUPPORT_DIAGNOSTICS_H

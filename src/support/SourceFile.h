@@ -1,0 +1,31 @@
+//===-- support/SourceFile.h - Named source buffer --------------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A named in-memory source buffer, produced by file loading or by the
+/// benchmark synthesizer and consumed by the frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_SUPPORT_SOURCEFILE_H
+#define DMM_SUPPORT_SOURCEFILE_H
+
+#include <string>
+
+namespace dmm {
+
+/// One named source buffer.
+struct SourceFile {
+  std::string Name;
+  std::string Text;
+  /// Classes defined in this file are library classes (paper sec. 3.3):
+  /// the analysis will not classify their members.
+  bool IsLibrary = false;
+};
+
+} // namespace dmm
+
+#endif // DMM_SUPPORT_SOURCEFILE_H

@@ -1,0 +1,63 @@
+//===-- support/SourceLocation.h - Source positions -------------*- C++ -*-==//
+//
+// Part of the deadmember project: a reproduction of Sweeney & Tip,
+// "A Study of Dead Data Members in C++ Applications", PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source coordinates used by the lexer, parser, diagnostics,
+/// and analysis reports. A SourceLocation identifies a (file, offset) pair;
+/// the SourceManager maps it back to line/column for display.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_SUPPORT_SOURCELOCATION_H
+#define DMM_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+
+namespace dmm {
+
+/// Identifies a position in a source file registered with a SourceManager.
+///
+/// FileID 0 with Offset 0 is the invalid (unknown) location, used for
+/// synthesized constructs such as generated benchmark programs' implicit
+/// declarations.
+class SourceLocation {
+public:
+  SourceLocation() = default;
+  SourceLocation(uint32_t FileID, uint32_t Offset)
+      : File(FileID), Off(Offset) {}
+
+  bool isValid() const { return File != 0; }
+  uint32_t fileID() const { return File; }
+  uint32_t offset() const { return Off; }
+
+  friend bool operator==(SourceLocation A, SourceLocation B) {
+    return A.File == B.File && A.Off == B.Off;
+  }
+  friend bool operator!=(SourceLocation A, SourceLocation B) {
+    return !(A == B);
+  }
+
+private:
+  uint32_t File = 0;
+  uint32_t Off = 0;
+};
+
+/// A half-open range [Begin, End) of source text.
+struct SourceRange {
+  SourceLocation Begin;
+  SourceLocation End;
+
+  SourceRange() = default;
+  SourceRange(SourceLocation B, SourceLocation E) : Begin(B), End(E) {}
+  explicit SourceRange(SourceLocation Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace dmm
+
+#endif // DMM_SUPPORT_SOURCELOCATION_H

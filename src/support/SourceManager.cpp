@@ -1,0 +1,70 @@
+//===-- support/SourceManager.cpp -----------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dmm;
+
+uint32_t SourceManager::addBuffer(std::string Name, std::string Text) {
+  Buffer B;
+  B.Name = std::move(Name);
+  B.Text = std::move(Text);
+  B.LineStarts.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(B.Text.size()); I != E; ++I)
+    if (B.Text[I] == '\n')
+      B.LineStarts.push_back(I + 1);
+  Buffers.push_back(std::move(B));
+  return static_cast<uint32_t>(Buffers.size()); // 1-based.
+}
+
+std::string_view SourceManager::bufferText(uint32_t FileID) const {
+  assert(FileID >= 1 && FileID <= Buffers.size() && "bad FileID");
+  return Buffers[FileID - 1].Text;
+}
+
+std::string_view SourceManager::bufferName(uint32_t FileID) const {
+  assert(FileID >= 1 && FileID <= Buffers.size() && "bad FileID");
+  return Buffers[FileID - 1].Name;
+}
+
+PresumedLoc SourceManager::presumedLoc(SourceLocation Loc) const {
+  if (!Loc.isValid() || Loc.fileID() > Buffers.size())
+    return PresumedLoc();
+  const Buffer &B = Buffers[Loc.fileID() - 1];
+  // Find the last line start <= offset.
+  auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(),
+                             Loc.offset());
+  assert(It != B.LineStarts.begin() && "line table starts at offset 0");
+  unsigned Line = static_cast<unsigned>(It - B.LineStarts.begin());
+  uint32_t LineStart = *(It - 1);
+  PresumedLoc P;
+  P.Filename = B.Name;
+  P.Line = Line;
+  P.Column = Loc.offset() - LineStart + 1;
+  return P;
+}
+
+unsigned SourceManager::countCodeLines(uint32_t FileID) const {
+  std::string_view Text = bufferText(FileID);
+  unsigned Count = 0;
+  bool LineHasCode = false;
+  for (char C : Text) {
+    if (C == '\n') {
+      if (LineHasCode)
+        ++Count;
+      LineHasCode = false;
+      continue;
+    }
+    if (C != ' ' && C != '\t' && C != '\r')
+      LineHasCode = true;
+  }
+  if (LineHasCode)
+    ++Count;
+  return Count;
+}

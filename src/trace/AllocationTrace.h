@@ -1,0 +1,77 @@
+//===-- trace/AllocationTrace.h - Object allocation trace -------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic-trace substrate. The paper obtained its dynamic numbers
+/// "by a combination of code instrumentation and analysis of a dynamic
+/// trace of the execution" (§4, ref [14]); our interpreter records an
+/// equivalent trace of object allocations and deallocations, with logical
+/// timestamps, which trace/DynamicMetrics.h analyzes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_TRACE_ALLOCATIONTRACE_H
+#define DMM_TRACE_ALLOCATIONTRACE_H
+
+#include "ast/Decl.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dmm {
+
+/// One allocation or deallocation of a (possibly array of) complete
+/// object(s).
+struct TraceEvent {
+  enum class EK { Alloc, Free };
+  EK Kind;
+  uint64_t ObjectID;
+  const ClassDecl *Class;
+  uint64_t Count; ///< Number of complete objects (array-new extent).
+  uint64_t Bytes; ///< Total bytes = Count * sizeof(complete object).
+  uint64_t Time;  ///< Logical timestamp (event order).
+};
+
+/// An append-only execution trace.
+class AllocationTrace {
+public:
+  /// Records an allocation and returns its object ID.
+  uint64_t recordAlloc(const ClassDecl *CD, uint64_t Count, uint64_t Bytes) {
+    uint64_t ID = NextID++;
+    Events.push_back(
+        {TraceEvent::EK::Alloc, ID, CD, Count, Bytes, NextTime++});
+    LiveIndex[ID] = Events.size() - 1;
+    return ID;
+  }
+
+  /// Records the deallocation of \p ObjectID. Double frees and unknown
+  /// IDs are ignored (the interpreter reports them separately).
+  void recordFree(uint64_t ObjectID) {
+    auto It = LiveIndex.find(ObjectID);
+    if (It == LiveIndex.end())
+      return;
+    const TraceEvent &Alloc = Events[It->second];
+    Events.push_back({TraceEvent::EK::Free, ObjectID, Alloc.Class,
+                      Alloc.Count, Alloc.Bytes, NextTime++});
+    LiveIndex.erase(It);
+  }
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Number of objects never freed (alive at end of execution).
+  size_t numLeaked() const { return LiveIndex.size(); }
+
+private:
+  std::vector<TraceEvent> Events;
+  std::unordered_map<uint64_t, size_t> LiveIndex;
+  uint64_t NextID = 1;
+  uint64_t NextTime = 0;
+};
+
+} // namespace dmm
+
+#endif // DMM_TRACE_ALLOCATIONTRACE_H

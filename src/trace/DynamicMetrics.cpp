@@ -1,0 +1,40 @@
+//===-- trace/DynamicMetrics.cpp ------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/DynamicMetrics.h"
+
+#include <algorithm>
+
+using namespace dmm;
+
+DynamicMetrics dmm::computeDynamicMetrics(const AllocationTrace &Trace,
+                                          const LayoutEngine &Layout,
+                                          const FieldSet &Dead) {
+  DynamicMetrics M;
+  uint64_t LiveBytes = 0;
+  uint64_t LiveShrunkBytes = 0;
+
+  for (const TraceEvent &E : Trace.events()) {
+    uint64_t DeadPer = Layout.deadBytes(E.Class, Dead);
+    uint64_t ShrunkPer = Layout.sizeWithoutDead(E.Class, Dead);
+    uint64_t Shrunk = E.Count * ShrunkPer;
+
+    if (E.Kind == TraceEvent::EK::Alloc) {
+      M.ObjectSpace += E.Bytes;
+      M.DeadMemberSpace += E.Count * DeadPer;
+      M.NumObjects += E.Count;
+      LiveBytes += E.Bytes;
+      LiveShrunkBytes += Shrunk;
+      M.HighWaterMark = std::max(M.HighWaterMark, LiveBytes);
+      M.HighWaterMarkNoDead =
+          std::max(M.HighWaterMarkNoDead, LiveShrunkBytes);
+      continue;
+    }
+    LiveBytes -= std::min(LiveBytes, E.Bytes);
+    LiveShrunkBytes -= std::min(LiveShrunkBytes, Shrunk);
+  }
+  return M;
+}

@@ -1,0 +1,62 @@
+//===-- trace/DynamicMetrics.h - Table 2 / Figure 4 metrics -----*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the paper's dynamic measurements from an allocation trace,
+/// the object-layout model, and a dead-member set:
+///
+///  - Object Space: bytes occupied by objects throughout execution
+///    (Table 2 col. 1);
+///  - Dead Data Member Space: bytes within those objects occupied by dead
+///    members (Table 2 col. 2, Figure 4 light bars);
+///  - High Water Mark: maximum bytes occupied by simultaneously live
+///    objects (Table 2 col. 3);
+///  - High Water Mark without dead members: the maximum after re-laying
+///    objects out without their dead members (Table 2 col. 4, Figure 4
+///    dark bars). The two maxima may occur at different execution points
+///    (paper §4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_TRACE_DYNAMICMETRICS_H
+#define DMM_TRACE_DYNAMICMETRICS_H
+
+#include "hierarchy/ObjectLayout.h"
+#include "trace/AllocationTrace.h"
+
+namespace dmm {
+
+/// The dynamic measurements for one execution.
+struct DynamicMetrics {
+  uint64_t ObjectSpace = 0;
+  uint64_t DeadMemberSpace = 0;
+  uint64_t HighWaterMark = 0;
+  uint64_t HighWaterMarkNoDead = 0;
+  uint64_t NumObjects = 0;
+
+  double deadSpacePercent() const {
+    return ObjectSpace ? 100.0 * static_cast<double>(DeadMemberSpace) /
+                             static_cast<double>(ObjectSpace)
+                       : 0.0;
+  }
+  double highWaterMarkReductionPercent() const {
+    return HighWaterMark
+               ? 100.0 *
+                     static_cast<double>(HighWaterMark -
+                                         HighWaterMarkNoDead) /
+                     static_cast<double>(HighWaterMark)
+               : 0.0;
+  }
+};
+
+/// Replays \p Trace against \p Layout and \p Dead.
+DynamicMetrics computeDynamicMetrics(const AllocationTrace &Trace,
+                                     const LayoutEngine &Layout,
+                                     const FieldSet &Dead);
+
+} // namespace dmm
+
+#endif // DMM_TRACE_DYNAMICMETRICS_H

@@ -1,0 +1,304 @@
+//===-- transform/DeadMemberEliminator.cpp --------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/DeadMemberEliminator.h"
+
+#include "ast/ASTWalker.h"
+
+#include <map>
+
+using namespace dmm;
+
+namespace {
+
+/// True when evaluating \p E has no side effects and cannot abort
+/// (conservative: calls, allocation, assignment, increments, division,
+/// and remainder are impure — the last two so that a division-by-zero
+/// fault is never optimized away).
+bool isPure(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::DoubleLiteral:
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::CharLiteral:
+  case Expr::Kind::StringLiteral:
+  case Expr::Kind::NullptrLiteral:
+  case Expr::Kind::DeclRef:
+  case Expr::Kind::This:
+  case Expr::Kind::MemberPointerConstant:
+  case Expr::Kind::Sizeof:
+    return true;
+  case Expr::Kind::Call:
+  case Expr::Kind::New:
+  case Expr::Kind::Delete:
+  case Expr::Kind::Assign:
+    return false;
+  case Expr::Kind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    if (UE->isIncDec())
+      return false;
+    return isPure(UE->sub());
+  }
+  case Expr::Kind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    if (BE->op() == BinaryOpKind::Div || BE->op() == BinaryOpKind::Rem)
+      return false;
+    return isPure(BE->lhs()) && isPure(BE->rhs());
+  }
+  default: {
+    bool Pure = true;
+    forEachChildExpr(E, [&](const Expr *Child) { Pure &= isPure(Child); });
+    return Pure;
+  }
+  }
+}
+
+/// The dead field directly accessed by \p E (MemberExpr or implicit-this
+/// DeclRef), if any.
+const FieldDecl *fieldAccess(const Expr *E) {
+  if (const auto *ME = dyn_cast<MemberExpr>(E))
+    return dyn_cast_or_null<FieldDecl>(ME->member());
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+    return dyn_cast_or_null<FieldDecl>(DRE->referent());
+  return nullptr;
+}
+
+const Expr *stripCasts(const Expr *E) {
+  while (const auto *CE = dyn_cast<CastExpr>(E))
+    E = CE->sub();
+  return E;
+}
+
+/// Decides, for every statement in kept code, whether a dead-member
+/// occurrence can be transformed away; fields with untransformable
+/// occurrences are demoted to "kept".
+class RemovalPlanner {
+public:
+  RemovalPlanner(const ASTContext &Ctx, const DeadMemberResult &Result,
+                 const CallGraph &Graph)
+      : Ctx(Ctx), Result(Result), Graph(Graph) {}
+
+  void plan() {
+    // Unreachable non-builtin function bodies are stripped (their
+    // declarations remain, so nothing statically referenced dangles).
+    for (const FunctionDecl *FD : Ctx.functions())
+      if (!FD->isBuiltin() && FD->isDefined() && !Graph.isReachable(FD))
+        RemovedFunctions.insert(FD);
+
+    for (const FunctionDecl *FD : Ctx.functions()) {
+      if (RemovedFunctions.count(FD) || FD->isBuiltin())
+        continue;
+      planFunction(FD);
+    }
+    for (const VarDecl *GV : Ctx.globals()) {
+      if (const Expr *Init = GV->init())
+        noteResidualOccurrences(Init);
+      for (const Expr *Arg : GV->ctorArgs())
+        noteResidualOccurrences(Arg);
+    }
+
+    // Demote: anything with a blocked occurrence stays; its planned
+    // statement rewrites are cancelled at print time by checking
+    // membership in Removed.
+    for (const FieldDecl *F : Result.deadMembers())
+      if (!Blocked.count(F))
+        Removed.insert(F);
+  }
+
+  const std::set<const FieldDecl *> &removed() const { return Removed; }
+  const std::set<const FieldDecl *> &blocked() const { return Blocked; }
+  const std::set<const FunctionDecl *> &removedFunctions() const {
+    return RemovedFunctions;
+  }
+  /// Field whose removal the action is contingent on, per statement.
+  const std::map<const Stmt *,
+                 std::pair<const FieldDecl *, SourcePrinter::StmtAction>> &
+  stmtPlans() const {
+    return StmtPlans;
+  }
+  /// Ctor initializers droppable when their field is removed.
+  const std::set<const CtorInitializer *> &droppableInits() const {
+    return DroppableInits;
+  }
+
+private:
+  void planFunction(const FunctionDecl *FD) {
+    if (const auto *Ctor = dyn_cast<ConstructorDecl>(FD)) {
+      for (const CtorInitializer &Init : Ctor->initializers()) {
+        if (Init.Field && Result.isDead(Init.Field)) {
+          bool ArgsPure = true;
+          for (const Expr *Arg : Init.Args)
+            ArgsPure &= isPure(Arg);
+          if (ArgsPure) {
+            DroppableInits.insert(&Init);
+            continue;
+          }
+          Blocked.insert(Init.Field);
+        }
+        for (const Expr *Arg : Init.Args)
+          noteResidualOccurrences(Arg);
+      }
+    }
+    if (!FD->body())
+      return;
+    forEachStmtPreorder(FD->body(),
+                        [&](const Stmt *S) { planStmt(S); });
+  }
+
+  void planStmt(const Stmt *S) {
+    const auto *ES = dyn_cast<ExprStmt>(S);
+    if (!ES) {
+      forEachDirectExpr(S, [&](const Expr *E) {
+        noteResidualOccurrences(E);
+      });
+      return;
+    }
+    const Expr *E = ES->expr();
+
+    // `target = rhs;` where target is a dead member.
+    if (const auto *AE = dyn_cast<AssignExpr>(E)) {
+      const FieldDecl *F = fieldAccess(AE->lhs());
+      if (F && Result.isDead(F) && !AE->isCompound()) {
+        const Expr *Base =
+            isa<MemberExpr>(AE->lhs()) ? cast<MemberExpr>(AE->lhs())->base()
+                                       : nullptr;
+        bool BasePure = !Base || isPure(Base);
+        if (BasePure && isPure(AE->rhs())) {
+          StmtPlans[S] = {F, SourcePrinter::StmtAction::Drop};
+        } else if (BasePure) {
+          StmtPlans[S] = {F, SourcePrinter::StmtAction::RhsOnly};
+          noteResidualOccurrences(AE->rhs());
+        } else {
+          Blocked.insert(F);
+          noteResidualOccurrences(E);
+          return;
+        }
+        // The dropped side may still mention other dead members
+        // (e.g. `a.dead1 = a.dead2 ... ` cannot happen for reads, but
+        // the base chain may contain live members only). Scan the base
+        // for residual occurrences of *other* dead members.
+        if (Base)
+          noteResidualOccurrencesExcept(Base, nullptr);
+        return;
+      }
+    }
+
+    // `delete m;` / `free(m);` where m is a dead member.
+    const Expr *DeallocArg = nullptr;
+    if (const auto *DE = dyn_cast<DeleteExpr>(E)) {
+      DeallocArg = DE->sub();
+    } else if (const auto *Call = dyn_cast<CallExpr>(E)) {
+      if (Call->directCallee() &&
+          Call->directCallee()->builtinKind() == BuiltinKind::Free &&
+          Call->args().size() == 1)
+        DeallocArg = Call->args()[0];
+    }
+    if (DeallocArg) {
+      const Expr *Stripped = stripCasts(DeallocArg);
+      const FieldDecl *F = fieldAccess(Stripped);
+      if (F && Result.isDead(F)) {
+        const Expr *Base = isa<MemberExpr>(Stripped)
+                               ? cast<MemberExpr>(Stripped)->base()
+                               : nullptr;
+        if (!Base || isPure(Base)) {
+          StmtPlans[S] = {F, SourcePrinter::StmtAction::Drop};
+          if (Base)
+            noteResidualOccurrencesExcept(Base, nullptr);
+          return;
+        }
+        Blocked.insert(F);
+      }
+    }
+
+    noteResidualOccurrences(E);
+  }
+
+  /// Any remaining mention of a dead member outside an approved rewrite
+  /// position blocks its removal.
+  void noteResidualOccurrences(const Expr *Root) {
+    noteResidualOccurrencesExcept(Root, nullptr);
+  }
+
+  void noteResidualOccurrencesExcept(const Expr *Root,
+                                     const Expr *Skipped) {
+    forEachExprPreorder(Root, [&](const Expr *E) {
+      if (E == Skipped)
+        return;
+      if (const FieldDecl *F = fieldAccess(E))
+        if (Result.isDead(F))
+          Blocked.insert(F);
+      if (const auto *MPC = dyn_cast<MemberPointerConstantExpr>(E))
+        if (MPC->member() && Result.isDead(MPC->member()))
+          Blocked.insert(MPC->member());
+    });
+  }
+
+  const ASTContext &Ctx;
+  const DeadMemberResult &Result;
+  const CallGraph &Graph;
+
+  std::set<const FieldDecl *> Removed;
+  std::set<const FieldDecl *> Blocked;
+  std::set<const FunctionDecl *> RemovedFunctions;
+  std::map<const Stmt *,
+           std::pair<const FieldDecl *, SourcePrinter::StmtAction>>
+      StmtPlans;
+  std::set<const CtorInitializer *> DroppableInits;
+};
+
+/// The printer that applies a removal plan.
+class EliminatingPrinter : public SourcePrinter {
+public:
+  explicit EliminatingPrinter(const RemovalPlanner &Plan) : Plan(Plan) {}
+
+protected:
+  bool keepField(const FieldDecl *F) override {
+    return !Plan.removed().count(F);
+  }
+  bool keepBody(const FunctionDecl *FD) override {
+    // Unreachable bodies are stripped; declarations stay so that static
+    // references (virtual dispatch heads, prototypes) still resolve.
+    return !Plan.removedFunctions().count(FD);
+  }
+  bool keepCtorInit(const ConstructorDecl *Ctor,
+                    const CtorInitializer &Init) override {
+    (void)Ctor;
+    if (!Plan.droppableInits().count(&Init))
+      return true;
+    return !Plan.removed().count(Init.Field);
+  }
+  StmtAction actOnStmt(const Stmt *S) override {
+    auto It = Plan.stmtPlans().find(S);
+    if (It == Plan.stmtPlans().end())
+      return StmtAction::Keep;
+    // The rewrite only applies when the member is actually removed.
+    if (!Plan.removed().count(It->second.first))
+      return StmtAction::Keep;
+    return It->second.second;
+  }
+
+private:
+  const RemovalPlanner &Plan;
+};
+
+} // namespace
+
+EliminationResult dmm::eliminateDeadMembers(const ASTContext &Ctx,
+                                            const DeadMemberResult &Result,
+                                            const CallGraph &Graph) {
+  RemovalPlanner Planner(Ctx, Result, Graph);
+  Planner.plan();
+
+  EliminatingPrinter Printer(Planner);
+  EliminationResult Out;
+  Out.Source = Printer.print(Ctx);
+  Out.Removed = Planner.removed();
+  for (const FieldDecl *F : Result.deadMembers())
+    if (!Out.Removed.count(F))
+      Out.Kept.insert(F);
+  Out.RemovedFunctions = Planner.removedFunctions();
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===-- transform/DeadMemberEliminator.h - The space optimization -*- C++ -*-=//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization the paper motivates ("Elimination of unused data
+/// members ... reduces the amount of memory consumed by an application",
+/// §1) realized as a source-to-source pass, in the spirit of the class
+/// hierarchy slicing work the paper grew out of (§5, refs [22, 23]):
+///
+///  1. unreachable functions and methods are removed (the companion
+///     "unused methods" optimization of refs [5, 19] — and a
+///     prerequisite, since dead members may still be *read* inside
+///     unreachable code);
+///  2. constructor initializers of removable dead members are dropped;
+///  3. assignment statements targeting removable dead members are
+///     dropped when both sides are side-effect free, or reduced to
+///     their right-hand side when only the target is pure;
+///  4. `delete m;` / `free(m);` statements over removable dead members
+///     are dropped (deallocation is unobservable; the pointee, if any,
+///     leaks — exactly the trade the paper's footnote licenses);
+///  5. finally the member declarations themselves are removed.
+///
+/// A dead member whose remaining occurrence cannot be proven removable
+/// (e.g. a write whose evaluation has side effects that cannot be
+/// preserved in statement position) is conservatively *kept*; the
+/// transformation is behaviour-preserving by construction, which the
+/// property tests verify by executing both programs and comparing
+/// observable output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_TRANSFORM_DEADMEMBERELIMINATOR_H
+#define DMM_TRANSFORM_DEADMEMBERELIMINATOR_H
+
+#include "analysis/DeadMemberAnalysis.h"
+#include "ast/SourcePrinter.h"
+#include "callgraph/CallGraph.h"
+
+#include <set>
+#include <string>
+
+namespace dmm {
+
+/// Result of the elimination pass.
+struct EliminationResult {
+  std::string Source; ///< The transformed program text.
+  /// Dead members actually removed.
+  std::set<const FieldDecl *> Removed;
+  /// Dead members kept because an occurrence was not provably
+  /// removable.
+  std::set<const FieldDecl *> Kept;
+  /// Unreachable functions removed.
+  std::set<const FunctionDecl *> RemovedFunctions;
+};
+
+/// Produces a transformed copy of the program with dead members (per
+/// \p Result) and unreachable functions (per \p Graph) removed.
+EliminationResult eliminateDeadMembers(const ASTContext &Ctx,
+                                       const DeadMemberResult &Result,
+                                       const CallGraph &Graph);
+
+} // namespace dmm
+
+#endif // DMM_TRANSFORM_DEADMEMBERELIMINATOR_H

@@ -1,0 +1,280 @@
+//===-- tests/AnalysisEdgeTest.cpp - Analysis corner cases ----------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace dmm;
+using namespace dmm::test;
+
+namespace {
+
+TEST(AnalysisEdge, QualifiedAddressOfIsLive) {
+  // `&e.Y::m` (paper Fig. 2 lines 23-25).
+  auto C = compileOK(R"(
+    class A { public: int m; };
+    class B : public A { public: int other; };
+    int main() {
+      B b;
+      int *p = &b.A::m;
+      return 0;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(R.reason(findField(*C, "A", "m")),
+            LivenessReason::AddressTaken);
+}
+
+TEST(AnalysisEdge, WriteThroughExplicitThisDerefIsAWrite) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int m;
+      void set(int v) { (*this).m = v; }
+    };
+    int main() { A a; a.set(1); return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "m")));
+}
+
+TEST(AnalysisEdge, ReadThroughReferenceParameter) {
+  auto C = compileOK(R"(
+    class A { public: int m; };
+    int peek(A &a) { return a.m; }
+    int main() { A a; return peek(a); }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "m")));
+}
+
+TEST(AnalysisEdge, AssignmentResultUseStillNotARead) {
+  // `x = (a.m = 3);` uses the assignment's value, but the member's
+  // stored value is never *read back*: m stays dead (the value x gets
+  // is the RHS, not the member).
+  auto C = compileOK(R"(
+    class A { public: int m; };
+    int main() {
+      A a;
+      int x = (a.m = 3);
+      return x - 3;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "m")));
+}
+
+TEST(AnalysisEdge, ChainedAssignmentsOnlyWriteTargets) {
+  auto C = compileOK(R"(
+    class A { public: int m1; int m2; };
+    int main() {
+      A a;
+      a.m1 = (a.m2 = 7);
+      return 0;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "m1")));
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "m2")));
+}
+
+TEST(AnalysisEdge, MemberReadInLoopConditionIsLive) {
+  auto C = compileOK(R"(
+    class A { public: int n; A() : n(3) {} };
+    int main() {
+      A a;
+      int s = 0;
+      while (a.n > 0) { a.n = a.n - 1; s = s + 1; }
+      for (int i = 0; i < a.n + 1; i = i + 1) { s = s + 1; }
+      return s;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "n")));
+}
+
+TEST(AnalysisEdge, MemberReadInReturnedConditional) {
+  auto C = compileOK(R"(
+    class A { public: int lhs; int rhs; int sel; };
+    int main() {
+      A a;
+      return a.sel != 0 ? a.lhs : a.rhs;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(deadNames(R).empty());
+}
+
+TEST(AnalysisEdge, DeadMemberInArrayOfObjects) {
+  auto C = compileOK(R"(
+    class Cell { public: int value; int spare; };
+    int main() {
+      Cell grid[4];
+      int s = 0;
+      for (int i = 0; i < 4; i = i + 1) {
+        grid[i].value = i;
+        s = s + grid[i].value;
+      }
+      return s;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(deadNames(R), std::set<std::string>{"Cell::spare"});
+}
+
+TEST(AnalysisEdge, HeapArrayMembers) {
+  auto C = compileOK(R"(
+    class Cell { public: int value; int spare; };
+    int main() {
+      Cell *cells = new Cell[3];
+      cells[1].value = 5;
+      int r = cells[1].value;
+      delete[] cells;
+      return r;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "Cell", "value")));
+  EXPECT_TRUE(R.isDead(findField(*C, "Cell", "spare")));
+}
+
+TEST(AnalysisEdge, VirtualCallThroughReferenceKeepsOverrideReachable) {
+  auto C = compileOK(R"(
+    class B { public: int bm; virtual int f() { return 0; } };
+    class D : public B {
+    public:
+      int dm;
+      virtual int f() { return dm; }
+    };
+    int touch(B &b) { return b.f(); }
+    int main() { D d; return touch(d); }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "D", "dm")));
+  EXPECT_TRUE(R.isDead(findField(*C, "B", "bm")));
+}
+
+TEST(AnalysisEdge, DestructorReadsCountWhenReachable) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int logged;
+      ~A() { print_int(logged); }
+    };
+    int main() { A a; a.logged = 3; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "logged")));
+}
+
+TEST(AnalysisEdge, UnusedClassMembersAreStillClassified) {
+  // Members of classes that are never instantiated are classified (the
+  // stats layer excludes them from Table 1 percentages, but the raw
+  // analysis sees them).
+  auto C = compileOK(R"(
+    class Never { public: int n1; };
+    int main() { return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "Never", "n1")));
+}
+
+TEST(AnalysisEdge, SelfReferentialWriteIsARead) {
+  // `m = m + 1` reads m (a counter is live even if nobody else reads
+  // it — the paper's conservatism).
+  auto C = compileOK(R"(
+    class A { public: int counter; };
+    int main() { A a; a.counter = a.counter + 1; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "counter")));
+}
+
+TEST(AnalysisEdge, CommaExpressionSidesAreProcessed) {
+  auto C = compileOK(R"(
+    class A { public: int l; int r; };
+    int main() {
+      A a;
+      int x = (a.l = 1, a.r);
+      return x;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "l")));
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "r")));
+}
+
+TEST(AnalysisEdge, MultipleUnionsCascadeThroughClosure) {
+  // Closing one union can enliven a member of another union (a class
+  // contained in the first union has a member of the second union's
+  // class); the fixed-point loop must propagate.
+  auto C = compileOK(R"(
+    class Inner { public: int ia; };
+    union U2 { public: Inner boxed; int u2raw; };
+    class Holder { public: U2 u2field; };
+    union U1 { public: Holder held; int u1raw; };
+    int main() {
+      U1 u;
+      return u.u1raw;
+    }
+  )");
+  auto R = analyze(*C);
+  // u1raw read -> U1 closes -> held live -> U2 (contained via Holder)
+  // contains Inner::ia etc.
+  EXPECT_TRUE(R.isLive(findField(*C, "U1", "held")));
+  EXPECT_TRUE(R.isLive(findField(*C, "Holder", "u2field")));
+  EXPECT_TRUE(R.isLive(findField(*C, "U2", "boxed")));
+  EXPECT_TRUE(R.isLive(findField(*C, "Inner", "ia")));
+}
+
+TEST(AnalysisEdge, VolatileReadIsAlsoLive) {
+  auto C = compileOK(R"(
+    class A { public: volatile int reg; };
+    int main() { A a; return a.reg; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(R.reason(findField(*C, "A", "reg")), LivenessReason::Read);
+}
+
+TEST(AnalysisEdge, SizeofExprOperandConservativePolicy) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int main() { A a; return sizeof(a); }
+  )");
+  AnalysisOptions Opts;
+  Opts.Sizeof = SizeofPolicy::Conservative;
+  auto R = analyze(*C, Opts);
+  EXPECT_EQ(R.reason(findField(*C, "A", "x")),
+            LivenessReason::SizeofConservative);
+}
+
+TEST(AnalysisEdge, NewExprArgumentsAreReads) {
+  auto C = compileOK(R"(
+    class Src { public: int seed; };
+    class Dst { public: int v; Dst(int x) : v(x) {} };
+    int main() {
+      Src s;
+      Dst *d = new Dst(s.seed);
+      int r = d->v;
+      delete d;
+      return r;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "Src", "seed")));
+}
+
+TEST(AnalysisEdge, GlobalClassObjectInitializerArgsAreReads) {
+  auto C = compileOK(R"(
+    class Cfg { public: int level; Cfg(int l) : level(l) {} };
+    int defaultLevel = 2;
+    Cfg globalCfg(defaultLevel + 1);
+    int main() { return globalCfg.level; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "Cfg", "level")));
+}
+
+} // namespace

@@ -1,0 +1,797 @@
+//===-- tests/AnalysisTest.cpp - Dead-member analysis tests ---------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for every case of the paper's Figure 2 algorithm: reads,
+// write-only members, address-taken members, pointer-to-member constants,
+// unsafe casts, unions, sizeof policies, the delete/free exemption,
+// volatile members, library classes, and the reachability dependence on
+// the call graph.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace dmm;
+using namespace dmm::test;
+
+namespace {
+
+TEST(Analysis, WriteOnlyMemberIsDead) {
+  auto C = compileOK(R"(
+    class A { public: int x; int y; };
+    int main() { A a; a.x = 1; return a.y; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(deadNames(R), std::set<std::string>{"A::x"});
+  EXPECT_EQ(R.reason(findField(*C, "A", "y")), LivenessReason::Read);
+}
+
+TEST(Analysis, NeverAccessedMemberIsDead) {
+  auto C = compileOK(R"(
+    class A { public: int used; int unused; };
+    int main() { A a; return a.used; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(deadNames(R), std::set<std::string>{"A::unused"});
+}
+
+TEST(Analysis, ConstructorInitializationDoesNotCreateLiveness) {
+  // The paper's central motivation: members initialized in constructors
+  // would otherwise never be dead.
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int x;
+      int y;
+      A() : x(1) { y = 2; }
+    };
+    int main() { A a; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(deadNames(R), (std::set<std::string>{"A::x", "A::y"}));
+}
+
+TEST(Analysis, CtorInitializerArgumentsAreReads) {
+  auto C = compileOK(R"(
+    class B { public: int src; };
+    class A {
+    public:
+      int dst;
+      A(B *b) : dst(b->src) {}
+    };
+    int main() { B b; A a(&b); return 0; }
+  )");
+  auto R = analyze(*C);
+  // dst is written only; src is read by the initializer argument.
+  EXPECT_EQ(deadNames(R), std::set<std::string>{"A::dst"});
+}
+
+TEST(Analysis, CompoundAssignmentReads) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int main() { A a; a.x += 2; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(deadNames(R).empty());
+}
+
+TEST(Analysis, IncrementReads) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int main() { A a; a.x++; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "x")));
+}
+
+TEST(Analysis, AddressTakenIsLive) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int deref(int *p) { return *p; }
+    int main() { A a; return deref(&a.x); }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(deadNames(R).empty());
+  EXPECT_EQ(R.reason(findField(*C, "A", "x")),
+            LivenessReason::AddressTaken);
+}
+
+TEST(Analysis, AddressTakenWithoutUseIsStillLive) {
+  // "We do not attempt to trace the use of such addresses."
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int main() { A a; int *p = &a.x; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(R.reason(findField(*C, "A", "x")),
+            LivenessReason::AddressTaken);
+}
+
+TEST(Analysis, PointerToMemberConstantIsLive) {
+  // Fig. 2 lines 26-28: &Z::m marks Z::m live.
+  auto C = compileOK(R"(
+    class A { public: int x; int y; };
+    int main() {
+      int A::* pm = &A::x;
+      A a;
+      return a.*pm;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(R.reason(findField(*C, "A", "x")),
+            LivenessReason::PointerToMember);
+  EXPECT_EQ(deadNames(R), std::set<std::string>{"A::y"});
+}
+
+TEST(Analysis, QualifiedMemberAccessUsesNamedClass) {
+  auto C = compileOK(R"(
+    class A { public: int m; };
+    class B : public A { public: int n; };
+    int main() { B b; return b.A::m; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "m")));
+  EXPECT_EQ(deadNames(R), std::set<std::string>{"B::n"});
+}
+
+TEST(Analysis, MemberReadThroughBaseLookup) {
+  // Lookup resolves m in a base class of the access's static type.
+  auto C = compileOK(R"(
+    class A { public: int m; };
+    class B : public A { public: int n; };
+    int main() { B b; return b.m; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "m")));
+  EXPECT_FALSE(R.isLive(findField(*C, "B", "n")));
+}
+
+TEST(Analysis, NestedMemberAccessMarksBothMembers) {
+  // Paper example: b.mb2.mn1 marks B::mb2 and N::mn1 live.
+  auto C = compileOK(R"(
+    class N { public: int mn1; int mn2; };
+    class B { public: N mb2; };
+    int main() { B b; return b.mb2.mn1; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "B", "mb2")));
+  EXPECT_TRUE(R.isLive(findField(*C, "N", "mn1")));
+  EXPECT_EQ(deadNames(R), std::set<std::string>{"N::mn2"});
+}
+
+TEST(Analysis, WriteThroughNestedMemberKeepsOuterLive) {
+  // Conservative: only the outermost member of a write target is exempt.
+  auto C = compileOK(R"(
+    class N { public: int inner; };
+    class B { public: N outer; };
+    int main() { B b; b.outer.inner = 3; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "B", "outer")));
+  EXPECT_FALSE(R.isLive(findField(*C, "N", "inner")));
+}
+
+TEST(Analysis, ImplicitThisAccessCountsAsRead) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int m;
+      int get() { return m; }
+    };
+    int main() { A a; return a.get(); }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "m")));
+}
+
+TEST(Analysis, ImplicitThisWriteIsNotLive) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int m;
+      void set(int v) { m = v; }
+    };
+    int main() { A a; a.set(4); return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(deadNames(R), std::set<std::string>{"A::m"});
+}
+
+//===----------------------------------------------------------------------===//
+// delete / free exemption
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, DeleteOfMemberDoesNotCreateLiveness) {
+  // "Data members that are pointers to objects are typically passed to
+  // delete in the enclosing class's destructor."
+  auto C = compileOK(R"(
+    class P { public: int v; };
+    class A {
+    public:
+      P *owned;
+      A() { owned = nullptr; }
+      ~A() { delete owned; }
+    };
+    int main() { A *a = new A(); delete a; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "owned")));
+}
+
+TEST(Analysis, FreeOfMemberDoesNotCreateLiveness) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int *buffer;
+      A() { buffer = new int[4]; }
+      ~A() { free(buffer); }
+    };
+    int main() { A *a = new A(); delete a; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "buffer")));
+}
+
+TEST(Analysis, DeleteThroughCastStillExempt) {
+  auto C = compileOK(R"(
+    class P { public: int v; };
+    class A {
+    public:
+      P *owned;
+      ~A() { delete (P*)owned; }
+    };
+    int main() { A *a = new A(); delete a; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "owned")));
+}
+
+TEST(Analysis, DeleteExemptionCanBeDisabled) {
+  auto C = compileOK(R"(
+    class P { public: int v; };
+    class A {
+    public:
+      P *owned;
+      ~A() { delete owned; }
+    };
+    int main() { A *a = new A(); delete a; return 0; }
+  )");
+  AnalysisOptions Opts;
+  Opts.ExemptDeallocationArgs = false;
+  auto R = analyze(*C, Opts);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "owned")));
+}
+
+TEST(Analysis, MemberBelowDeleteArgumentIsStillRead) {
+  // `delete a.link->owned`: owned is exempt, link is read.
+  auto C = compileOK(R"(
+    class P { public: int v; };
+    class Node { public: P *owned; };
+    class A { public: Node *link; };
+    int main() {
+      A a;
+      a.link = new Node();
+      delete a.link->owned;
+      return 0;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "link")));
+  EXPECT_TRUE(R.isDead(findField(*C, "Node", "owned")));
+}
+
+//===----------------------------------------------------------------------===//
+// volatile
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, VolatileMemberLiveWhenWritten) {
+  auto C = compileOK(R"(
+    class A { public: volatile int reg; int plain; };
+    int main() { A a; a.reg = 1; a.plain = 1; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(R.reason(findField(*C, "A", "reg")),
+            LivenessReason::VolatileWrite);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "plain")));
+}
+
+TEST(Analysis, VolatileMemberWrittenInCtorInitializer) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      volatile int reg;
+      A() : reg(7) {}
+    };
+    int main() { A a; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "reg")));
+}
+
+TEST(Analysis, VolatileMemberNeverTouchedIsDead) {
+  auto C = compileOK(R"(
+    class A { public: volatile int reg; };
+    int main() { A a; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "reg")));
+}
+
+//===----------------------------------------------------------------------===//
+// Unsafe casts
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, DowncastConservativeMarksSourceMembers) {
+  auto C = compileOK(R"(
+    class A { public: int am; };
+    class B : public A { public: int bm; };
+    int main() {
+      B b;
+      A *a = &b;
+      B *p = (B*)a;
+      return 0;
+    }
+  )");
+  AnalysisOptions Opts;
+  Opts.AssumeDowncastsSafe = false;
+  auto R = analyze(*C, Opts);
+  // The cast source has static type A*: A's members become live; B::bm
+  // is only contained in B.
+  EXPECT_EQ(R.reason(findField(*C, "A", "am")),
+            LivenessReason::UnsafeCast);
+  EXPECT_TRUE(R.isDead(findField(*C, "B", "bm")));
+}
+
+TEST(Analysis, DowncastAssumedSafeByDefault) {
+  auto C = compileOK(R"(
+    class A { public: int am; };
+    class B : public A { public: int bm; };
+    int main() {
+      B b;
+      A *a = &b;
+      B *p = (B*)a;
+      return 0;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "am")));
+  EXPECT_TRUE(R.isDead(findField(*C, "B", "bm")));
+}
+
+TEST(Analysis, UpcastIsAlwaysSafe) {
+  auto C = compileOK(R"(
+    class A { public: int am; };
+    class B : public A { public: int bm; };
+    int main() {
+      B b;
+      A *a = (A*)&b;
+      return 0;
+    }
+  )");
+  AnalysisOptions Opts;
+  Opts.AssumeDowncastsSafe = false;
+  auto R = analyze(*C, Opts);
+  EXPECT_EQ(deadNames(R), (std::set<std::string>{"A::am", "B::bm"}));
+}
+
+TEST(Analysis, ReinterpretBetweenUnrelatedClassesMarksSource) {
+  auto C = compileOK(R"(
+    class A { public: int am; };
+    class B { public: int bm; };
+    int main() {
+      A a;
+      B *p = reinterpret_cast<B*>(&a);
+      return 0;
+    }
+  )");
+  auto R = analyze(*C);
+  // Unrelated reinterpretation is unsafe regardless of downcast policy.
+  EXPECT_EQ(R.reason(findField(*C, "A", "am")),
+            LivenessReason::UnsafeCast);
+}
+
+TEST(Analysis, UnsafeCastMarksContainedMembersTransitively) {
+  auto C = compileOK(R"(
+    class Inner { public: int i1; };
+    class Base { public: int b1; };
+    class A : public Base { public: Inner nested; int a1; };
+    class Unrelated { public: int u1; };
+    int main() {
+      A a;
+      Unrelated *p = reinterpret_cast<Unrelated*>(&a);
+      return 0;
+    }
+  )");
+  auto R = analyze(*C);
+  // MarkAllContainedMembers covers own members, nested member classes,
+  // and base classes.
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "a1")));
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "nested")));
+  EXPECT_TRUE(R.isLive(findField(*C, "Inner", "i1")));
+  EXPECT_TRUE(R.isLive(findField(*C, "Base", "b1")));
+  EXPECT_TRUE(R.isDead(findField(*C, "Unrelated", "u1")));
+}
+
+//===----------------------------------------------------------------------===//
+// Unions
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, UnionClosureMarksSiblings) {
+  // Fig. 2 lines 9-11: one live union member enlivens the others.
+  auto C = compileOK(R"(
+    union U { public: int a; int b; int c; };
+    int main() { U u; u.b = 1; return u.a; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "U", "a")));
+  EXPECT_EQ(R.reason(findField(*C, "U", "b")),
+            LivenessReason::UnionClosure);
+  EXPECT_TRUE(R.isLive(findField(*C, "U", "c")));
+}
+
+TEST(Analysis, FullyDeadUnionStaysDead) {
+  auto C = compileOK(R"(
+    union U { public: int a; int b; };
+    class A { public: int x; };
+    int main() { U u; u.a = 1; A a; return a.x; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "U", "a")));
+  EXPECT_TRUE(R.isDead(findField(*C, "U", "b")));
+}
+
+TEST(Analysis, UnionClosureCanBeDisabled) {
+  auto C = compileOK(R"(
+    union U { public: int a; int b; };
+    int main() { U u; u.b = 1; return u.a; }
+  )");
+  AnalysisOptions Opts;
+  Opts.UnionClosure = false;
+  auto R = analyze(*C, Opts);
+  EXPECT_TRUE(R.isLive(findField(*C, "U", "a")));
+  EXPECT_TRUE(R.isDead(findField(*C, "U", "b"))); // Unsound, by request.
+}
+
+TEST(Analysis, UnionWithNestedClassMemberClosesOverContents) {
+  auto C = compileOK(R"(
+    class Payload { public: int p1; int p2; };
+    union U { public: Payload data; int raw; };
+    int main() { U u; return u.raw; }
+  )");
+  auto R = analyze(*C);
+  // raw is read; the closure must mark data and Payload's members.
+  EXPECT_TRUE(R.isLive(findField(*C, "U", "data")));
+  EXPECT_TRUE(R.isLive(findField(*C, "Payload", "p1")));
+  EXPECT_TRUE(R.isLive(findField(*C, "Payload", "p2")));
+}
+
+//===----------------------------------------------------------------------===//
+// sizeof
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, SizeofIgnoredByDefaultPolicy) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int main() { return sizeof(A); }
+  )");
+  auto R = analyze(*C); // Default: IgnoreAll, like the paper's runs.
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "x")));
+}
+
+TEST(Analysis, SizeofConservativeMarksClassMembers) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int main() { return sizeof(A); }
+  )");
+  AnalysisOptions Opts;
+  Opts.Sizeof = SizeofPolicy::Conservative;
+  auto R = analyze(*C, Opts);
+  EXPECT_EQ(R.reason(findField(*C, "A", "x")),
+            LivenessReason::SizeofConservative);
+}
+
+TEST(Analysis, SizeofOperandIsNotEvaluated) {
+  // sizeof(a.x) does not read x even under the conservative policy the
+  // operand's *type* drives the marking, not an evaluation.
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int main() { A a; return sizeof(a.x); }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "x")));
+}
+
+//===----------------------------------------------------------------------===//
+// Reachability / call graph
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, ReadInUnreachableFunctionIsDead) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int neverCalled(A *a) { return a->x; }
+    int main() { A a; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "x")));
+}
+
+TEST(Analysis, ReadInUnreachableMethodIsDead) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int x;
+      int neverCalled() { return x; }
+    };
+    int main() { A a; return 0; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "x")));
+}
+
+TEST(Analysis, TrivialCallGraphSeesUnreachableReads) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int neverCalled(A *a) { return a->x; }
+    int main() { A a; return 0; }
+  )");
+  AnalysisOptions Opts;
+  Opts.CallGraph = CallGraphKind::Trivial;
+  auto R = analyze(*C, Opts);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "x")));
+}
+
+TEST(Analysis, RTAExcludesUninstantiatedReceivers) {
+  // The paper's C::mc1 discussion: a more precise call graph can
+  // exclude methods of classes that are never created.
+  auto C = compileOK(R"(
+    class A { public: virtual int f() { return 0; } };
+    class B : public A { public: virtual int f() { return mb; } int mb; };
+    class CC : public A { public: virtual int f() { return mc; } int mc; };
+    int main() {
+      A *p = new B();
+      return p->f();
+    }
+  )");
+  AnalysisOptions RTA;
+  RTA.CallGraph = CallGraphKind::RTA;
+  auto R1 = analyze(*C, RTA);
+  EXPECT_TRUE(R1.isLive(findField(*C, "B", "mb")));
+  EXPECT_TRUE(R1.isDead(findField(*C, "CC", "mc"))); // CC never created.
+
+  AnalysisOptions CHA;
+  CHA.CallGraph = CallGraphKind::CHA;
+  auto R2 = analyze(*C, CHA);
+  EXPECT_TRUE(R2.isLive(findField(*C, "CC", "mc"))); // CHA can't tell.
+}
+
+TEST(Analysis, FunctionPointerCalleeIsReachable) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    A g;
+    int reader(int v) { return g.x + v; }
+    int main() {
+      int (*fp)(int) = &reader;
+      return fp(1);
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "x")));
+}
+
+TEST(Analysis, PaperFigure1Example) {
+  // The worked example of paper section 3.1, verbatim structure.
+  auto C = compileOK(R"(
+    class N { public: int mn1; int mn2; };
+    class A {
+    public:
+      virtual int f() { return ma1; }
+      int ma1; int ma2; int ma3;
+    };
+    class B : public A {
+    public:
+      virtual int f() { return mb1; }
+      int mb1; N mb2; int mb3; int mb4;
+    };
+    class CC : public A {
+    public:
+      virtual int f() { return mc1; }
+      int mc1;
+    };
+    int foo(int *x) { return (*x) + 1; }
+    int main() {
+      A a; B b; CC c;
+      A *ap;
+      a.ma3 = b.mb3 + 1;
+      int i = 10;
+      if (i < 20) { ap = &a; } else { ap = &b; }
+      return ap->f() + b.mb2.mn1 + foo(&b.mb4);
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(deadNames(R),
+            (std::set<std::string>{"N::mn2", "A::ma2", "A::ma3"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Library classes (paper 3.3)
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, LibraryClassMembersAreNotClassified) {
+  std::vector<SourceFile> Files;
+  Files.push_back({"lib.mcc", R"(
+    class LibBase {
+    public:
+      int libMember;
+      virtual int callback() { return 0; }
+    };
+  )", /*IsLibrary=*/true});
+  Files.push_back({"app.mcc", R"(
+    class App : public LibBase {
+    public:
+      int appDead;
+      int appLive;
+      virtual int callback() { return appLive; }
+    };
+    int main() { App a; return 0; }
+  )", /*IsLibrary=*/false});
+  std::ostringstream Diag;
+  auto C = compileProgram(std::move(Files), &Diag);
+  ASSERT_TRUE(C->Success) << Diag.str();
+
+  DeadMemberAnalysis A(C->context(), C->hierarchy(), {});
+  auto R = A.run(C->mainFunction());
+
+  const FieldDecl *Lib = findField(*C, "LibBase", "libMember");
+  EXPECT_FALSE(R.canClassify(Lib));
+  EXPECT_FALSE(R.isDead(Lib)); // Never reported dead.
+
+  // The library may call back into the override: appLive must be live
+  // even though no user code calls callback().
+  EXPECT_TRUE(R.isLive(findField(*C, "App", "appLive")));
+  EXPECT_TRUE(R.isDead(findField(*C, "App", "appDead")));
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline mode
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, BaselineCountsWritesAsLive) {
+  auto C = compileOK(R"(
+    class A { public: int written; int untouched; };
+    int main() { A a; a.written = 1; return 0; }
+  )");
+  AnalysisOptions Opts;
+  Opts.TreatWritesAsLive = true;
+  auto R = analyze(*C, Opts);
+  EXPECT_EQ(R.reason(findField(*C, "A", "written")),
+            LivenessReason::Written);
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "untouched")));
+}
+
+TEST(Analysis, BaselineFindsFewerDeadMembersThanPaperAlgorithm) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int initialized;
+      int untouched;
+      A() : initialized(1) {}
+    };
+    int main() { A a; return 0; }
+  )");
+  auto Paper = analyze(*C);
+  AnalysisOptions BOpts;
+  BOpts.TreatWritesAsLive = true;
+  auto Baseline = analyze(*C, BOpts);
+  EXPECT_EQ(deadNames(Paper).size(), 2u);
+  EXPECT_EQ(deadNames(Baseline).size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Misc structure
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, StructMembersAreAnalyzedLikeClassMembers) {
+  auto C = compileOK(R"(
+    struct S { int a; int b; };
+    int main() { S s; s.a = 1; return s.b; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(deadNames(R), std::set<std::string>{"S::a"});
+}
+
+TEST(Analysis, ArrayMemberReadIsLive) {
+  auto C = compileOK(R"(
+    class A { public: int data[4]; int pad[4]; };
+    int main() { A a; return a.data[2]; }
+  )");
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "data")));
+  EXPECT_TRUE(R.isDead(findField(*C, "A", "pad")));
+}
+
+TEST(Analysis, MemberFunctionPointerFieldRead) {
+  auto C = compileOK(R"(
+    int twice(int v) { return v * 2; }
+    class A {
+    public:
+      int (*handler)(int);
+      A() { handler = &twice; }
+    };
+    int main() { A a; return a.handler(3); }
+  )");
+  auto R = analyze(*C);
+  // Calling through the member reads its value.
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "handler")));
+}
+
+TEST(Analysis, DeadSetMatchesDeadMembers) {
+  auto C = compileOK(R"(
+    class A { public: int x; int y; };
+    int main() { A a; return a.x; }
+  )");
+  auto R = analyze(*C);
+  FieldSet Dead = R.deadSet();
+  EXPECT_EQ(Dead.size(), 1u);
+  EXPECT_TRUE(Dead.count(findField(*C, "A", "y")));
+}
+
+TEST(Analysis, ReasonsAreStableFirstCause) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int main() { A a; int v = a.x; int *p = &a.x; return v; }
+  )");
+  auto R = analyze(*C);
+  // Read happens first in program order.
+  EXPECT_EQ(R.reason(findField(*C, "A", "x")), LivenessReason::Read);
+}
+
+} // namespace
+
+namespace {
+
+TEST(Analysis, InertFunctionArgumentsAreExempt) {
+  // Paper footnote 3: "Other system functions (e.g., strcpy) that are
+  // known not to affect some of their parameters could be treated as a
+  // special case as well."
+  auto C = compileOK(R"(
+    class A { public: int *buffer; A() { buffer = nullptr; } };
+    void log_ptr(int *p) { if (p != nullptr) { print_int(1); } }
+    int main() {
+      A a;
+      log_ptr(a.buffer);
+      return 0;
+    }
+  )");
+  // Without the assertion, the pass-to-call is a read.
+  auto Plain = analyze(*C);
+  EXPECT_TRUE(Plain.isLive(findField(*C, "A", "buffer")));
+
+  AnalysisOptions Opts;
+  Opts.InertFunctions.insert("log_ptr");
+  auto Asserted = analyze(*C, Opts);
+  EXPECT_TRUE(Asserted.isDead(findField(*C, "A", "buffer")));
+}
+
+TEST(Analysis, InertFunctionOnlyExemptsDirectMemberArgs) {
+  auto C = compileOK(R"(
+    class A { public: int *buffer; int extra; };
+    void sink(int *p) { if (p == nullptr) { print_int(0); } }
+    int main() {
+      A a;
+      sink(a.buffer + a.extra);
+      return 0;
+    }
+  )");
+  AnalysisOptions Opts;
+  Opts.InertFunctions.insert("sink");
+  auto R = analyze(*C, Opts);
+  // The argument is a computed expression, not a direct member value:
+  // both members are read to compute it.
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "buffer")));
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "extra")));
+}
+
+} // namespace

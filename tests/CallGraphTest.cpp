@@ -1,0 +1,341 @@
+//===-- tests/CallGraphTest.cpp - Call graph construction tests -----------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace dmm;
+using namespace dmm::test;
+
+namespace {
+
+CallGraph build(Compilation &C, CallGraphKind Kind) {
+  return buildCallGraph(C.context(), C.hierarchy(), C.mainFunction(), Kind);
+}
+
+const FunctionDecl *findFn(Compilation &C, const std::string &Qualified) {
+  for (const FunctionDecl *FD : C.context().functions())
+    if (FD->qualifiedName() == Qualified)
+      return FD;
+  ADD_FAILURE() << "no function " << Qualified;
+  return nullptr;
+}
+
+TEST(CallGraph, DirectCallsAreReachable) {
+  auto C = compileOK(R"(
+    int leaf() { return 1; }
+    int mid() { return leaf(); }
+    int unreached() { return 2; }
+    int main() { return mid(); }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "mid")));
+  EXPECT_TRUE(G.isReachable(findFn(*C, "leaf")));
+  EXPECT_FALSE(G.isReachable(findFn(*C, "unreached")));
+}
+
+TEST(CallGraph, TrivialMarksEverythingDefined) {
+  auto C = compileOK(R"(
+    int unreached() { return 2; }
+    int main() { return 0; }
+  )");
+  CallGraph G = build(*C, CallGraphKind::Trivial);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "unreached")));
+}
+
+TEST(CallGraph, RecursionDoesNotLoopForever) {
+  auto C = compileOK(R"(
+    int odd(int n);
+    int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+    int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+    int main() { return even(4); }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "odd")));
+  EXPECT_TRUE(G.isReachable(findFn(*C, "even")));
+}
+
+TEST(CallGraph, RTARestrictsVirtualTargetsToInstantiated) {
+  auto C = compileOK(R"(
+    class A { public: virtual int f() { return 0; } };
+    class B : public A { public: virtual int f() { return 1; } };
+    class CC : public A { public: virtual int f() { return 2; } };
+    int main() {
+      A *p = new B();
+      return p->f();
+    }
+  )");
+  CallGraph RTA = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(RTA.isReachable(findFn(*C, "B::f")));
+  EXPECT_FALSE(RTA.isReachable(findFn(*C, "CC::f")));
+
+  CallGraph CHA = build(*C, CallGraphKind::CHA);
+  EXPECT_TRUE(CHA.isReachable(findFn(*C, "B::f")));
+  EXPECT_TRUE(CHA.isReachable(findFn(*C, "CC::f")));
+}
+
+TEST(CallGraph, RTAWorklistHandlesLateInstantiation) {
+  // CC is instantiated only inside a function that becomes reachable
+  // through a virtual call; the pending-site re-resolution must pick the
+  // override up.
+  auto C = compileOK(R"(
+    class A { public: virtual A *spawn() { return this; } };
+    class B : public A {
+    public:
+      virtual A *spawn();
+    };
+    class CC : public A { public: virtual A *spawn() { return this; } };
+    A *B::spawn() { return new CC(); }
+    int main() {
+      A *p = new B();
+      A *q = p->spawn();   // B::spawn creates a CC.
+      A *r = q->spawn();   // Must dispatch to CC::spawn under RTA.
+      return r != nullptr ? 0 : 1;
+    }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "CC::spawn")));
+}
+
+TEST(CallGraph, ConstructorsOfLocalsAndNews) {
+  auto C = compileOK(R"(
+    class A { public: int v; A() : v(1) {} };
+    class B { public: int w; B(int x) : w(x) {} };
+    int main() {
+      A onStack;
+      B *onHeap = new B(2);
+      int r = onStack.v + onHeap->w;
+      delete onHeap;
+      return r;
+    }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "A::A")));
+  EXPECT_TRUE(G.isReachable(findFn(*C, "B::B")));
+  EXPECT_EQ(G.instantiatedClasses().size(), 2u);
+}
+
+TEST(CallGraph, DestructorsOfLocalsAndDeletes) {
+  auto C = compileOK(R"(
+    class A { public: int v; ~A() { v = 0; } };
+    class B { public: int w; ~B() { w = 0; } };
+    int main() {
+      A onStack;
+      B *onHeap = new B();
+      delete onHeap;
+      return 0;
+    }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "A::~A")));
+  EXPECT_TRUE(G.isReachable(findFn(*C, "B::~B")));
+}
+
+TEST(CallGraph, VirtualDestructorDispatchesToSubclasses) {
+  auto C = compileOK(R"(
+    class A { public: int a; virtual ~A() {} };
+    class B : public A { public: int b; ~B() { b = 0; } };
+    int main() {
+      A *p = new B();
+      delete p;
+      return 0;
+    }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "B::~B")));
+}
+
+TEST(CallGraph, ImplicitBaseAndMemberConstruction) {
+  auto C = compileOK(R"(
+    class Base { public: int b; Base() : b(1) {} };
+    class Member { public: int m; Member() : m(2) {} };
+    class Outer : public Base {
+    public:
+      Member member;
+      int o;
+    };
+    int main() { Outer x; return x.b + x.member.m; }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  // Outer has no user constructor: implicit construction still calls
+  // Base::Base and Member::Member.
+  EXPECT_TRUE(G.isReachable(findFn(*C, "Base::Base")));
+  EXPECT_TRUE(G.isReachable(findFn(*C, "Member::Member")));
+  EXPECT_TRUE(G.instantiatedClasses().count(findClass(*C, "Member")));
+}
+
+TEST(CallGraph, CtorInitializerSelectsBaseCtor) {
+  auto C = compileOK(R"(
+    class Base {
+    public:
+      int b;
+      Base() : b(0) {}
+      Base(int v) : b(v) {}
+    };
+    class D : public Base {
+    public:
+      D() : Base(7) {}
+    };
+    int main() { D d; return d.b; }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  const ClassDecl *Base = findClass(*C, "Base");
+  const ConstructorDecl *OneArg = nullptr;
+  for (const ConstructorDecl *Ctor : Base->constructors())
+    if (Ctor->params().size() == 1)
+      OneArg = Ctor;
+  ASSERT_NE(OneArg, nullptr);
+  EXPECT_TRUE(G.isReachable(OneArg));
+}
+
+TEST(CallGraph, AddressTakenFunctionIsReachable) {
+  // Paper 3.3: "if the address of a function f is taken in reachable
+  // code, we assume f to be reachable".
+  auto C = compileOK(R"(
+    int callback(int x) { return x; }
+    int main() {
+      int (*fp)(int) = &callback;
+      return fp != nullptr ? 0 : 1;
+    }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  const FunctionDecl *CB = findFn(*C, "callback");
+  EXPECT_TRUE(G.isReachable(CB));
+  EXPECT_TRUE(G.addressTaken().count(CB));
+}
+
+TEST(CallGraph, AddressTakenInUnreachableCodeDoesNotCount) {
+  auto C = compileOK(R"(
+    int callback(int x) { return x; }
+    int unreached() {
+      int (*fp)(int) = &callback;
+      return fp(1);
+    }
+    int main() { return 0; }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_FALSE(G.isReachable(findFn(*C, "callback")));
+}
+
+TEST(CallGraph, IndirectCallLinksByArity) {
+  auto C = compileOK(R"(
+    int unary(int x) { return x; }
+    int binary(int x, int y) { return x + y; }
+    int main() {
+      int (*fp)(int) = &unary;
+      int (*fp2)(int, int) = &binary;
+      return fp(1) + fp2(1, 2);
+    }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  // Both address-taken; both arities have call sites.
+  EXPECT_TRUE(G.isReachable(findFn(*C, "unary")));
+  EXPECT_TRUE(G.isReachable(findFn(*C, "binary")));
+}
+
+TEST(CallGraph, LibraryCallbackRuleMarksOverrides) {
+  std::vector<SourceFile> Files;
+  Files.push_back({"lib.mcc", R"(
+    class Widget {
+    public:
+      int w;
+      virtual int onDraw() { return 0; }
+    };
+  )", true});
+  Files.push_back({"app.mcc", R"(
+    class MyWidget : public Widget {
+    public:
+      int state;
+      virtual int onDraw() { return state; }
+    };
+    int main() { MyWidget m; return 0; }
+  )", false});
+  std::ostringstream Diag;
+  auto C = compileProgram(std::move(Files), &Diag);
+  ASSERT_TRUE(C->Success) << Diag.str();
+  CallGraph G = buildCallGraph(C->context(), C->hierarchy(),
+                               C->mainFunction(), CallGraphKind::RTA);
+  // No user code calls onDraw, but the library might.
+  EXPECT_TRUE(G.isReachable(findFn(*C, "MyWidget::onDraw")));
+}
+
+TEST(CallGraph, GlobalInitializersRunFromMain) {
+  auto C = compileOK(R"(
+    class G { public: int v; G() : v(5) {} ~G() { v = 0; } };
+    G g;
+    int main() { return g.v; }
+  )");
+  CallGraph Graph = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(Graph.isReachable(findFn(*C, "G::G")));
+  EXPECT_TRUE(Graph.isReachable(findFn(*C, "G::~G")));
+}
+
+TEST(CallGraph, ReachableFunctionsAreSortedAndStable) {
+  auto C = compileOK(R"(
+    int a() { return 1; }
+    int b() { return a(); }
+    int main() { return b() + a(); }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  auto Fns = G.reachableFunctions();
+  for (size_t I = 1; I < Fns.size(); ++I)
+    EXPECT_LT(Fns[I - 1]->declID(), Fns[I]->declID());
+}
+
+TEST(CallGraph, EdgeCountsAreDeduplicated) {
+  auto C = compileOK(R"(
+    int f() { return 1; }
+    int main() { return f() + f() + f(); }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_EQ(G.callees(C->mainFunction()).size(), 1u);
+}
+
+TEST(CallGraph, MethodCallsThroughImplicitThis) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int v;
+      int outer() { return inner(); }
+      int inner() { return v; }
+    };
+    int main() { A a; return a.outer(); }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "A::inner")));
+}
+
+TEST(CallGraph, KindNamesAreStable) {
+  EXPECT_STREQ(callGraphKindName(CallGraphKind::Trivial), "trivial");
+  EXPECT_STREQ(callGraphKindName(CallGraphKind::CHA), "CHA");
+  EXPECT_STREQ(callGraphKindName(CallGraphKind::RTA), "RTA");
+}
+
+} // namespace
+
+namespace {
+
+TEST(CallGraph, GlobalInitializerCallsAreReachable) {
+  // Global initializer expressions run before main; functions they call
+  // (and function addresses they take) must be reachable.
+  auto C = compileOK(R"(
+    class A { public: int hidden; };
+    A theA;
+    int seed() { return theA.hidden; }
+    int taken(int x) { return x; }
+    int g1 = seed();
+    int (*g2)(int) = &taken;
+    int main() { return g1 + g2(1); }
+  )");
+  CallGraph G = build(*C, CallGraphKind::RTA);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "seed")));
+  EXPECT_TRUE(G.isReachable(findFn(*C, "taken")));
+
+  // And the member read inside seed() must make A::hidden live.
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isLive(findField(*C, "A", "hidden")));
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===-- tests/HierarchyTest.cpp - Class hierarchy tests -------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace dmm;
+using namespace dmm::test;
+
+namespace {
+
+const char *DiamondProgram = R"(
+  class Top { public: int t; virtual int tag() { return 0; } };
+  class L : public virtual Top { public: int l; virtual int tag() { return 1; } };
+  class R : public virtual Top { public: int r; };
+  class B : public L, public R { public: int b; virtual int tag() { return 3; } };
+  int main() { B x; return x.tag(); }
+)";
+
+TEST(Hierarchy, IsDerivedFromIsReflexiveAndTransitive) {
+  auto C = compileOK(DiamondProgram);
+  const ClassHierarchy &H = C->hierarchy();
+  const ClassDecl *Top = findClass(*C, "Top");
+  const ClassDecl *L = findClass(*C, "L");
+  const ClassDecl *B = findClass(*C, "B");
+  EXPECT_TRUE(H.isDerivedFrom(Top, Top));
+  EXPECT_TRUE(H.isDerivedFrom(L, Top));
+  EXPECT_TRUE(H.isDerivedFrom(B, Top));
+  EXPECT_TRUE(H.isDerivedFrom(B, L));
+  EXPECT_FALSE(H.isDerivedFrom(Top, B));
+  EXPECT_FALSE(H.isDerivedFrom(L, B));
+}
+
+TEST(Hierarchy, DirectSubclasses) {
+  auto C = compileOK(DiamondProgram);
+  const ClassHierarchy &H = C->hierarchy();
+  auto Subs = H.directSubclasses(findClass(*C, "Top"));
+  EXPECT_EQ(Subs.size(), 2u);
+}
+
+TEST(Hierarchy, SelfAndSubclassesCoversWholeSubtree) {
+  auto C = compileOK(DiamondProgram);
+  const ClassHierarchy &H = C->hierarchy();
+  auto All = H.selfAndSubclasses(findClass(*C, "Top"));
+  EXPECT_EQ(All.size(), 4u); // Top, L, R, B.
+}
+
+TEST(Hierarchy, TransitiveBasesDeduplicatesDiamond) {
+  auto C = compileOK(DiamondProgram);
+  const ClassHierarchy &H = C->hierarchy();
+  auto Bases = H.transitiveBases(findClass(*C, "B"));
+  EXPECT_EQ(Bases.size(), 3u); // L, R, Top (once).
+}
+
+TEST(Hierarchy, VirtualBasesCollectsSharedTop) {
+  auto C = compileOK(DiamondProgram);
+  const ClassHierarchy &H = C->hierarchy();
+  auto VBs = H.virtualBases(findClass(*C, "B"));
+  ASSERT_EQ(VBs.size(), 1u);
+  EXPECT_EQ(VBs[0]->name(), "Top");
+  EXPECT_TRUE(H.virtualBases(findClass(*C, "Top")).empty());
+}
+
+TEST(Hierarchy, LookupFieldWithHiding) {
+  auto C = compileOK(R"(
+    class A { public: int m; int onlyA; };
+    class B : public A { public: int m; };
+    int main() { B b; b.m = 1; b.onlyA = 2; return 0; }
+  )");
+  const ClassHierarchy &H = C->hierarchy();
+  const ClassDecl *B = findClass(*C, "B");
+  FieldDecl *M = H.lookupField(B, "m");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->parent()->name(), "B");
+  FieldDecl *OnlyA = H.lookupField(B, "onlyA");
+  ASSERT_NE(OnlyA, nullptr);
+  EXPECT_EQ(OnlyA->parent()->name(), "A");
+}
+
+TEST(Hierarchy, LookupReportsAmbiguity) {
+  auto C = compileOK(R"(
+    class L { public: int m; };
+    class R { public: int m; };
+    class B : public L, public R { public: int own; };
+    int main() { B b; b.own = 1; return 0; }
+  )");
+  const ClassHierarchy &H = C->hierarchy();
+  bool Ambiguous = false;
+  FieldDecl *M = H.lookupField(findClass(*C, "B"), "m", &Ambiguous);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_TRUE(Ambiguous);
+}
+
+TEST(Hierarchy, LookupMissingMemberReturnsNull) {
+  auto C = compileOK(R"(
+    class A { public: int m; };
+    int main() { A a; return a.m; }
+  )");
+  bool Ambiguous = true;
+  EXPECT_EQ(C->hierarchy().lookupField(findClass(*C, "A"), "zzz",
+                                       &Ambiguous),
+            nullptr);
+  EXPECT_FALSE(Ambiguous);
+}
+
+TEST(Hierarchy, ResolveVirtualCallFindsMostDerivedOverride) {
+  auto C = compileOK(DiamondProgram);
+  const ClassHierarchy &H = C->hierarchy();
+  MethodDecl *TopTag = findClass(*C, "Top")->findMethod("tag");
+  MethodDecl *Resolved = H.resolveVirtualCall(findClass(*C, "B"), TopTag);
+  ASSERT_NE(Resolved, nullptr);
+  EXPECT_EQ(Resolved->parent()->name(), "B");
+}
+
+TEST(Hierarchy, ResolveVirtualCallFallsBackToInherited) {
+  auto C = compileOK(DiamondProgram);
+  const ClassHierarchy &H = C->hierarchy();
+  // R does not override tag; Top's version runs (through R there is no
+  // closer override).
+  MethodDecl *TopTag = findClass(*C, "Top")->findMethod("tag");
+  MethodDecl *Resolved = H.resolveVirtualCall(findClass(*C, "R"), TopTag);
+  ASSERT_NE(Resolved, nullptr);
+  EXPECT_EQ(Resolved->parent()->name(), "Top");
+}
+
+TEST(Hierarchy, ResolveVirtualCallOnUnrelatedClassIsNull) {
+  auto C = compileOK(R"(
+    class A { public: virtual int f() { return 1; } };
+    class X { public: int unrelated; };
+    int main() { A a; X x; x.unrelated = 0; return a.f(); }
+  )");
+  const ClassHierarchy &H = C->hierarchy();
+  MethodDecl *F = findClass(*C, "A")->findMethod("f");
+  EXPECT_EQ(H.resolveVirtualCall(findClass(*C, "X"), F), nullptr);
+}
+
+TEST(Hierarchy, OverridersEnumeratesSubtreeOverrides) {
+  auto C = compileOK(DiamondProgram);
+  const ClassHierarchy &H = C->hierarchy();
+  MethodDecl *TopTag = findClass(*C, "Top")->findMethod("tag");
+  auto Overrides = H.overriders(TopTag);
+  // L::tag and B::tag.
+  EXPECT_EQ(Overrides.size(), 2u);
+}
+
+TEST(Hierarchy, IsVirtualMethodWithoutKeyword) {
+  auto C = compileOK(R"(
+    class A { public: virtual int f() { return 1; } };
+    class B : public A { public: int f() { return 2; } };
+    int main() { B b; return b.f(); }
+  )");
+  const ClassHierarchy &H = C->hierarchy();
+  EXPECT_TRUE(H.isVirtualMethod(findClass(*C, "B")->findMethod("f")));
+}
+
+TEST(Hierarchy, NonVirtualMethodStaysNonVirtual) {
+  auto C = compileOK(R"(
+    class A { public: int f() { return 1; } };
+    class B : public A { public: int f() { return 2; } };
+    int main() { B b; return b.f(); }
+  )");
+  const ClassHierarchy &H = C->hierarchy();
+  EXPECT_FALSE(H.isVirtualMethod(findClass(*C, "B")->findMethod("f")));
+  EXPECT_FALSE(H.isPolymorphic(findClass(*C, "B")));
+}
+
+TEST(Hierarchy, PolymorphismFromVirtualDtor) {
+  auto C = compileOK(R"(
+    class A { public: int a; virtual ~A() {} };
+    int main() { A x; return x.a; }
+  )");
+  EXPECT_TRUE(C->hierarchy().isPolymorphic(findClass(*C, "A")));
+}
+
+} // namespace

@@ -1,0 +1,394 @@
+//===-- tests/ParserTest.cpp - Parser tests -------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ast/ASTWalker.h"
+
+using namespace dmm;
+using namespace dmm::test;
+
+namespace {
+
+TEST(Parser, EmptyProgramNeedsMain) {
+  compileError("");
+}
+
+TEST(Parser, MinimalProgram) {
+  auto C = compileOK("int main() { return 0; }");
+  EXPECT_EQ(C->context().classes().size(), 0u);
+}
+
+TEST(Parser, ClassWithFieldsAndMethods) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int x;
+      double d;
+      char c;
+      int getX() { return x; }
+    };
+    int main() { A a; return a.getX(); }
+  )");
+  const ClassDecl *A = findClass(*C, "A");
+  EXPECT_EQ(A->fields().size(), 3u);
+  EXPECT_EQ(A->methods().size(), 1u);
+  EXPECT_EQ(A->fields()[1]->type()->str(), "double");
+}
+
+TEST(Parser, ForwardDeclarationThenDefinition) {
+  auto C = compileOK(R"(
+    class B;
+    class A { public: B *link; };
+    class B { public: int v; };
+    int main() { A a; B b; b.v = 1; a.link = &b; return a.link->v; }
+  )");
+  EXPECT_TRUE(findClass(*C, "B")->isComplete());
+}
+
+TEST(Parser, MultipleInheritanceAndVirtualBases) {
+  auto C = compileOK(R"(
+    class Top { public: int t; };
+    class L : public virtual Top { public: int l; };
+    class R : public virtual Top { public: int r; };
+    class B : public L, public R { public: int b; };
+    int main() { B x; return x.t + x.l + x.r + x.b; }
+  )");
+  const ClassDecl *B = findClass(*C, "B");
+  ASSERT_EQ(B->bases().size(), 2u);
+  EXPECT_FALSE(B->bases()[0].IsVirtual);
+  const ClassDecl *L = findClass(*C, "L");
+  ASSERT_EQ(L->bases().size(), 1u);
+  EXPECT_TRUE(L->bases()[0].IsVirtual);
+}
+
+TEST(Parser, AccessSpecifiersAreAcceptedAndIgnored) {
+  compileOK(R"(
+    class A {
+    public:
+      int a;
+    private:
+      int b;
+    protected:
+      int c;
+    public:
+      int sum() { return a + b + c; }
+    };
+    int main() { A x; return x.sum(); }
+  )");
+}
+
+TEST(Parser, OutOfLineMethodDefinition) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int v;
+      int get(int bias);
+    };
+    int A::get(int bias) { return v + bias; }
+    int main() { A a; a.v = 40; return a.get(2); }
+  )");
+  const ClassDecl *A = findClass(*C, "A");
+  EXPECT_TRUE(A->findMethod("get")->isDefined());
+}
+
+TEST(Parser, OutOfLineConstructorAndDestructor) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int v;
+      A(int x);
+      ~A();
+    };
+    A::A(int x) : v(x) {}
+    A::~A() {}
+    int main() { A a(3); return a.v; }
+  )");
+  const ClassDecl *A = findClass(*C, "A");
+  ASSERT_EQ(A->constructors().size(), 1u);
+  EXPECT_TRUE(A->constructors()[0]->isDefined());
+  EXPECT_TRUE(A->destructor()->isDefined());
+}
+
+TEST(Parser, ConstructorOverloadingByArity) {
+  auto C = compileOK(R"(
+    class A {
+    public:
+      int v;
+      A() : v(1) {}
+      A(int x) : v(x) {}
+      A(int x, int y) : v(x + y) {}
+    };
+    int main() { A a; A b(5); A c(2, 3); return a.v + b.v + c.v; }
+  )");
+  EXPECT_EQ(findClass(*C, "A")->constructors().size(), 3u);
+}
+
+TEST(Parser, PureVirtualMethod) {
+  auto C = compileOK(R"(
+    class Shape {
+    public:
+      virtual int area() = 0;
+    };
+    class Box : public Shape {
+    public:
+      int s;
+      virtual int area() { return s * s; }
+    };
+    int main() { Box b; b.s = 2; Shape *p = &b; return p->area(); }
+  )");
+  EXPECT_FALSE(findClass(*C, "Shape")->findMethod("area")->isDefined());
+}
+
+TEST(Parser, UnionDeclaration) {
+  auto C = compileOK(R"(
+    union U { public: int i; double d; };
+    int main() { U u; u.i = 1; return u.i; }
+  )");
+  EXPECT_TRUE(findClass(*C, "U")->isUnion());
+}
+
+TEST(Parser, ArrayMembersAndLocals) {
+  auto C = compileOK(R"(
+    class A { public: int grid[3][4]; };
+    int main() {
+      int local[8];
+      local[0] = 1;
+      A a;
+      a.grid[1][2] = 5;
+      return a.grid[1][2] + local[0];
+    }
+  )");
+  const FieldDecl *Grid = findField(*C, "A", "grid");
+  EXPECT_EQ(Grid->type()->str(), "int[3][4]");
+}
+
+TEST(Parser, FunctionPointerDeclarations) {
+  compileOK(R"(
+    int inc(int x) { return x + 1; }
+    int (*global_fp)(int) = &inc;
+    int apply(int (*fn)(int), int v) { return fn(v); }
+    int main() {
+      int (*local_fp)(int) = &inc;
+      return apply(local_fp, 1) + global_fp(2);
+    }
+  )");
+}
+
+TEST(Parser, MemberPointerDeclaration) {
+  compileOK(R"(
+    class A { public: int x; };
+    int main() {
+      int A::* pm = &A::x;
+      A a;
+      a.x = 5;
+      return a.*pm;
+    }
+  )");
+}
+
+TEST(Parser, CommaSeparatedDeclarators) {
+  compileOK(R"(
+    class A { public: int x, y, z; };
+    int g1 = 1, g2 = 2;
+    int main() { int a = 3, b = 4; A s; s.x = a; return s.x + g1 + g2 + b; }
+  )");
+}
+
+TEST(Parser, QualifiedMemberAccessSyntax) {
+  compileOK(R"(
+    class A { public: int m; };
+    class B : public A { public: int m2; };
+    int main() {
+      B b;
+      b.A::m = 1;
+      B *p = &b;
+      return p->A::m;
+    }
+  )");
+}
+
+TEST(Parser, NewDeleteForms) {
+  compileOK(R"(
+    class A { public: int v; A() : v(1) {} };
+    int main() {
+      A *single = new A();
+      A *many = new A[3];
+      int *ints = new int[10];
+      int r = single->v + many[2].v;
+      delete single;
+      delete[] many;
+      delete[] ints;
+      return r;
+    }
+  )");
+}
+
+TEST(Parser, CStyleAndNamedCasts) {
+  compileOK(R"(
+    class A { public: int v; };
+    class B : public A { public: int w; };
+    int main() {
+      double d = 3.7;
+      int i = (int)d;
+      B b;
+      A *a = static_cast<A*>(&b);
+      B *back = (B*)a;
+      A *r = reinterpret_cast<A*>(back);
+      return i + (r != nullptr ? 1 : 0);
+    }
+  )");
+}
+
+TEST(Parser, SizeofForms) {
+  compileOK(R"(
+    class A { public: int v; };
+    int main() {
+      A a;
+      return sizeof(A) + sizeof(int) + sizeof(a.v);
+    }
+  )");
+}
+
+TEST(Parser, ConditionalAndCommaOperators) {
+  compileOK(R"(
+    int main() {
+      int a = 1 < 2 ? 3 : 4;
+      int b;
+      for (b = 0, a = 0; b < 3; b = b + 1, a = a + 2) { }
+      return a;
+    }
+  )");
+}
+
+TEST(Parser, VolatileFieldSpecifier) {
+  auto C = compileOK(R"(
+    class Dev { public: volatile int reg; int plain; };
+    int main() { Dev d; d.reg = 1; return d.plain; }
+  )");
+  EXPECT_TRUE(findField(*C, "Dev", "reg")->isVolatile());
+  EXPECT_FALSE(findField(*C, "Dev", "plain")->isVolatile());
+}
+
+TEST(Parser, StructAndClassTagKinds) {
+  auto C = compileOK(R"(
+    struct S { int a; };
+    class K { public: int b; };
+    int main() { S s; K k; s.a = 1; k.b = 2; return s.a + k.b; }
+  )");
+  EXPECT_EQ(findClass(*C, "S")->tagKind(), TagKind::Struct);
+  EXPECT_EQ(findClass(*C, "K")->tagKind(), TagKind::Class);
+}
+
+//===----------------------------------------------------------------------===//
+// Syntax errors
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, MissingSemicolonAfterClass) {
+  std::string Err = compileError("class A { public: int x; } int main() "
+                                 "{ return 0; }");
+  EXPECT_NE(Err.find("expected ';'"), std::string::npos);
+}
+
+TEST(Parser, UnknownTypeName) {
+  std::string Err = compileError("int main() { Unknown u; return 0; }");
+  EXPECT_NE(Err.find("expected"), std::string::npos);
+}
+
+TEST(Parser, ClassRedefinitionIsAnError) {
+  std::string Err = compileError(R"(
+    class A { public: int x; };
+    class A { public: int y; };
+    int main() { return 0; }
+  )");
+  EXPECT_NE(Err.find("redefinition"), std::string::npos);
+}
+
+TEST(Parser, DuplicateMemberIsAnError) {
+  std::string Err = compileError(R"(
+    class A { public: int x; int x; };
+    int main() { return 0; }
+  )");
+  EXPECT_NE(Err.find("duplicate member"), std::string::npos);
+}
+
+TEST(Parser, OutOfLineDefinitionWithoutDeclaration) {
+  std::string Err = compileError(R"(
+    class A { public: int x; };
+    int A::phantom() { return 0; }
+    int main() { return 0; }
+  )");
+  EXPECT_NE(Err.find("does not match"), std::string::npos);
+}
+
+TEST(Parser, RecoveryContinuesAfterBadStatement) {
+  // Both errors should be reported, not just the first.
+  std::ostringstream Diag;
+  auto C = compileString(R"(
+    int main() {
+      int x = ;
+      int y = ;
+      return 0;
+    }
+  )", &Diag);
+  EXPECT_FALSE(C->Success);
+  EXPECT_GE(C->Diags.errorCount(), 2u);
+}
+
+TEST(Parser, ExpressionStatementAmbiguityResolvedByTypeName) {
+  // `a * b;` where a is a class → declaration of pointer b; where a is a
+  // variable → multiplication.
+  auto C = compileOK(R"(
+    class a { public: int v; };
+    int main() {
+      a * b;         // declares b : a*
+      a obj;
+      b = &obj;
+      return b->v;
+    }
+  )");
+  (void)C;
+}
+
+TEST(Parser, TranslationUnitOrderIsPreserved) {
+  auto C = compileOK(R"(
+    class A { public: int x; };
+    int helper() { return 0; }
+    class B { public: int y; };
+    int main() { A a; B b; a.x = 0; b.y = 0; return helper(); }
+  )");
+  const auto &Decls = C->context().translationUnit()->decls();
+  ASSERT_GE(Decls.size(), 4u);
+  EXPECT_EQ(Decls[0]->name(), "A");
+  EXPECT_EQ(Decls[1]->name(), "helper");
+  EXPECT_EQ(Decls[2]->name(), "B");
+}
+
+} // namespace
+
+namespace {
+
+TEST(Parser, MemberPointerTypedDataMember) {
+  // A data member whose type is itself a pointer-to-member.
+  auto C = compileOK(R"(
+    class Target { public: int x; int y; };
+    class Selector {
+    public:
+      int Target::* which;
+      Selector() { which = &Target::y; }
+    };
+    int main() {
+      Target t;
+      t.y = 9;
+      Selector s;
+      return t.*(s.which);
+    }
+  )");
+  ExecResult R = runOK(*C);
+  EXPECT_EQ(R.ExitCode, 9);
+}
+
+} // namespace

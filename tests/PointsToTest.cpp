@@ -1,0 +1,252 @@
+//===-- tests/PointsToTest.cpp - Points-to & PTA call graph tests ---------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "callgraph/PointsTo.h"
+
+using namespace dmm;
+using namespace dmm::test;
+
+namespace {
+
+CallGraph build(Compilation &C, CallGraphKind Kind) {
+  return buildCallGraph(C.context(), C.hierarchy(), C.mainFunction(), Kind);
+}
+
+const FunctionDecl *findFn(Compilation &C, const std::string &Qualified) {
+  for (const FunctionDecl *FD : C.context().functions())
+    if (FD->qualifiedName() == Qualified)
+      return FD;
+  ADD_FAILURE() << "no function " << Qualified;
+  return nullptr;
+}
+
+TEST(PointsTo, PaperFigure1RefinementKillsC) {
+  // The paper's own sec. 3.1 example: "a simple alias/points-to analysis
+  // algorithm can determine that pointer ap never points to a C object
+  // ... so that data member C::mc1 can be marked dead."
+  auto C = compileOK(R"(
+    class N { public: int mn1; int mn2; };
+    class A {
+    public:
+      virtual int f() { return ma1; }
+      int ma1; int ma2; int ma3;
+    };
+    class B : public A {
+    public:
+      virtual int f() { return mb1; }
+      int mb1; N mb2; int mb3; int mb4;
+    };
+    class CC : public A {
+    public:
+      virtual int f() { return mc1; }
+      int mc1;
+    };
+    int foo(int *x) { return (*x) + 1; }
+    int main() {
+      A a; B b; CC c;
+      A *ap;
+      a.ma3 = b.mb3 + 1;
+      int i = 10;
+      if (i < 20) { ap = &a; } else { ap = &b; }
+      return ap->f() + b.mb2.mn1 + foo(&b.mb4);
+    }
+  )");
+
+  AnalysisOptions RTA;
+  RTA.CallGraph = CallGraphKind::RTA;
+  auto R1 = analyze(*C, RTA);
+  EXPECT_TRUE(R1.isLive(findField(*C, "CC", "mc1"))); // RTA cannot tell.
+
+  AnalysisOptions PTA;
+  PTA.CallGraph = CallGraphKind::PTA;
+  auto R2 = analyze(*C, PTA);
+  EXPECT_TRUE(R2.isDead(findField(*C, "CC", "mc1")));
+  EXPECT_TRUE(R2.isLive(findField(*C, "B", "mb1"))); // ap may be &b.
+  EXPECT_TRUE(R2.isLive(findField(*C, "A", "ma1")));
+
+  CallGraph G = build(*C, CallGraphKind::PTA);
+  EXPECT_FALSE(G.isReachable(findFn(*C, "CC::f")));
+  EXPECT_TRUE(G.isReachable(findFn(*C, "B::f")));
+}
+
+TEST(PointsTo, DispatchThroughHeapPointers) {
+  auto C = compileOK(R"(
+    class Base { public: virtual int f() { return 1; } };
+    class D1 : public Base { public: int x1; virtual int f() { return x1; } };
+    class D2 : public Base { public: int x2; virtual int f() { return x2; } };
+    Base *make() { return new D1(); }
+    int main() {
+      D2 *unusedPath = new D2(); // D2 instantiated but never dispatched.
+      delete unusedPath;
+      Base *p = make();
+      int r = p->f();
+      delete p;
+      return r;
+    }
+  )");
+  AnalysisOptions PTA;
+  PTA.CallGraph = CallGraphKind::PTA;
+  auto R = analyze(*C, PTA);
+  EXPECT_TRUE(R.isLive(findField(*C, "D1", "x1")));
+  // RTA keeps D2::f reachable (D2 is instantiated); PTA knows p never
+  // points to a D2.
+  EXPECT_TRUE(R.isDead(findField(*C, "D2", "x2")));
+
+  AnalysisOptions RTA;
+  RTA.CallGraph = CallGraphKind::RTA;
+  auto R2 = analyze(*C, RTA);
+  EXPECT_TRUE(R2.isLive(findField(*C, "D2", "x2")));
+}
+
+TEST(PointsTo, FlowThroughFieldsIsTracked) {
+  auto C = compileOK(R"(
+    class Impl1 { public: int a1; };
+    class Holder { public: Impl1 *stored; };
+    int main() {
+      Holder h;
+      h.stored = new Impl1();
+      Impl1 *back = h.stored;
+      int r = back->a1;
+      delete back;
+      return r;
+    }
+  )");
+  PointsToAnalysis PTA(C->context(), C->hierarchy());
+  PTA.run();
+  // Find the DeclRef `back` inside main's return? Simpler: the member
+  // read `back->a1` proves flow worked if analysis is still sound;
+  // check via receiver-style query on the stored field's pointee — the
+  // public API only exposes expression queries, so assert through the
+  // end-to-end analysis instead.
+  AnalysisOptions Opts;
+  Opts.CallGraph = CallGraphKind::PTA;
+  auto R = analyze(*C, Opts);
+  EXPECT_TRUE(R.isLive(findField(*C, "Impl1", "a1")));
+}
+
+TEST(PointsTo, FunctionPointerTargetsRefined) {
+  auto C = compileOK(R"(
+    class A { public: int viaUsed; int viaUnused; };
+    A g;
+    int used(int v) { return g.viaUsed + v; }
+    int unused(int v) { return g.viaUnused + v; }
+    int main() {
+      int (*fp)(int) = &used;
+      int (*other)(int) = &unused; // Address taken, never called.
+      if (other == fp) { return 2; }
+      return fp(1);
+    }
+  )");
+  // Under RTA, any address-taken function of matching arity is a
+  // possible target: viaUnused stays live. PTA knows fp only holds
+  // &used... but `unused` is still address-taken-reachable per the
+  // paper's rule, so its body keeps viaUnused live in both modes. The
+  // refinement shows up in the call graph's *edges* instead.
+  CallGraph RTA = build(*C, CallGraphKind::RTA);
+  CallGraph PTA = build(*C, CallGraphKind::PTA);
+  const FunctionDecl *Main = C->mainFunction();
+  auto CalleesOf = [&](const CallGraph &G) {
+    std::set<std::string> Names;
+    for (const FunctionDecl *FD : G.callees(Main))
+      Names.insert(FD->qualifiedName());
+    return Names;
+  };
+  EXPECT_TRUE(CalleesOf(RTA).count("unused"));
+  EXPECT_FALSE(CalleesOf(PTA).count("unused"));
+  EXPECT_TRUE(CalleesOf(PTA).count("used"));
+}
+
+TEST(PointsTo, UntrackableReceiverFallsBackToRTA) {
+  // A receiver loaded through a pointer-to-member access is untrackable:
+  // PTA must fall back to RTA's instantiated-classes dispatch rather
+  // than claiming "no targets".
+  auto C = compileOK(R"(
+    class Base { public: virtual int f() { return 1; } };
+    class D : public Base {
+    public:
+      int dm;
+      virtual int f() { return dm; }
+    };
+    class Box { public: Base *slot; };
+    int main() {
+      Box b;
+      b.slot = new D();
+      Base * Box::* pm = &Box::slot;
+      Base *p = b.*pm;
+      int r = p->f();
+      delete p;
+      return r;
+    }
+  )");
+  AnalysisOptions PTA;
+  PTA.CallGraph = CallGraphKind::PTA;
+  auto R = analyze(*C, PTA);
+  EXPECT_TRUE(R.isLive(findField(*C, "D", "dm"))); // Fallback kept it.
+}
+
+TEST(PointsTo, ImplicitThisCallsUseReceiverSets) {
+  auto C = compileOK(R"(
+    class Base {
+    public:
+      virtual int hook() { return 1; }
+      int run() { return hook(); }  // Implicit-this virtual call.
+    };
+    class Used : public Base {
+    public:
+      int um;
+      virtual int hook() { return um; }
+    };
+    class Unused : public Base {
+    public:
+      int xm;
+      virtual int hook() { return xm; }
+    };
+    int main() {
+      Used u;
+      Unused other;           // Instantiated, but run() never sees one.
+      return u.run();
+    }
+  )");
+  AnalysisOptions PTA;
+  PTA.CallGraph = CallGraphKind::PTA;
+  auto R = analyze(*C, PTA);
+  EXPECT_TRUE(R.isLive(findField(*C, "Used", "um")));
+  EXPECT_TRUE(R.isDead(findField(*C, "Unused", "xm")));
+}
+
+TEST(PointsTo, ReferenceParametersAliasArguments) {
+  auto C = compileOK(R"(
+    class Base { public: virtual int f() { return 0; } };
+    class D1 : public Base { public: int a; virtual int f() { return a; } };
+    class D2 : public Base { public: int b; virtual int f() { return b; } };
+    int probe(Base &r) { return r.f(); }
+    int main() {
+      D1 d1;
+      D2 d2;            // Never passed to probe.
+      return probe(d1) + d2.b * 0;
+    }
+  )");
+  // d2.b is read in main (so live); D2::f unreachable under PTA...
+  // but b is read directly: both live. Check the call graph instead.
+  CallGraph G = build(*C, CallGraphKind::PTA);
+  EXPECT_TRUE(G.isReachable(findFn(*C, "D1::f")));
+  EXPECT_FALSE(G.isReachable(findFn(*C, "D2::f")));
+}
+
+TEST(PointsTo, QueriesOnUnknownExpressionsSayUnknown) {
+  auto C = compileOK(R"(
+    class A { public: int m; };
+    int main() { A a; return a.m; }
+  )");
+  PointsToAnalysis PTA(C->context(), C->hierarchy());
+  PTA.run();
+  auto Missing = PTA.receiverClasses(C->mainFunction());
+  EXPECT_FALSE(Missing.second); // main has no receiver.
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+//===-- tests/StatsTest.cpp - Program statistics tests --------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/ProgramStats.h"
+#include "analysis/Report.h"
+
+using namespace dmm;
+using namespace dmm::test;
+
+namespace {
+
+TEST(Stats, UsedClassesRequireConstruction) {
+  auto C = compileOK(R"(
+    class Used { public: int a; };
+    class ViaNew { public: int b; };
+    class PointerOnly { public: int c; };
+    class Untouched { public: int d; };
+    int main() {
+      Used u;
+      ViaNew *p = new ViaNew();
+      PointerOnly *q = nullptr;
+      int r = u.a + p->b + (q == nullptr ? 1 : 0);
+      delete p;
+      return r;
+    }
+  )");
+  auto Used = computeUsedClasses(C->context());
+  EXPECT_TRUE(Used.count(findClass(*C, "Used")));
+  EXPECT_TRUE(Used.count(findClass(*C, "ViaNew")));
+  // A pointer declaration is not a constructor call.
+  EXPECT_FALSE(Used.count(findClass(*C, "PointerOnly")));
+  EXPECT_FALSE(Used.count(findClass(*C, "Untouched")));
+}
+
+TEST(Stats, MemberObjectClassesAreUsed) {
+  auto C = compileOK(R"(
+    class Inner { public: int i; };
+    class Outer { public: Inner nested; };
+    int main() { Outer o; return o.nested.i; }
+  )");
+  auto Used = computeUsedClasses(C->context());
+  EXPECT_TRUE(Used.count(findClass(*C, "Inner")));
+}
+
+TEST(Stats, BaseClassesOfUsedClassesAreUsed) {
+  auto C = compileOK(R"(
+    class Base { public: int b; };
+    class Derived : public Base { public: int d; };
+    int main() { Derived x; return x.b + x.d; }
+  )");
+  auto Used = computeUsedClasses(C->context());
+  EXPECT_TRUE(Used.count(findClass(*C, "Base")));
+}
+
+TEST(Stats, MembersInUnusedClassesAreIgnored) {
+  // Paper 4.2: "Data members in unused classes are ignored ... since
+  // eliminating such members does not affect the size of any objects".
+  auto C = compileOK(R"(
+    class Used { public: int live; int dead; };
+    class Unused { public: int u1; int u2; int u3; };
+    int main() { Used u; return u.live; }
+  )");
+  auto R = analyze(*C);
+  ProgramStats St = computeProgramStats(C->context(), R);
+  EXPECT_EQ(St.NumClasses, 2u);
+  EXPECT_EQ(St.NumUsedClasses, 1u);
+  EXPECT_EQ(St.NumMembersInUsedClasses, 2u);
+  EXPECT_EQ(St.NumDeadMembersInUsedClasses, 1u);
+  EXPECT_NEAR(St.percentDead(), 50.0, 0.01);
+}
+
+TEST(Stats, LinesOfCodeCountNonBlankLines) {
+  auto C = compileOK("int main() {\n\n  return 0;\n}\n");
+  auto R = analyze(*C);
+  ProgramStats St = computeProgramStats(C->context(), R, &C->SM,
+                                        C->UserFileIDs);
+  EXPECT_EQ(St.LinesOfCode, 3u); // Blank line skipped.
+}
+
+TEST(Stats, LibraryClassesExcludedFromCounts) {
+  std::vector<SourceFile> Files;
+  Files.push_back({"lib.mcc",
+                   "class Lib { public: int l1; int l2; };", true});
+  Files.push_back({"app.mcc", R"(
+    class App { public: Lib helper; int a; };
+    int main() { App x; return x.a; }
+  )", false});
+  std::ostringstream Diag;
+  auto C = compileProgram(std::move(Files), &Diag);
+  ASSERT_TRUE(C->Success) << Diag.str();
+  DeadMemberAnalysis A(C->context(), C->hierarchy(), {});
+  auto R = A.run(C->mainFunction());
+  ProgramStats St = computeProgramStats(C->context(), R, &C->SM,
+                                        C->UserFileIDs);
+  EXPECT_EQ(St.NumClasses, 1u); // Lib excluded.
+  EXPECT_EQ(St.NumMembersInUsedClasses, 2u); // helper + a.
+}
+
+TEST(Stats, ZeroMembersYieldZeroPercent) {
+  auto C = compileOK("int main() { return 0; }");
+  auto R = analyze(*C);
+  ProgramStats St = computeProgramStats(C->context(), R);
+  EXPECT_EQ(St.percentDead(), 0.0);
+}
+
+TEST(Report, MemberReportListsDeadMembersWithLocations) {
+  auto C = compileOK(R"(
+    class A { public: int liveM; int deadM; };
+    int main() { A a; return a.liveM; }
+  )");
+  auto R = analyze(*C);
+  std::ostringstream OS;
+  printMemberReport(OS, C->context(), R, &C->SM);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("deadM"), std::string::npos);
+  EXPECT_EQ(Text.find("liveM :"), std::string::npos); // Not shown by default.
+  EXPECT_NE(Text.find("1 of 2 data members are dead"), std::string::npos);
+  EXPECT_NE(Text.find("<input>:"), std::string::npos); // Location shown.
+}
+
+TEST(Report, ShowLiveIncludesReasons) {
+  auto C = compileOK(R"(
+    class A { public: int liveM; };
+    int main() { A a; return a.liveM; }
+  )");
+  auto R = analyze(*C);
+  std::ostringstream OS;
+  ReportOptions Opts;
+  Opts.ShowLiveMembers = true;
+  printMemberReport(OS, C->context(), R, &C->SM, Opts);
+  EXPECT_NE(OS.str().find("value read"), std::string::npos);
+}
+
+TEST(Report, StatsReportFormatsTable1Row) {
+  auto C = compileOK(R"(
+    class A { public: int x; int y; };
+    int main() { A a; return a.x; }
+  )");
+  auto R = analyze(*C);
+  ProgramStats St = computeProgramStats(C->context(), R, &C->SM,
+                                        C->UserFileIDs);
+  std::ostringstream OS;
+  printStatsReport(OS, St);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("classes:"), std::string::npos);
+  EXPECT_NE(Text.find("(1 used)"), std::string::npos);
+  EXPECT_NE(Text.find("50.0%"), std::string::npos);
+}
+
+} // namespace
+
+namespace {
+
+TEST(Report, JsonReportContainsMembersAndSummary) {
+  auto C = dmm::test::compileOK(R"(
+    class A { public: int liveM; int deadM; };
+    int main() { A a; return a.liveM; }
+  )");
+  auto R = dmm::test::analyze(*C);
+  std::ostringstream OS;
+  printJsonReport(OS, C->context(), R, &C->SM);
+  std::string J = OS.str();
+  EXPECT_NE(J.find("\"class\": \"A\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"deadM\""), std::string::npos);
+  EXPECT_NE(J.find("\"dead\": true"), std::string::npos);
+  EXPECT_NE(J.find("\"reason\": \"value read\""), std::string::npos);
+  EXPECT_NE(J.find("\"summary\": {\"total\": 2, \"dead\": 1"),
+            std::string::npos);
+  // Balanced braces and brackets (cheap well-formedness check).
+  long Braces = 0, Brackets = 0;
+  for (char Ch : J) {
+    Braces += Ch == '{' ? 1 : Ch == '}' ? -1 : 0;
+    Brackets += Ch == '[' ? 1 : Ch == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(Braces, 0);
+  EXPECT_EQ(Brackets, 0);
+}
+
+TEST(Report, JsonEscapesSpecialCharacters) {
+  // Member and class names cannot contain quotes in MiniC++, but type
+  // spellings and file names can contain backslashes on some hosts; the
+  // escaping routine must at least round-trip plain content and never
+  // emit raw control characters.
+  auto C = dmm::test::compileOK(R"(
+    class A { public: int m; };
+    int main() { A a; return a.m; }
+  )");
+  auto R = dmm::test::analyze(*C);
+  std::ostringstream OS;
+  printJsonReport(OS, C->context(), R, &C->SM);
+  for (char Ch : OS.str())
+    EXPECT_FALSE(static_cast<unsigned char>(Ch) < 0x20 && Ch != '\n')
+        << "raw control character in JSON";
+}
+
+TEST(Report, LayoutReportShowsOffsetsAndDeadMarks) {
+  auto C = dmm::test::compileOK(R"(
+    class A { public: int live; double deadD; };
+    int main() { A a; return a.live; }
+  )");
+  auto R = dmm::test::analyze(*C);
+  std::ostringstream OS;
+  printLayoutReport(OS, C->context(), C->hierarchy(), R);
+  std::string T = OS.str();
+  EXPECT_NE(T.find("class A (size 16, align 8)"), std::string::npos);
+  EXPECT_NE(T.find("+0\tA::live"), std::string::npos);
+  EXPECT_NE(T.find("+8\tA::deadD"), std::string::npos);
+  EXPECT_NE(T.find("[dead]"), std::string::npos);
+  EXPECT_NE(T.find("without dead members: 4 bytes"), std::string::npos);
+}
+
+} // namespace
+
+namespace {
+
+TEST(Report, DeadFunctionReportListsUnreachable) {
+  auto C = dmm::test::compileOK(R"(
+    int used() { return 1; }
+    int ghost() { return 2; }
+    class A {
+    public:
+      int m;
+      int touched() { return m; }
+      int phantom() { return m; }
+    };
+    int main() { A a; return used() + a.touched(); }
+  )");
+  CallGraph G = buildCallGraph(C->context(), C->hierarchy(),
+                               C->mainFunction(), CallGraphKind::RTA);
+  std::ostringstream OS;
+  unsigned Dead = printDeadFunctionReport(OS, C->context(), G, &C->SM);
+  EXPECT_EQ(Dead, 2u);
+  EXPECT_NE(OS.str().find("dead function: ghost"), std::string::npos);
+  EXPECT_NE(OS.str().find("dead function: A::phantom"),
+            std::string::npos);
+  EXPECT_EQ(OS.str().find("A::touched"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+//===-- tests/TestUtil.h - Shared test helpers ------------------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_TESTS_TESTUTIL_H
+#define DMM_TESTS_TESTUTIL_H
+
+#include "analysis/DeadMemberAnalysis.h"
+#include "driver/Frontend.h"
+#include "interp/Interpreter.h"
+#include "trace/DynamicMetrics.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace dmm {
+namespace test {
+
+/// Compiles \p Source; fails the current test on frontend errors.
+inline std::unique_ptr<Compilation> compileOK(const std::string &Source) {
+  std::ostringstream Diag;
+  auto C = compileString(Source, &Diag);
+  EXPECT_TRUE(C->Success) << "frontend errors:\n" << Diag.str();
+  return C;
+}
+
+/// Compiles \p Source expecting at least one error; returns the
+/// diagnostic text.
+inline std::string compileError(const std::string &Source) {
+  std::ostringstream Diag;
+  auto C = compileString(Source, &Diag);
+  EXPECT_FALSE(C->Success) << "expected a frontend error";
+  return Diag.str();
+}
+
+/// Runs the dead-member analysis with \p Options.
+inline DeadMemberResult analyze(Compilation &C,
+                                AnalysisOptions Options = {}) {
+  DeadMemberAnalysis A(C.context(), C.hierarchy(), Options);
+  return A.run(C.mainFunction());
+}
+
+/// Returns the qualified names ("C::m") of all dead members.
+inline std::set<std::string> deadNames(const DeadMemberResult &R) {
+  std::set<std::string> Names;
+  for (const FieldDecl *F : R.deadMembers())
+    Names.insert(F->qualifiedName());
+  return Names;
+}
+
+/// Returns the qualified names of all live classifiable members.
+inline std::set<std::string> liveNames(const DeadMemberResult &R) {
+  std::set<std::string> Names;
+  for (const FieldDecl *F : R.classifiableMembers())
+    if (R.isLive(F))
+      Names.insert(F->qualifiedName());
+  return Names;
+}
+
+/// Interprets the program; fails the test on runtime errors.
+inline ExecResult runOK(Compilation &C, InterpOptions Options = {}) {
+  Interpreter I(C.context(), C.hierarchy(), Options);
+  ExecResult R = I.run(C.mainFunction());
+  EXPECT_TRUE(R.Completed) << "runtime error: " << R.Error;
+  return R;
+}
+
+/// Finds a class by name; fails the test when absent.
+inline const ClassDecl *findClass(Compilation &C, const std::string &Name) {
+  for (const ClassDecl *CD : C.context().classes())
+    if (CD->name() == Name)
+      return CD;
+  ADD_FAILURE() << "no class named " << Name;
+  return nullptr;
+}
+
+/// Finds a member "Class::field"; fails the test when absent.
+inline const FieldDecl *findField(Compilation &C,
+                                  const std::string &ClassName,
+                                  const std::string &FieldName) {
+  const ClassDecl *CD = findClass(C, ClassName);
+  if (!CD)
+    return nullptr;
+  FieldDecl *F = CD->findField(FieldName);
+  EXPECT_NE(F, nullptr) << ClassName << " has no field " << FieldName;
+  return F;
+}
+
+} // namespace test
+} // namespace dmm
+
+#endif // DMM_TESTS_TESTUTIL_H
