@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_callgraph.dir/ablation_callgraph.cpp.o"
+  "CMakeFiles/ablation_callgraph.dir/ablation_callgraph.cpp.o.d"
+  "ablation_callgraph"
+  "ablation_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elimination_savings.dir/elimination_savings.cpp.o"
+  "CMakeFiles/elimination_savings.dir/elimination_savings.cpp.o.d"
+  "elimination_savings"
+  "elimination_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elimination_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_static_dead.dir/figure3_static_dead.cpp.o"
+  "CMakeFiles/figure3_static_dead.dir/figure3_static_dead.cpp.o.d"
+  "figure3_static_dead"
+  "figure3_static_dead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_static_dead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_object_space.dir/figure4_object_space.cpp.o"
+  "CMakeFiles/figure4_object_space.dir/figure4_object_space.cpp.o.d"
+  "figure4_object_space"
+  "figure4_object_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_object_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dynamic.dir/table2_dynamic.cpp.o"
+  "CMakeFiles/table2_dynamic.dir/table2_dynamic.cpp.o.d"
+  "table2_dynamic"
+  "table2_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ide_feedback.dir/ide_feedback.cpp.o"
+  "CMakeFiles/ide_feedback.dir/ide_feedback.cpp.o.d"
+  "ide_feedback"
+  "ide_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ide_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/library_pruning.cpp" "examples/CMakeFiles/library_pruning.dir/library_pruning.cpp.o" "gcc" "examples/CMakeFiles/library_pruning.dir/library_pruning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/dmm_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dmm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dmm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dmm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/dmm_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/dmm_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/dmm_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/dmm_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/dmm_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/callgraph/CMakeFiles/dmm_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/dmm_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/dmm_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

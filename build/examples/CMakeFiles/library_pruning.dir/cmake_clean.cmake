@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_pruning.dir/library_pruning.cpp.o"
+  "CMakeFiles/library_pruning.dir/library_pruning.cpp.o.d"
+  "library_pruning"
+  "library_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

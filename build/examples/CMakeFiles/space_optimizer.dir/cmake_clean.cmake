@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_optimizer.dir/space_optimizer.cpp.o"
+  "CMakeFiles/space_optimizer.dir/space_optimizer.cpp.o.d"
+  "space_optimizer"
+  "space_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/DeadMemberAnalysis.cpp" "src/analysis/CMakeFiles/dmm_analysis.dir/DeadMemberAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/dmm_analysis.dir/DeadMemberAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/ProgramStats.cpp" "src/analysis/CMakeFiles/dmm_analysis.dir/ProgramStats.cpp.o" "gcc" "src/analysis/CMakeFiles/dmm_analysis.dir/ProgramStats.cpp.o.d"
+  "/root/repo/src/analysis/Report.cpp" "src/analysis/CMakeFiles/dmm_analysis.dir/Report.cpp.o" "gcc" "src/analysis/CMakeFiles/dmm_analysis.dir/Report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/dmm_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/dmm_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/callgraph/CMakeFiles/dmm_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

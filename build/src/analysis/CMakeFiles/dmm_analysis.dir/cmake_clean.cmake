@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_analysis.dir/DeadMemberAnalysis.cpp.o"
+  "CMakeFiles/dmm_analysis.dir/DeadMemberAnalysis.cpp.o.d"
+  "CMakeFiles/dmm_analysis.dir/ProgramStats.cpp.o"
+  "CMakeFiles/dmm_analysis.dir/ProgramStats.cpp.o.d"
+  "CMakeFiles/dmm_analysis.dir/Report.cpp.o"
+  "CMakeFiles/dmm_analysis.dir/Report.cpp.o.d"
+  "libdmm_analysis.a"
+  "libdmm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ASTContext.cpp" "src/ast/CMakeFiles/dmm_ast.dir/ASTContext.cpp.o" "gcc" "src/ast/CMakeFiles/dmm_ast.dir/ASTContext.cpp.o.d"
+  "/root/repo/src/ast/Decl.cpp" "src/ast/CMakeFiles/dmm_ast.dir/Decl.cpp.o" "gcc" "src/ast/CMakeFiles/dmm_ast.dir/Decl.cpp.o.d"
+  "/root/repo/src/ast/SourcePrinter.cpp" "src/ast/CMakeFiles/dmm_ast.dir/SourcePrinter.cpp.o" "gcc" "src/ast/CMakeFiles/dmm_ast.dir/SourcePrinter.cpp.o.d"
+  "/root/repo/src/ast/Type.cpp" "src/ast/CMakeFiles/dmm_ast.dir/Type.cpp.o" "gcc" "src/ast/CMakeFiles/dmm_ast.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

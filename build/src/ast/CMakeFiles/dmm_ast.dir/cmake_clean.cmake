@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_ast.dir/ASTContext.cpp.o"
+  "CMakeFiles/dmm_ast.dir/ASTContext.cpp.o.d"
+  "CMakeFiles/dmm_ast.dir/Decl.cpp.o"
+  "CMakeFiles/dmm_ast.dir/Decl.cpp.o.d"
+  "CMakeFiles/dmm_ast.dir/SourcePrinter.cpp.o"
+  "CMakeFiles/dmm_ast.dir/SourcePrinter.cpp.o.d"
+  "CMakeFiles/dmm_ast.dir/Type.cpp.o"
+  "CMakeFiles/dmm_ast.dir/Type.cpp.o.d"
+  "libdmm_ast.a"
+  "libdmm_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchgen/BenchmarkSpec.cpp" "src/benchgen/CMakeFiles/dmm_benchgen.dir/BenchmarkSpec.cpp.o" "gcc" "src/benchgen/CMakeFiles/dmm_benchgen.dir/BenchmarkSpec.cpp.o.d"
+  "/root/repo/src/benchgen/Programs_deltablue.cpp" "src/benchgen/CMakeFiles/dmm_benchgen.dir/Programs_deltablue.cpp.o" "gcc" "src/benchgen/CMakeFiles/dmm_benchgen.dir/Programs_deltablue.cpp.o.d"
+  "/root/repo/src/benchgen/Programs_richards.cpp" "src/benchgen/CMakeFiles/dmm_benchgen.dir/Programs_richards.cpp.o" "gcc" "src/benchgen/CMakeFiles/dmm_benchgen.dir/Programs_richards.cpp.o.d"
+  "/root/repo/src/benchgen/Synthesizer.cpp" "src/benchgen/CMakeFiles/dmm_benchgen.dir/Synthesizer.cpp.o" "gcc" "src/benchgen/CMakeFiles/dmm_benchgen.dir/Synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

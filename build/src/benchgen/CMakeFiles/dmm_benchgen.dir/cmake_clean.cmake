@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_benchgen.dir/BenchmarkSpec.cpp.o"
+  "CMakeFiles/dmm_benchgen.dir/BenchmarkSpec.cpp.o.d"
+  "CMakeFiles/dmm_benchgen.dir/Programs_deltablue.cpp.o"
+  "CMakeFiles/dmm_benchgen.dir/Programs_deltablue.cpp.o.d"
+  "CMakeFiles/dmm_benchgen.dir/Programs_richards.cpp.o"
+  "CMakeFiles/dmm_benchgen.dir/Programs_richards.cpp.o.d"
+  "CMakeFiles/dmm_benchgen.dir/Synthesizer.cpp.o"
+  "CMakeFiles/dmm_benchgen.dir/Synthesizer.cpp.o.d"
+  "libdmm_benchgen.a"
+  "libdmm_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

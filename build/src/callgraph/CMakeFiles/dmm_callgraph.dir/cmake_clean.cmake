@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_callgraph.dir/CallGraph.cpp.o"
+  "CMakeFiles/dmm_callgraph.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/dmm_callgraph.dir/PointsTo.cpp.o"
+  "CMakeFiles/dmm_callgraph.dir/PointsTo.cpp.o.d"
+  "libdmm_callgraph.a"
+  "libdmm_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

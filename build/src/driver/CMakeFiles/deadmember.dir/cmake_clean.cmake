@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadmember.dir/Main.cpp.o"
+  "CMakeFiles/deadmember.dir/Main.cpp.o.d"
+  "deadmember"
+  "deadmember.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadmember.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_frontend.dir/Frontend.cpp.o"
+  "CMakeFiles/dmm_frontend.dir/Frontend.cpp.o.d"
+  "libdmm_frontend.a"
+  "libdmm_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

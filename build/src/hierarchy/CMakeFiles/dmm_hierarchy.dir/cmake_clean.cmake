@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_hierarchy.dir/ClassHierarchy.cpp.o"
+  "CMakeFiles/dmm_hierarchy.dir/ClassHierarchy.cpp.o.d"
+  "CMakeFiles/dmm_hierarchy.dir/ObjectLayout.cpp.o"
+  "CMakeFiles/dmm_hierarchy.dir/ObjectLayout.cpp.o.d"
+  "libdmm_hierarchy.a"
+  "libdmm_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/dmm_interp.dir/Interpreter.cpp.o.d"
+  "libdmm_interp.a"
+  "libdmm_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_lexer.dir/Lexer.cpp.o"
+  "CMakeFiles/dmm_lexer.dir/Lexer.cpp.o.d"
+  "libdmm_lexer.a"
+  "libdmm_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_parser.dir/Parser.cpp.o"
+  "CMakeFiles/dmm_parser.dir/Parser.cpp.o.d"
+  "libdmm_parser.a"
+  "libdmm_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_sema.dir/Sema.cpp.o"
+  "CMakeFiles/dmm_sema.dir/Sema.cpp.o.d"
+  "libdmm_sema.a"
+  "libdmm_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

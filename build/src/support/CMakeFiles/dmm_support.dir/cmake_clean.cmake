@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/dmm_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/dmm_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/dmm_support.dir/SourceManager.cpp.o.d"
+  "libdmm_support.a"
+  "libdmm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

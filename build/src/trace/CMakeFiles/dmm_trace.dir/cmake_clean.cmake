@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_trace.dir/DynamicMetrics.cpp.o"
+  "CMakeFiles/dmm_trace.dir/DynamicMetrics.cpp.o.d"
+  "libdmm_trace.a"
+  "libdmm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_transform.dir/DeadMemberEliminator.cpp.o"
+  "CMakeFiles/dmm_transform.dir/DeadMemberEliminator.cpp.o.d"
+  "libdmm_transform.a"
+  "libdmm_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisEdgeTest.cpp" "tests/CMakeFiles/dmm_tests.dir/AnalysisEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/AnalysisEdgeTest.cpp.o.d"
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/dmm_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/BenchgenTest.cpp" "tests/CMakeFiles/dmm_tests.dir/BenchgenTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/BenchgenTest.cpp.o.d"
+  "/root/repo/tests/CallGraphTest.cpp" "tests/CMakeFiles/dmm_tests.dir/CallGraphTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/CallGraphTest.cpp.o.d"
+  "/root/repo/tests/EliminatorTest.cpp" "tests/CMakeFiles/dmm_tests.dir/EliminatorTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/EliminatorTest.cpp.o.d"
+  "/root/repo/tests/HierarchyTest.cpp" "tests/CMakeFiles/dmm_tests.dir/HierarchyTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/HierarchyTest.cpp.o.d"
+  "/root/repo/tests/IntegrationTest.cpp" "tests/CMakeFiles/dmm_tests.dir/IntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/IntegrationTest.cpp.o.d"
+  "/root/repo/tests/InterpSemanticsTest.cpp" "tests/CMakeFiles/dmm_tests.dir/InterpSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/InterpSemanticsTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/dmm_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/LayoutTest.cpp" "tests/CMakeFiles/dmm_tests.dir/LayoutTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/LayoutTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/dmm_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/MetricsTest.cpp" "tests/CMakeFiles/dmm_tests.dir/MetricsTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/MetricsTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/dmm_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PointsToTest.cpp" "tests/CMakeFiles/dmm_tests.dir/PointsToTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/PointsToTest.cpp.o.d"
+  "/root/repo/tests/PrinterTest.cpp" "tests/CMakeFiles/dmm_tests.dir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/dmm_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/RobustnessTest.cpp" "tests/CMakeFiles/dmm_tests.dir/RobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/RobustnessTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/dmm_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/StatsTest.cpp" "tests/CMakeFiles/dmm_tests.dir/StatsTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/StatsTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/dmm_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/SupportTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/dmm_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dmm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dmm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dmm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/dmm_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/dmm_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/dmm_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/dmm_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/dmm_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/callgraph/CMakeFiles/dmm_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/dmm_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/dmm_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
