@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "telemetry/Telemetry.h"
 
 #include "benchmark/benchmark.h"
 
@@ -21,6 +22,20 @@ using namespace dmm;
 using namespace dmm::bench;
 
 namespace {
+
+/// Export accumulated phase times as per-iteration counters so the
+/// benchmark output decomposes by stage (e.g. lex_ms, parse_ms).
+void exportPhaseCounters(benchmark::State &State, const Telemetry &Tel) {
+  for (const PhaseStat &P : Tel.phases())
+    State.counters[P.Name + "_ms"] =
+        benchmark::Counter(P.Nanos / 1e6 / State.iterations());
+}
+
+void exportCounter(benchmark::State &State, const Telemetry &Tel,
+                   const char *Name, const char *Label) {
+  State.counters[Label] =
+      benchmark::Counter(double(Tel.counter(Name)) / State.iterations());
+}
 
 GeneratedBenchmark &programFor(const std::string &Name) {
   static std::vector<GeneratedBenchmark> Cache =
@@ -48,21 +63,31 @@ void BM_Frontend(benchmark::State &State, const std::string &Name) {
   size_t Bytes = 0;
   for (const SourceFile &F : G.Files)
     Bytes += F.Text.size();
+  Telemetry Tel;
   for (auto _ : State) {
+    TelemetryScope Scope(Tel);
     auto C = compileProgram(G.Files, nullptr);
     benchmark::DoNotOptimize(C->Success);
   }
   State.SetBytesProcessed(State.iterations() * Bytes);
+  exportPhaseCounters(State, Tel);
+  exportCounter(State, Tel, "lex.tokens", "tokens");
 }
 
 void BM_CallGraph(benchmark::State &State, const std::string &Name,
                   CallGraphKind Kind) {
   auto &C = compiledFor(Name);
+  Telemetry Tel;
   for (auto _ : State) {
+    TelemetryScope Scope(Tel);
     CallGraph G = buildCallGraph(C->context(), C->hierarchy(),
                                  C->mainFunction(), Kind);
     benchmark::DoNotOptimize(G.numEdges());
   }
+  exportPhaseCounters(State, Tel);
+  std::string Prefix = std::string("callgraph.") + callGraphKindName(Kind);
+  exportCounter(State, Tel, (Prefix + ".edges").c_str(), "edges");
+  exportCounter(State, Tel, (Prefix + ".reachable").c_str(), "reachable");
 }
 
 void BM_Analysis(benchmark::State &State, const std::string &Name) {
@@ -70,23 +95,31 @@ void BM_Analysis(benchmark::State &State, const std::string &Name) {
   // Share one call graph: measure the Fig. 2 walk itself.
   CallGraph G = buildCallGraph(C->context(), C->hierarchy(),
                                C->mainFunction(), CallGraphKind::RTA);
+  Telemetry Tel;
   for (auto _ : State) {
+    TelemetryScope Scope(Tel);
     DeadMemberAnalysis A(C->context(), C->hierarchy(), {});
     A.setCallGraph(&G);
     DeadMemberResult R = A.run(C->mainFunction());
     benchmark::DoNotOptimize(R.classifiableMembers().size());
   }
+  exportPhaseCounters(State, Tel);
+  exportCounter(State, Tel, "analysis.exprs_visited", "exprs");
 }
 
 void BM_Interpret(benchmark::State &State, const std::string &Name) {
   auto &C = compiledFor(Name);
+  Telemetry Tel;
   for (auto _ : State) {
+    TelemetryScope Scope(Tel);
     Interpreter I(C->context(), C->hierarchy(), {});
     ExecResult E = I.run(C->mainFunction());
     if (!E.Completed)
       std::abort();
     benchmark::DoNotOptimize(E.ExitCode);
   }
+  exportPhaseCounters(State, Tel);
+  exportCounter(State, Tel, "interp.steps", "steps");
 }
 
 void registerAll() {

@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/trace/CMakeFiles/dmm_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/benchgen/CMakeFiles/dmm_benchgen.dir/DependInfo.cmake"
   "/root/repo/build/src/transform/CMakeFiles/dmm_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/dmm_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/parser/CMakeFiles/dmm_parser.dir/DependInfo.cmake"
   "/root/repo/build/src/lexer/CMakeFiles/dmm_lexer.dir/DependInfo.cmake"
   "/root/repo/build/src/sema/CMakeFiles/dmm_sema.dir/DependInfo.cmake"

@@ -141,7 +141,7 @@ bench/CMakeFiles/ablation_scaling.dir/ablation_scaling.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
  /root/repo/src/analysis/ProgramStats.h \
  /root/repo/src/benchgen/Synthesizer.h \
  /root/repo/src/benchgen/BenchmarkSpec.h \

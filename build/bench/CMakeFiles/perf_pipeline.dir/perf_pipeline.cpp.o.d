@@ -141,7 +141,7 @@ bench/CMakeFiles/perf_pipeline.dir/perf_pipeline.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
  /root/repo/src/analysis/ProgramStats.h \
  /root/repo/src/benchgen/Synthesizer.h \
  /root/repo/src/benchgen/BenchmarkSpec.h \
@@ -232,7 +232,13 @@ bench/CMakeFiles/perf_pipeline.dir/perf_pipeline.cpp.o: \
  /root/repo/src/interp/Value.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/trace/AllocationTrace.h \
- /root/repo/src/trace/DynamicMetrics.h /usr/include/benchmark/benchmark.h \
+ /root/repo/src/trace/DynamicMetrics.h \
+ /root/repo/src/telemetry/Telemetry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/benchmark/benchmark.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -240,5 +246,4 @@ bench/CMakeFiles/perf_pipeline.dir/perf_pipeline.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/limits /usr/include/benchmark/export.h \
- /usr/include/c++/12/atomic
+ /usr/include/benchmark/export.h /usr/include/c++/12/atomic

@@ -140,7 +140,7 @@ examples/CMakeFiles/ide_feedback.dir/ide_feedback.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
  /root/repo/src/driver/Frontend.h /root/repo/src/ast/ASTContext.h \
  /root/repo/src/ast/Expr.h /root/repo/src/ast/Stmt.h \
  /root/repo/src/support/Arena.h /usr/include/c++/12/cstddef \

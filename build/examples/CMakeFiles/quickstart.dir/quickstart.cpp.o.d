@@ -140,7 +140,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
  /root/repo/src/analysis/Report.h /root/repo/src/analysis/ProgramStats.h \
  /root/repo/src/hierarchy/ClassHierarchy.h \
  /usr/include/c++/12/unordered_map \

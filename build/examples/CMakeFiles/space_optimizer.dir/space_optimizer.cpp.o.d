@@ -140,7 +140,7 @@ examples/CMakeFiles/space_optimizer.dir/space_optimizer.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
  /root/repo/src/benchgen/Synthesizer.h \
  /root/repo/src/benchgen/BenchmarkSpec.h \
  /root/repo/src/support/SourceFile.h /root/repo/src/driver/Frontend.h \

@@ -140,10 +140,11 @@ src/analysis/CMakeFiles/dmm_analysis.dir/DeadMemberAnalysis.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ast/ASTContext.h \
- /root/repo/src/ast/Expr.h /root/repo/src/ast/Stmt.h \
- /root/repo/src/support/Arena.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
+ /root/repo/src/ast/ASTContext.h /root/repo/src/ast/Expr.h \
+ /root/repo/src/ast/Stmt.h /root/repo/src/support/Arena.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -219,4 +220,10 @@ src/analysis/CMakeFiles/dmm_analysis.dir/DeadMemberAnalysis.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ast/ASTWalker.h \
  /root/repo/src/hierarchy/ClassHierarchy.h \
  /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/unordered_map.h
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/telemetry/Telemetry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

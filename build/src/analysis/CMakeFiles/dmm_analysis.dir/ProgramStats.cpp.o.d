@@ -141,10 +141,11 @@ src/analysis/CMakeFiles/dmm_analysis.dir/ProgramStats.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ast/ASTContext.h \
- /root/repo/src/ast/Expr.h /root/repo/src/ast/Stmt.h \
- /root/repo/src/support/Arena.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
+ /root/repo/src/ast/ASTContext.h /root/repo/src/ast/Expr.h \
+ /root/repo/src/ast/Stmt.h /root/repo/src/support/Arena.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

@@ -141,7 +141,7 @@ src/analysis/CMakeFiles/dmm_analysis.dir/Report.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
  /root/repo/src/analysis/ProgramStats.h \
  /root/repo/src/hierarchy/ClassHierarchy.h \
  /usr/include/c++/12/unordered_map \

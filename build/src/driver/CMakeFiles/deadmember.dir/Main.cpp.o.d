@@ -141,7 +141,7 @@ src/driver/CMakeFiles/deadmember.dir/Main.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
  /root/repo/src/analysis/ProgramStats.h \
  /root/repo/src/hierarchy/ClassHierarchy.h \
  /usr/include/c++/12/unordered_map \
@@ -229,13 +229,25 @@ src/driver/CMakeFiles/deadmember.dir/Main.cpp.o: \
  /root/repo/src/interp/Value.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/trace/AllocationTrace.h \
+ /root/repo/src/telemetry/Telemetry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/trace/DynamicMetrics.h \
  /root/repo/src/transform/DeadMemberEliminator.h \
- /root/repo/src/ast/SourcePrinter.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/ast/SourcePrinter.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/optional

@@ -218,4 +218,10 @@ src/driver/CMakeFiles/dmm_frontend.dir/Frontend.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/support/Diagnostics.h /root/repo/src/support/SourceFile.h \
  /root/repo/src/support/SourceManager.h /root/repo/src/parser/Parser.h \
- /root/repo/src/lexer/Token.h
+ /root/repo/src/lexer/Token.h /root/repo/src/telemetry/Telemetry.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

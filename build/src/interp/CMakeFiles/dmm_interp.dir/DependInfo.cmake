@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ast/CMakeFiles/dmm_ast.dir/DependInfo.cmake"
   "/root/repo/build/src/hierarchy/CMakeFiles/dmm_hierarchy.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/dmm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/dmm_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/dmm_support.dir/DependInfo.cmake"
   )
 

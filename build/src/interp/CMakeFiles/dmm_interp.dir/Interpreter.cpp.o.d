@@ -221,5 +221,11 @@ src/interp/CMakeFiles/dmm_interp.dir/Interpreter.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/trace/AllocationTrace.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/cinttypes \
+ /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/telemetry/Telemetry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cinttypes \
  /usr/include/inttypes.h

@@ -214,4 +214,10 @@ src/parser/CMakeFiles/dmm_parser.dir/Parser.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/lexer/Lexer.h \
  /root/repo/src/support/Diagnostics.h \
- /root/repo/src/support/SourceManager.h
+ /root/repo/src/support/SourceManager.h \
+ /root/repo/src/telemetry/Telemetry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_telemetry.dir/Telemetry.cpp.o"
+  "CMakeFiles/dmm_telemetry.dir/Telemetry.cpp.o.d"
+  "libdmm_telemetry.a"
+  "libdmm_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmm_telemetry.a"
+)

@@ -142,7 +142,7 @@ src/transform/CMakeFiles/dmm_transform.dir/DeadMemberEliminator.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
  /root/repo/src/ast/SourcePrinter.h /root/repo/src/ast/ASTContext.h \
  /root/repo/src/ast/Expr.h /root/repo/src/ast/Stmt.h \
  /root/repo/src/support/Arena.h /usr/include/c++/12/cstddef \
@@ -219,4 +219,10 @@ src/transform/CMakeFiles/dmm_transform.dir/DeadMemberEliminator.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ast/ASTWalker.h
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ast/ASTWalker.h \
+ /root/repo/src/telemetry/Telemetry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

@@ -28,6 +28,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/dmm_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/SemaTest.cpp.o.d"
   "/root/repo/tests/StatsTest.cpp" "tests/CMakeFiles/dmm_tests.dir/StatsTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/StatsTest.cpp.o.d"
   "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/dmm_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TelemetryTest.cpp" "tests/CMakeFiles/dmm_tests.dir/TelemetryTest.cpp.o" "gcc" "tests/CMakeFiles/dmm_tests.dir/TelemetryTest.cpp.o.d"
   )
 
 # Targets to which this target links.
@@ -38,6 +39,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/trace/CMakeFiles/dmm_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/benchgen/CMakeFiles/dmm_benchgen.dir/DependInfo.cmake"
   "/root/repo/build/src/transform/CMakeFiles/dmm_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/dmm_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/parser/CMakeFiles/dmm_parser.dir/DependInfo.cmake"
   "/root/repo/build/src/lexer/CMakeFiles/dmm_lexer.dir/DependInfo.cmake"
   "/root/repo/build/src/sema/CMakeFiles/dmm_sema.dir/DependInfo.cmake"

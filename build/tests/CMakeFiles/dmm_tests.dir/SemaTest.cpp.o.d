@@ -140,7 +140,7 @@ tests/CMakeFiles/dmm_tests.dir/SemaTest.cpp.o: \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/array \
  /root/repo/src/driver/Frontend.h /root/repo/src/ast/ASTContext.h \
  /root/repo/src/ast/Expr.h /root/repo/src/ast/Stmt.h \
  /root/repo/src/support/Arena.h /usr/include/c++/12/cstddef \
@@ -298,7 +298,7 @@ tests/CMakeFiles/dmm_tests.dir/SemaTest.cpp.o: \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

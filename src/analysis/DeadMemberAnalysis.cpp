@@ -10,6 +10,7 @@
 #include "ast/ASTWalker.h"
 #include "ast/Expr.h"
 #include "hierarchy/ClassHierarchy.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 
@@ -26,6 +27,21 @@ const char *dmm::livenessReasonName(LivenessReason Reason) {
   case LivenessReason::UnionClosure: return "union closure";
   case LivenessReason::VolatileWrite: return "volatile member written";
   case LivenessReason::Written: return "written (baseline mode)";
+  }
+  return "unknown";
+}
+
+const char *dmm::livenessReasonSlug(LivenessReason Reason) {
+  switch (Reason) {
+  case LivenessReason::NotAccessed: return "not_accessed";
+  case LivenessReason::Read: return "read";
+  case LivenessReason::AddressTaken: return "address_taken";
+  case LivenessReason::PointerToMember: return "pointer_to_member";
+  case LivenessReason::UnsafeCast: return "unsafe_cast";
+  case LivenessReason::SizeofConservative: return "sizeof";
+  case LivenessReason::UnionClosure: return "union_closure";
+  case LivenessReason::VolatileWrite: return "volatile_write";
+  case LivenessReason::Written: return "written";
   }
   return "unknown";
 }
@@ -52,8 +68,14 @@ DeadMemberAnalysis::DeadMemberAnalysis(const ASTContext &Ctx,
     : Ctx(Ctx), CH(CH), Options(Options) {}
 
 DeadMemberResult DeadMemberAnalysis::run(const FunctionDecl *Main) {
+  PhaseTimer Timer("analysis");
   Result = DeadMemberResult();
   MarkVisited.clear();
+  ProvLoc = SourceLocation();
+  ProvVia = nullptr;
+  ProvTrigger = nullptr;
+  NumFunctionsProcessed = NumExprsVisited = NumUnionClosurePasses = 0;
+  MarksPerReason.fill(0);
 
   // Line 3 of Fig. 2: all data members start dead. We track the live set;
   // classifiable members are enumerated here.
@@ -89,42 +111,66 @@ DeadMemberResult DeadMemberAnalysis::run(const FunctionDecl *Main) {
     bool Changed = true;
     while (Changed) {
       Changed = false;
+      ++NumUnionClosurePasses;
       for (const ClassDecl *CD : Ctx.classes()) {
         if (!CD->isUnion() || MarkVisited.count(CD))
           continue;
-        if (!containsLiveMember(CD))
+        const FieldDecl *Trigger = containsLiveMember(CD);
+        if (!Trigger)
           continue;
+        if (Options.RecordProvenance) {
+          ProvLoc = SourceLocation();
+          ProvVia = CD;
+          ProvTrigger = Trigger;
+        }
         markAllContainedMembers(CD, LivenessReason::UnionClosure);
+        ProvVia = nullptr;
+        ProvTrigger = nullptr;
         Changed = true;
       }
     }
   }
 
+  if (Telemetry *T = Telemetry::active()) {
+    T->addCounter("analysis.functions_processed", NumFunctionsProcessed);
+    T->addCounter("analysis.exprs_visited", NumExprsVisited);
+    T->addCounter("analysis.union_closure_passes", NumUnionClosurePasses);
+    T->addCounter("analysis.classifiable_members",
+                  Result.Classifiable.size());
+    T->addCounter("analysis.live_members", Result.Live.size());
+    for (size_t I = 0; I != MarksPerReason.size(); ++I)
+      if (MarksPerReason[I])
+        T->addCounter(std::string("analysis.live.") +
+                          livenessReasonSlug(static_cast<LivenessReason>(I)),
+                      MarksPerReason[I]);
+  }
+
   return Result;
 }
 
-bool DeadMemberAnalysis::containsLiveMember(const ClassDecl *CD) const {
+const FieldDecl *
+DeadMemberAnalysis::containsLiveMember(const ClassDecl *CD) const {
   std::set<const ClassDecl *> Seen;
   struct Walker {
     const DeadMemberResult &Result;
     std::set<const ClassDecl *> &Seen;
-    bool walk(const ClassDecl *C) const {
+    const FieldDecl *walk(const ClassDecl *C) const {
       if (!Seen.insert(C).second)
-        return false;
+        return nullptr;
       for (const FieldDecl *F : C->fields()) {
         if (Result.isLive(F))
-          return true;
+          return F;
         const Type *Ty = F->type();
         if (const auto *AT = dyn_cast<ArrayType>(Ty))
           Ty = AT->element();
         if (const ClassDecl *Nested = Ty->asClassDecl())
-          if (walk(Nested))
-            return true;
+          if (const FieldDecl *Found = walk(Nested))
+            return Found;
       }
       for (const BaseSpecifier &BS : C->bases())
-        if (walk(BS.Base))
-          return true;
-      return false;
+        if (const FieldDecl *Found = walk(BS.Base))
+          return Found;
+      return nullptr;
     }
   };
   return Walker{Result, Seen}.walk(CD);
@@ -132,8 +178,12 @@ bool DeadMemberAnalysis::containsLiveMember(const ClassDecl *CD) const {
 
 void DeadMemberAnalysis::markLive(const FieldDecl *F,
                                   LivenessReason Reason) {
-  if (Result.Live.insert(F).second)
-    Result.Reasons[F] = Reason;
+  if (!Result.Live.insert(F).second)
+    return; // First cause wins.
+  Result.Reasons[F] = Reason;
+  ++MarksPerReason[static_cast<size_t>(Reason)];
+  if (Options.RecordProvenance)
+    Result.Provenance[F] = {Reason, ProvLoc, ProvVia, ProvTrigger};
 }
 
 void DeadMemberAnalysis::markAllContainedMembers(const ClassDecl *CD,
@@ -171,8 +221,16 @@ void DeadMemberAnalysis::markContainedOfType(const Type *Ty,
     }
     break;
   }
-  if (const ClassDecl *CD = Ty->asClassDecl())
+  if (const ClassDecl *CD = Ty->asClassDecl()) {
+    if (Options.RecordProvenance) {
+      // The cast/sizeof expression's location is already in ProvLoc;
+      // record which class the sweep started from.
+      ProvVia = CD;
+      ProvTrigger = nullptr;
+    }
     markAllContainedMembers(CD, Reason);
+    ProvVia = nullptr;
+  }
 }
 
 void DeadMemberAnalysis::noteWrite(const FieldDecl *F) {
@@ -204,12 +262,16 @@ static const Expr *stripCasts(const Expr *E) {
 }
 
 void DeadMemberAnalysis::processFunction(const FunctionDecl *FD) {
+  ++NumFunctionsProcessed;
   // Constructor initializer lists: targets are writes; arguments are
   // reads.
   if (const auto *Ctor = dyn_cast<ConstructorDecl>(FD)) {
     for (const CtorInitializer &Init : Ctor->initializers()) {
-      if (Init.Field)
+      if (Init.Field) {
+        if (Options.RecordProvenance)
+          ProvLoc = Init.Field->location();
         noteWrite(Init.Field);
+      }
       for (const Expr *Arg : Init.Args)
         visit(Arg);
     }
@@ -243,8 +305,11 @@ void DeadMemberAnalysis::visitDeallocArg(const Expr *E) {
     bool Unsafe = CE->safety() == CastSafety::Unrelated ||
                   (CE->safety() == CastSafety::Downcast &&
                    !Options.AssumeDowncastsSafe);
-    if (Unsafe)
+    if (Unsafe) {
+      if (Options.RecordProvenance)
+        ProvLoc = CE->location();
       markContainedOfType(CE->sub()->type(), LivenessReason::UnsafeCast);
+    }
   }
   const Expr *Stripped = stripCasts(E);
   if (const FieldDecl *F = directFieldAccess(Stripped)) {
@@ -257,6 +322,9 @@ void DeadMemberAnalysis::visitDeallocArg(const Expr *E) {
 }
 
 void DeadMemberAnalysis::visit(const Expr *E) {
+  ++NumExprsVisited;
+  if (Options.RecordProvenance)
+    ProvLoc = E->location();
   switch (E->kind()) {
   case Expr::Kind::Member: {
     const auto *ME = cast<MemberExpr>(E);

@@ -29,7 +29,9 @@
 #include "ast/Decl.h"
 #include "callgraph/CallGraph.h"
 #include "hierarchy/ObjectLayout.h"
+#include "support/SourceLocation.h"
 
+#include <array>
 #include <map>
 #include <string>
 #include <set>
@@ -82,6 +84,13 @@ struct AnalysisOptions {
   /// what a naive "unused field" linter computes. Disables the
   /// deallocation exemption implicitly.
   bool TreatWritesAsLive = false;
+
+  /// Record, per live member, the cause of its classification: the
+  /// source location of the marking expression and, for propagated
+  /// marks (unsafe cast / sizeof sweep, union closure), the edge back
+  /// to the root cause. Off by default (small but nonzero cost per
+  /// visited expression).
+  bool RecordProvenance = false;
 };
 
 /// Why a member was marked live (first cause wins).
@@ -98,6 +107,35 @@ enum class LivenessReason {
 };
 
 const char *livenessReasonName(LivenessReason Reason);
+
+/// Short machine-friendly identifier for a reason ("read",
+/// "unsafe_cast", ...), used for telemetry counter names and JSON keys.
+const char *livenessReasonSlug(LivenessReason Reason);
+
+/// Why a live member is live, at one level of detail deeper than the
+/// LivenessReason enum (recorded when AnalysisOptions::RecordProvenance
+/// is set). Directly-marked members carry the source location of the
+/// marking expression. Propagated members carry the propagation edge:
+/// the class whose members were swept (cast-source class or closed
+/// union) and — for union closure — the already-live member whose
+/// liveness forced the sweep, which chains to *its* provenance.
+struct LivenessProvenance {
+  LivenessReason Reason = LivenessReason::NotAccessed;
+  /// The marking expression (reads, address-of, pointer-to-member,
+  /// volatile writes) or the unsafe cast / sizeof that triggered a
+  /// contained-member sweep. Invalid for union-closure marks, which
+  /// have no single source point.
+  SourceLocation Loc;
+  /// Propagated marks only: the class whose contained members were
+  /// swept (the cast-source class, the sizeof operand class, or the
+  /// closed union).
+  const ClassDecl *Via = nullptr;
+  /// Union-closure marks only: the live member that triggered the
+  /// closure. Follow its provenance to reach the root cause.
+  const FieldDecl *Trigger = nullptr;
+
+  bool isPropagated() const { return Via != nullptr; }
+};
 
 /// Analysis output.
 class DeadMemberResult {
@@ -121,6 +159,13 @@ public:
     return It == Reasons.end() ? LivenessReason::NotAccessed : It->second;
   }
 
+  /// The recorded cause of \p F's liveness; null when \p F is dead or
+  /// the analysis ran without AnalysisOptions::RecordProvenance.
+  const LivenessProvenance *provenance(const FieldDecl *F) const {
+    auto It = Provenance.find(F);
+    return It == Provenance.end() ? nullptr : &It->second;
+  }
+
   /// The dead set over classifiable members, as a FieldSet usable by the
   /// layout engine.
   FieldSet deadSet() const;
@@ -137,6 +182,7 @@ private:
   friend class DeadMemberAnalysis;
   std::set<const FieldDecl *> Live;
   std::map<const FieldDecl *, LivenessReason> Reasons;
+  std::map<const FieldDecl *, LivenessProvenance> Provenance;
   std::vector<const FieldDecl *> Classifiable;
 };
 
@@ -159,9 +205,9 @@ public:
   const CallGraph &callGraph() const { return *UsedGraph; }
 
 private:
-  /// True if \p CD transitively contains a live member (union closure
-  /// trigger).
-  bool containsLiveMember(const ClassDecl *CD) const;
+  /// The first live member transitively contained in \p CD (the union
+  /// closure trigger), or null.
+  const FieldDecl *containsLiveMember(const ClassDecl *CD) const;
 
   void markLive(const FieldDecl *F, LivenessReason Reason);
   void markAllContainedMembers(const ClassDecl *CD, LivenessReason Reason);
@@ -189,6 +235,24 @@ private:
 
   DeadMemberResult Result;
   std::set<const ClassDecl *> MarkVisited; ///< MarkAllContainedMembers.
+
+  /// \name Provenance context (valid only while RecordProvenance)
+  /// The location of the expression currently being visited, and the
+  /// sweep edge (class + triggering member) during a
+  /// MarkAllContainedMembers cascade; markLive() snapshots them.
+  /// @{
+  SourceLocation ProvLoc;
+  const ClassDecl *ProvVia = nullptr;
+  const FieldDecl *ProvTrigger = nullptr;
+  /// @}
+
+  /// \name Telemetry tallies (flushed to the active Telemetry by run())
+  /// @{
+  uint64_t NumFunctionsProcessed = 0;
+  uint64_t NumExprsVisited = 0;
+  uint64_t NumUnionClosurePasses = 0;
+  std::array<uint64_t, 9> MarksPerReason{};
+  /// @}
 };
 
 } // namespace dmm

@@ -133,6 +133,25 @@ void dmm::printJsonReport(std::ostream &OS, const ASTContext &Ctx,
           OS << ", \"line\": " << P.Line << ", \"column\": " << P.Column;
         }
       }
+      if (const LivenessProvenance *Prov = Result.provenance(F)) {
+        if (SM && Prov->Loc.isValid()) {
+          PresumedLoc P = SM->presumedLoc(Prov->Loc);
+          if (P.isValid()) {
+            OS << ", \"causeFile\": ";
+            printJsonString(OS, std::string(P.Filename));
+            OS << ", \"causeLine\": " << P.Line
+               << ", \"causeColumn\": " << P.Column;
+          }
+        }
+        if (Prov->Via) {
+          OS << ", \"via\": ";
+          printJsonString(OS, Prov->Via->name());
+        }
+        if (Prov->Trigger) {
+          OS << ", \"propagatedFrom\": ";
+          printJsonString(OS, Prov->Trigger->qualifiedName());
+        }
+      }
       OS << "}";
     }
   }
@@ -173,6 +192,102 @@ void dmm::printLayoutReport(std::ostream &OS, const ASTContext &Ctx,
     if (Shrunk != L.CompleteSize)
       OS << "  without dead members: " << Shrunk << " bytes\n";
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Provenance (--explain) report
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Prints "\n  at file:line:col" or nothing when the location is
+/// unavailable.
+void printCauseLocation(std::ostream &OS, const SourceManager *SM,
+                        SourceLocation Loc, unsigned Indent) {
+  if (!SM || !Loc.isValid())
+    return;
+  PresumedLoc P = SM->presumedLoc(Loc);
+  if (!P.isValid())
+    return;
+  OS << std::string(Indent, ' ') << "at " << P.Filename << ":" << P.Line
+     << ":" << P.Column << "\n";
+}
+
+void explainMember(std::ostream &OS, const DeadMemberResult &Result,
+                   const FieldDecl *F, const SourceManager *SM,
+                   unsigned Indent, std::set<const FieldDecl *> &Seen) {
+  std::string Pad(Indent, ' ');
+  if (Result.isDead(F)) {
+    OS << Pad << F->qualifiedName() << ": dead ("
+       << livenessReasonName(LivenessReason::NotAccessed) << ")";
+    printLocation(OS, SM, F->location());
+    OS << "\n";
+    return;
+  }
+  LivenessReason Reason = Result.reason(F);
+  OS << Pad << F->qualifiedName() << ": live ("
+     << livenessReasonName(Reason) << ")\n";
+  const LivenessProvenance *Prov = Result.provenance(F);
+  if (!Prov) {
+    OS << Pad << "  (no provenance recorded; re-run with --explain to "
+          "enable it)\n";
+    return;
+  }
+  if (!Seen.insert(F).second) {
+    OS << Pad << "  (cycle: already explained above)\n";
+    return;
+  }
+  switch (Reason) {
+  case LivenessReason::UnsafeCast:
+    OS << Pad << "  swept: transitively contained in '"
+       << (Prov->Via ? Prov->Via->name() : std::string("?"))
+       << "', reached by an unsafe cast\n";
+    printCauseLocation(OS, SM, Prov->Loc, Indent + 2);
+    break;
+  case LivenessReason::SizeofConservative:
+    OS << Pad << "  swept: transitively contained in '"
+       << (Prov->Via ? Prov->Via->name() : std::string("?"))
+       << "', operand of a conservative sizeof\n";
+    printCauseLocation(OS, SM, Prov->Loc, Indent + 2);
+    break;
+  case LivenessReason::UnionClosure:
+    OS << Pad << "  swept: closing union '"
+       << (Prov->Via ? Prov->Via->name() : std::string("?")) << "'\n";
+    if (Prov->Trigger) {
+      OS << Pad << "  triggered by live member '"
+         << Prov->Trigger->qualifiedName() << "':\n";
+      explainMember(OS, Result, Prov->Trigger, SM, Indent + 4, Seen);
+    }
+    break;
+  default:
+    // Direct marks: the marking expression's location is the root
+    // cause; fall back to the declaration when unavailable.
+    if (Prov->Loc.isValid())
+      printCauseLocation(OS, SM, Prov->Loc, Indent + 2);
+    else
+      printCauseLocation(OS, SM, F->location(), Indent + 2);
+    break;
+  }
+}
+
+} // namespace
+
+bool dmm::printExplainReport(std::ostream &OS, const ASTContext &Ctx,
+                             const DeadMemberResult &Result,
+                             const std::string &Query,
+                             const SourceManager *SM) {
+  for (const ClassDecl *CD : Ctx.classes()) {
+    if (CD->isLibrary() || !CD->isComplete())
+      continue;
+    for (const FieldDecl *F : CD->fields()) {
+      if (F->qualifiedName() != Query)
+        continue;
+      std::set<const FieldDecl *> Seen;
+      explainMember(OS, Result, F, SM, 0, Seen);
+      return true;
+    }
+  }
+  return false;
 }
 
 //===----------------------------------------------------------------------===//

@@ -52,6 +52,19 @@ void printLayoutReport(std::ostream &OS, const ASTContext &Ctx,
                        const ClassHierarchy &CH,
                        const DeadMemberResult &Result);
 
+/// Prints the liveness provenance chain for the member named by
+/// \p Query (a "Class::member" qualified name): the direct marking
+/// expression's source location, or — for propagated marks — the
+/// propagation edge (unsafe cast / sizeof sweep, union closure,
+/// contained-member sweep) followed back to its root cause. Requires an
+/// analysis run with AnalysisOptions::RecordProvenance; degrades to the
+/// LivenessReason alone otherwise. Returns false when no classifiable
+/// member has that name.
+bool printExplainReport(std::ostream &OS, const ASTContext &Ctx,
+                        const DeadMemberResult &Result,
+                        const std::string &Query,
+                        const SourceManager *SM = nullptr);
+
 /// Lists every defined function that is unreachable in \p Graph — the
 /// companion "unreachable procedures" optimization the paper cites
 /// (refs [5, 19]). Returns the number of dead functions.

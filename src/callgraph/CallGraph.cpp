@@ -12,6 +12,7 @@
 #include "ast/ASTWalker.h"
 #include "ast/Expr.h"
 #include "hierarchy/ClassHierarchy.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <memory>
@@ -87,10 +88,21 @@ public:
       }
     }
 
+    uint64_t WorklistIterations = 0;
     while (!Worklist.empty()) {
       const FunctionDecl *FD = Worklist.back();
       Worklist.pop_back();
+      ++WorklistIterations;
       processFunction(FD);
+    }
+    if (Telemetry *T = Telemetry::active()) {
+      std::string Prefix = std::string("callgraph.") + callGraphKindName(Kind);
+      T->addCounter(Prefix + ".builds", 1);
+      T->addCounter(Prefix + ".edges", G.numEdges());
+      T->addCounter(Prefix + ".reachable", G.Reachable.size());
+      T->addCounter(Prefix + ".worklist_iterations", WorklistIterations);
+      T->addCounter(Prefix + ".virtual_sites", VirtualSites.size());
+      T->addCounter(Prefix + ".instantiated_classes", G.Instantiated.size());
     }
     return std::move(G);
   }
@@ -540,8 +552,10 @@ CallGraph dmm::buildCallGraph(const ASTContext &Ctx,
                               const ClassHierarchy &CH,
                               const FunctionDecl *Main,
                               CallGraphKind Kind) {
+  PhaseTimer Timer("callgraph");
   std::unique_ptr<PointsToAnalysis> PTA;
   if (Kind == CallGraphKind::PTA) {
+    PhaseTimer PointsToTimer("callgraph.points_to");
     PTA = std::make_unique<PointsToAnalysis>(Ctx, CH);
     PTA->run();
   }

@@ -7,6 +7,7 @@
 #include "driver/Frontend.h"
 
 #include "parser/Parser.h"
+#include "telemetry/Telemetry.h"
 
 using namespace dmm;
 
@@ -35,7 +36,13 @@ std::unique_ptr<Compilation> dmm::compileProgram(std::vector<SourceFile> Files,
   }
 
   C->TheSema = std::make_unique<Sema>(*C->Ctx, C->Diags);
-  bool SemaOK = C->TheSema->run();
+  bool SemaOK;
+  {
+    PhaseTimer Timer("sema");
+    SemaOK = C->TheSema->run();
+  }
+  Telemetry::count("sema.classes", C->Ctx->classes().size());
+  Telemetry::count("sema.functions", C->Ctx->functions().size());
   C->Success = ParseOK && SemaOK;
   return C;
 }

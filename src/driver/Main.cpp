@@ -8,20 +8,25 @@
 /// `deadmember`: parse MiniC++ sources, run the dead-data-member
 /// analysis, and report. Mirrors the paper's tool: static detection plus
 /// the dynamic measurement pipeline (instrumented execution over the
-/// interpreter).
+/// interpreter), with an observability layer (phase timers, counters,
+/// liveness provenance) on top.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Report.h"
 #include "driver/Frontend.h"
 #include "interp/Interpreter.h"
+#include "telemetry/Telemetry.h"
 #include "trace/DynamicMetrics.h"
 #include "transform/DeadMemberEliminator.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <set>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +34,11 @@
 using namespace dmm;
 
 namespace {
+
+const char VersionString[] =
+    "deadmember 0.2.0 — dead data member analysis for MiniC++\n"
+    "(reproduction of Sweeney & Tip, \"A Study of Dead Data Members in\n"
+    "C++ Applications\", PLDI 1998)\n";
 
 struct DriverOptions {
   std::vector<SourceFile> Files;
@@ -43,6 +53,11 @@ struct DriverOptions {
   bool DumpLayout = false;
   bool Check = false;
   bool DeadFunctions = false;
+  bool Version = false;
+  bool Metrics = false;
+  std::string MetricsFile;   ///< --metrics=<file>; empty = stdout.
+  std::string TraceJsonFile; ///< --trace-json=<file>; empty = off.
+  std::vector<std::string> Explain; ///< --explain=<Class::member>.
 };
 
 int usage() {
@@ -65,10 +80,14 @@ int usage() {
          "  --downcasts=<safe|conservative> down-cast policy (default "
          "safe)\n"
          "  --show-live              list live members with their reasons\n"
+         "  --explain=<Class::member>  print the liveness provenance\n"
+         "                           chain for one member\n"
          "  --stats                  print Table 1-style characteristics\n"
-         "  --run                    interpret the program\n"
+         "  --run                    interpret the program; the program's\n"
+         "                           exit code becomes the exit status\n"
          "  --measure                interpret and print the dynamic\n"
-         "                           measurements (Table 2 columns)\n"
+         "                           measurements (Table 2 columns) plus\n"
+         "                           per-class member access heat\n"
          "  --dump-callgraph         list reachable functions\n"
          "  --eliminate              print the transformed program with\n"
          "                           dead members and unreachable code\n"
@@ -81,7 +100,14 @@ int usage() {
          "                           soundness invariant (every member\n"
          "                           read at run time is classified "
          "live)\n"
-         "  --dead-functions         also list unreachable functions\n";
+         "  --dead-functions         also list unreachable functions\n"
+         "  --metrics[=<file>]       print the pipeline phase/counter\n"
+         "                           table (also: DMM_METRICS=1 env var,\n"
+         "                           which prints to stderr)\n"
+         "  --trace-json=<file>      write a Chrome trace-event JSON\n"
+         "                           timeline (chrome://tracing, "
+         "Perfetto)\n"
+         "  --version                print version information\n";
   return 2;
 }
 
@@ -118,7 +144,8 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       else if (Kind == "trivial")
         Opts.Analysis.CallGraph = CallGraphKind::Trivial;
       else {
-        std::cerr << "error: unknown call graph kind '" << Kind << "'\n";
+        std::cerr << "error: invalid --callgraph value '" << Kind
+                  << "' (valid choices: pta, rta, cha, trivial)\n";
         return false;
       }
     } else if (Arg == "--baseline") {
@@ -127,14 +154,28 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       Opts.Analysis.ExemptDeallocationArgs = false;
     } else if (Arg == "--no-union-closure") {
       Opts.Analysis.UnionClosure = false;
-    } else if (Arg == "--sizeof=ignore") {
-      Opts.Analysis.Sizeof = SizeofPolicy::IgnoreAll;
-    } else if (Arg == "--sizeof=conservative") {
-      Opts.Analysis.Sizeof = SizeofPolicy::Conservative;
-    } else if (Arg == "--downcasts=safe") {
-      Opts.Analysis.AssumeDowncastsSafe = true;
-    } else if (Arg == "--downcasts=conservative") {
-      Opts.Analysis.AssumeDowncastsSafe = false;
+    } else if (Arg.rfind("--sizeof=", 0) == 0) {
+      std::string Policy = Arg.substr(9);
+      if (Policy == "ignore")
+        Opts.Analysis.Sizeof = SizeofPolicy::IgnoreAll;
+      else if (Policy == "conservative")
+        Opts.Analysis.Sizeof = SizeofPolicy::Conservative;
+      else {
+        std::cerr << "error: invalid --sizeof value '" << Policy
+                  << "' (valid choices: ignore, conservative)\n";
+        return false;
+      }
+    } else if (Arg.rfind("--downcasts=", 0) == 0) {
+      std::string Policy = Arg.substr(12);
+      if (Policy == "safe")
+        Opts.Analysis.AssumeDowncastsSafe = true;
+      else if (Policy == "conservative")
+        Opts.Analysis.AssumeDowncastsSafe = false;
+      else {
+        std::cerr << "error: invalid --downcasts value '" << Policy
+                  << "' (valid choices: safe, conservative)\n";
+        return false;
+      }
     } else if (Arg == "--show-live") {
       Opts.Report.ShowLiveMembers = true;
     } else if (Arg == "--stats") {
@@ -155,6 +196,28 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       Opts.Check = true;
     } else if (Arg == "--dead-functions") {
       Opts.DeadFunctions = true;
+    } else if (Arg == "--version") {
+      Opts.Version = true;
+    } else if (Arg == "--metrics") {
+      Opts.Metrics = true;
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      Opts.Metrics = true;
+      Opts.MetricsFile = Arg.substr(10);
+    } else if (Arg.rfind("--trace-json=", 0) == 0) {
+      Opts.TraceJsonFile = Arg.substr(13);
+      if (Opts.TraceJsonFile.empty()) {
+        std::cerr << "error: --trace-json requires a file name\n";
+        return false;
+      }
+    } else if (Arg.rfind("--explain=", 0) == 0) {
+      std::string Query = Arg.substr(10);
+      if (Query.find("::") == std::string::npos) {
+        std::cerr << "error: --explain expects a qualified member name "
+                     "(Class::member), got '"
+                  << Query << "'\n";
+        return false;
+      }
+      Opts.Explain.push_back(std::move(Query));
     } else if (Arg.rfind("--inert=", 0) == 0) {
       Opts.Analysis.InertFunctions.insert(Arg.substr(8));
     } else if (Arg.rfind("--", 0) == 0) {
@@ -164,7 +227,67 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       return false;
     }
   }
-  return !Opts.Files.empty();
+  return Opts.Version || !Opts.Files.empty();
+}
+
+/// Emits the collected telemetry at scope exit (so early-error paths
+/// still report whatever phases completed).
+struct TelemetryEmitter {
+  const Telemetry &Tel;
+  const DriverOptions &Opts;
+  bool ToStderr; ///< DMM_METRICS env mode.
+
+  ~TelemetryEmitter() {
+    if (Opts.Metrics) {
+      if (Opts.MetricsFile.empty()) {
+        std::cout << "\n";
+        Tel.printMetrics(std::cout);
+      } else {
+        std::ofstream Out(Opts.MetricsFile);
+        if (!Out)
+          std::cerr << "error: cannot write '" << Opts.MetricsFile
+                    << "'\n";
+        else
+          Tel.printMetrics(Out);
+      }
+    }
+    if (ToStderr)
+      Tel.printMetrics(std::cerr);
+    if (!Opts.TraceJsonFile.empty()) {
+      std::ofstream Out(Opts.TraceJsonFile);
+      if (!Out)
+        std::cerr << "error: cannot write '" << Opts.TraceJsonFile
+                  << "'\n";
+      else
+        Tel.printChromeTrace(Out);
+    }
+  }
+};
+
+/// Prints the per-class member access heat table for --measure.
+void printHeatReport(std::ostream &OS, const FieldHeat &Heat) {
+  struct ClassHeat {
+    uint64_t Reads = 0;
+    uint64_t Writes = 0;
+  };
+  std::map<std::string, ClassHeat> PerClass;
+  for (const auto &[F, N] : Heat.Reads)
+    PerClass[F->parent()->name()].Reads += N;
+  for (const auto &[F, N] : Heat.Writes)
+    PerClass[F->parent()->name()].Writes += N;
+  if (PerClass.empty())
+    return;
+  std::vector<std::pair<std::string, ClassHeat>> Sorted(PerClass.begin(),
+                                                        PerClass.end());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto &A, const auto &B) {
+              return A.second.Reads + A.second.Writes >
+                     B.second.Reads + B.second.Writes;
+            });
+  OS << "\nmember access heat (per class):\n";
+  for (const auto &[Name, H] : Sorted)
+    OS << "  " << Name << ": " << H.Reads << " reads, " << H.Writes
+       << " writes\n";
 }
 
 } // namespace
@@ -173,6 +296,26 @@ int main(int Argc, char **Argv) {
   DriverOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage();
+  if (Opts.Version) {
+    std::cout << VersionString;
+    return 0;
+  }
+
+  // Telemetry: --metrics/--trace-json, or the DMM_METRICS env hook
+  // (metrics to stderr; lets benches and scripts observe phase costs
+  // without flag plumbing).
+  const char *MetricsEnv = std::getenv("DMM_METRICS");
+  bool MetricsToStderr = MetricsEnv && *MetricsEnv &&
+                         std::strcmp(MetricsEnv, "0") != 0 && !Opts.Metrics;
+  Telemetry Tel;
+  std::optional<TelemetryScope> TelScope;
+  if (Opts.Metrics || MetricsToStderr || !Opts.TraceJsonFile.empty())
+    TelScope.emplace(Tel);
+  TelemetryEmitter Emitter{Tel, Opts, MetricsToStderr};
+
+  // Provenance powers --explain and enriches --json.
+  if (Opts.Json || !Opts.Explain.empty())
+    Opts.Analysis.RecordProvenance = true;
 
   auto C = compileProgram(std::move(Opts.Files), &std::cerr);
   if (!C->Success)
@@ -192,10 +335,24 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  if (Opts.Json)
+  if (!Opts.Explain.empty()) {
+    // --explain replaces the default classification listing.
+    bool AllFound = true;
+    for (const std::string &Query : Opts.Explain) {
+      if (!printExplainReport(std::cout, C->context(), Result, Query,
+                              &C->SM)) {
+        std::cerr << "error: no classifiable data member named '" << Query
+                  << "'\n";
+        AllFound = false;
+      }
+    }
+    if (!AllFound)
+      return 1;
+  } else if (Opts.Json) {
     printJsonReport(std::cout, C->context(), Result, &C->SM);
-  else
+  } else {
     printMemberReport(std::cout, C->context(), Result, &C->SM, Opts.Report);
+  }
 
   if (Opts.DumpLayout) {
     std::cout << "\n";
@@ -222,46 +379,49 @@ int main(int Argc, char **Argv) {
       std::cout << "  " << FD->qualifiedName() << "\n";
   }
 
-  if (Opts.Check) {
+  // All execution modes share one interpreter run: --check collects the
+  // dynamic read set, --measure the allocation trace and access heat,
+  // --run the program output — from the same execution.
+  if (Opts.Check || Opts.RunProgram || Opts.Measure) {
     std::set<const FieldDecl *> Reads;
-    InterpOptions IO;
-    IO.ReadSet = &Reads;
-    Interpreter Interp(C->context(), C->hierarchy(), IO);
-    ExecResult Exec = Interp.run(C->mainFunction());
-    if (!Exec.Completed) {
-      std::cerr << "runtime error: " << Exec.Error << "\n";
-      return 1;
-    }
-    unsigned Violations = 0;
-    for (const FieldDecl *F : Reads)
-      if (Result.isDead(F)) {
-        ++Violations;
-        std::cout << "UNSOUND: " << F->qualifiedName()
-                  << " was read at run time but classified dead\n";
-      }
-    std::cout << "soundness check: " << Reads.size()
-              << " members dynamically read, " << Violations
-              << " violations"
-              << (Violations == 0 ? " (OK)" : " (FAILED)") << "\n";
-    if (Violations)
-      return 1;
-  }
-
-  if (Opts.RunProgram || Opts.Measure) {
     AllocationTrace Trace;
+    FieldHeat Heat;
     InterpOptions IO;
-    IO.Trace = &Trace;
+    if (Opts.Check)
+      IO.ReadSet = &Reads;
+    if (Opts.Measure) {
+      IO.Trace = &Trace;
+      IO.Heat = &Heat;
+    }
     Interpreter Interp(C->context(), C->hierarchy(), IO);
     ExecResult Exec = Interp.run(C->mainFunction());
     if (!Exec.Completed) {
       std::cerr << "runtime error: " << Exec.Error << "\n";
       return 1;
     }
+
+    if (Opts.Check) {
+      unsigned Violations = 0;
+      for (const FieldDecl *F : Reads)
+        if (Result.isDead(F)) {
+          ++Violations;
+          std::cout << "UNSOUND: " << F->qualifiedName()
+                    << " was read at run time but classified dead\n";
+        }
+      std::cout << "soundness check: " << Reads.size()
+                << " members dynamically read, " << Violations
+                << " violations"
+                << (Violations == 0 ? " (OK)" : " (FAILED)") << "\n";
+      if (Violations)
+        return 1;
+    }
+
     if (Opts.RunProgram) {
       std::cout << "\n--- program output ---\n"
                 << Exec.Output << "--- exit code " << Exec.ExitCode
                 << " ---\n";
     }
+
     if (Opts.Measure) {
       LayoutEngine Layout(C->hierarchy());
       DynamicMetrics M =
@@ -276,7 +436,14 @@ int main(int Argc, char **Argv) {
                 << "  high water mark w/o dead members: "
                 << M.HighWaterMarkNoDead << " bytes ("
                 << M.highWaterMarkReductionPercent() << "% reduction)\n";
+      printHeatReport(std::cout, Heat);
     }
+
+    // --run mirrors a real execution: the interpreted program's exit
+    // code becomes the process exit status (truncated to 8 bits, as
+    // the OS would).
+    if (Opts.RunProgram)
+      return static_cast<int>(Exec.ExitCode & 0xff);
   }
   return 0;
 }

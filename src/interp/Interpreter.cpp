@@ -16,6 +16,7 @@
 
 #include "ast/Expr.h"
 #include "ast/Stmt.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 #include <cinttypes>
@@ -128,6 +129,8 @@ Storage *Interpreter::allocateObject(const ClassDecl *CD,
                                      uint64_t ObjectID) {
   if (!CD->isComplete())
     fail("cannot create object of incomplete class '" + CD->name() + "'");
+  if (!Owner)
+    ++NumCompleteObjects;
   Storage *Obj = Arena.createObject(CD, Owner);
   Obj->ObjectID = ObjectID;
   for (const FieldSlot &Slot : Layout.layout(CD).AllFields) {
@@ -412,6 +415,7 @@ Value Interpreter::callFunction(const FunctionDecl *FD, Storage *This,
                                 std::vector<Value> Args,
                                 const ClassDecl *DispatchClass) {
   step();
+  ++NumCalls;
   // Keep the guest stack well below the host stack even when host
   // frames are inflated (sanitizer builds).
   if (Stack.size() > 1024)
@@ -667,8 +671,12 @@ Value Interpreter::loadScalar(Storage *S) {
     fail("read from destroyed object");
   if (S->Kind != Storage::SK::Scalar)
     fail("scalar read from aggregate storage");
-  if (S->OwnerField && Options.ReadSet)
-    Options.ReadSet->insert(S->OwnerField);
+  if (S->OwnerField) {
+    if (Options.ReadSet)
+      Options.ReadSet->insert(S->OwnerField);
+    if (Options.Heat)
+      ++Options.Heat->Reads[S->OwnerField];
+  }
   return S->V;
 }
 
@@ -678,8 +686,12 @@ void Interpreter::storeScalar(Storage *S, const Value &V,
     fail("write to destroyed object");
   if (S->Kind != Storage::SK::Scalar)
     fail("scalar write to aggregate storage");
-  if (S->OwnerField && Options.WriteSet)
-    Options.WriteSet->insert(S->OwnerField);
+  if (S->OwnerField) {
+    if (Options.WriteSet)
+      Options.WriteSet->insert(S->OwnerField);
+    if (Options.Heat)
+      ++Options.Heat->Writes[S->OwnerField];
+  }
   S->V = convertForStore(V, DeclaredTy);
 }
 
@@ -1159,8 +1171,12 @@ Value Interpreter::evalAssign(const AssignExpr *E) {
       void copy(Storage *DstS, Storage *SrcS) {
         if (DstS->Kind == Storage::SK::Scalar &&
             SrcS->Kind == Storage::SK::Scalar) {
-          if (DstS->OwnerField && I.Options.WriteSet)
-            I.Options.WriteSet->insert(DstS->OwnerField);
+          if (DstS->OwnerField) {
+            if (I.Options.WriteSet)
+              I.Options.WriteSet->insert(DstS->OwnerField);
+            if (I.Options.Heat)
+              ++I.Options.Heat->Writes[DstS->OwnerField];
+          }
           DstS->V = I.loadScalar(SrcS);
           return;
         }
@@ -1430,6 +1446,7 @@ Storage *Interpreter::globalStorage(const VarDecl *GV) {
 }
 
 ExecResult Interpreter::run(const FunctionDecl *Main) {
+  PhaseTimer Timer("interp");
   ExecResult Result;
   std::vector<Storage *> GlobalObjects;
   try {
@@ -1462,5 +1479,8 @@ ExecResult Interpreter::run(const FunctionDecl *Main) {
   }
   Result.Output = std::move(Output);
   Result.Steps = Steps;
+  Telemetry::count("interp.steps", Steps);
+  Telemetry::count("interp.calls", NumCalls);
+  Telemetry::count("interp.objects", NumCompleteObjects);
   return Result;
 }

@@ -36,12 +36,21 @@
 #include "trace/AllocationTrace.h"
 
 #include <deque>
+#include <map>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace dmm {
+
+/// Per-member dynamic access counts, keyed by FieldDecl. Feeds the
+/// --measure "heat" report (how often each member is actually read and
+/// written at run time, aggregated per class by the driver).
+struct FieldHeat {
+  std::map<const FieldDecl *, uint64_t> Reads;
+  std::map<const FieldDecl *, uint64_t> Writes;
+};
 
 /// Execution configuration and instrumentation sinks.
 struct InterpOptions {
@@ -64,6 +73,9 @@ struct InterpOptions {
   bool CountDeallocationReads = false;
   /// When set, receives every FieldDecl written at run time.
   std::set<const FieldDecl *> *WriteSet = nullptr;
+  /// When set, receives per-member dynamic read/write counts. Reads
+  /// feeding only delete/free follow the same exemption as ReadSet.
+  FieldHeat *Heat = nullptr;
 };
 
 /// The outcome of an execution.
@@ -161,6 +173,10 @@ private:
 
   std::string Output;
   uint64_t Steps = 0;
+  /// Telemetry tallies (plain members so the per-event cost is an
+  /// increment; flushed to the active Telemetry when run() finishes).
+  uint64_t NumCalls = 0;
+  uint64_t NumCompleteObjects = 0;
   uint64_t NextObjectID = 1;
   /// Maps traced complete objects to their trace IDs.
   std::unordered_map<const Storage *, uint64_t> TraceIDs;

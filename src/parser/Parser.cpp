@@ -9,6 +9,7 @@
 #include "lexer/Lexer.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 
@@ -231,8 +232,14 @@ const Type *Parser::parseDeclarator(const Type *Ty, std::string &Name,
 //===----------------------------------------------------------------------===//
 
 bool Parser::parseBuffer(uint32_t FileID) {
-  Lexer Lex(SM, FileID, Diags);
-  Tokens = Lex.lexAll();
+  {
+    PhaseTimer Timer("lex");
+    Lexer Lex(SM, FileID, Diags);
+    Tokens = Lex.lexAll();
+  }
+  Telemetry::count("lex.tokens", Tokens.size());
+  Telemetry::count("lex.buffers");
+  PhaseTimer Timer("parse");
   Pos = 0;
   unsigned ErrorsBefore = Diags.errorCount();
   while (cur().isNot(TokenKind::EndOfFile))

@@ -1,0 +1,118 @@
+//===-- telemetry/Telemetry.cpp -------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include <iomanip>
+
+using namespace dmm;
+
+Telemetry *Telemetry::Active = nullptr;
+
+Telemetry::Telemetry() : Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t Telemetry::nowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void Telemetry::addCounter(const std::string &Name, uint64_t Delta) {
+  Counters[Name] += Delta;
+}
+
+void Telemetry::recordInterval(const std::string &Name, uint64_t StartNanos,
+                               uint64_t DurNanos, unsigned Depth) {
+  auto [It, Inserted] = PhaseIndex.try_emplace(Name, Phases.size());
+  if (Inserted) {
+    Phases.push_back({Name, 0, 0, Depth});
+  }
+  PhaseStat &P = Phases[It->second];
+  P.Nanos += DurNanos;
+  ++P.Invocations;
+  if (Depth < P.Depth)
+    P.Depth = Depth;
+  Events.push_back({Name, StartNanos, DurNanos, Depth});
+}
+
+const PhaseStat *Telemetry::phase(const std::string &Name) const {
+  auto It = PhaseIndex.find(Name);
+  return It == PhaseIndex.end() ? nullptr : &Phases[It->second];
+}
+
+uint64_t Telemetry::counter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+void Telemetry::printMetrics(std::ostream &OS) const {
+  auto Flags = OS.flags();
+  OS << "phase                                time (ms)      calls\n";
+  for (const PhaseStat &P : Phases) {
+    std::string Label(2 + 2 * P.Depth, ' ');
+    Label += P.Name;
+    OS << std::left << std::setw(35) << Label << std::right
+       << std::setw(12) << std::fixed << std::setprecision(3)
+       << P.Nanos / 1e6 << std::setw(11) << P.Invocations << "\n";
+  }
+  if (!Counters.empty()) {
+    OS << "counter                                               value\n";
+    for (const auto &[Name, Value] : Counters)
+      OS << "  " << std::left << std::setw(42) << Name << std::right
+         << std::setw(13) << Value << "\n";
+  }
+  OS.flags(Flags);
+}
+
+static void printJsonEscaped(std::ostream &OS, const std::string &S) {
+  static const char *Hex = "0123456789abcdef";
+  OS << '"';
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (U < 0x20)
+      OS << "\\u00" << Hex[U >> 4] << Hex[U & 0xf];
+    else
+      OS << C;
+  }
+  OS << '"';
+}
+
+void Telemetry::printChromeTrace(std::ostream &OS) const {
+  auto Flags = OS.flags();
+  OS << "{\"traceEvents\": [";
+  bool First = true;
+  OS << std::fixed << std::setprecision(3);
+  for (const TimelineEvent &E : Events) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n  {\"name\": ";
+    printJsonEscaped(OS, E.Name);
+    OS << ", \"cat\": \"phase\", \"ph\": \"X\", \"ts\": "
+       << E.StartNanos / 1e3 << ", \"dur\": " << E.DurNanos / 1e3
+       << ", \"pid\": 1, \"tid\": 1}";
+  }
+  if (!Counters.empty()) {
+    if (!First)
+      OS << ",";
+    OS << "\n  {\"name\": \"counters\", \"ph\": \"I\", \"ts\": "
+       << nowNanos() / 1e3 << ", \"s\": \"g\", \"pid\": 1, \"tid\": 1, "
+          "\"args\": {";
+    bool FirstArg = true;
+    for (const auto &[Name, Value] : Counters) {
+      if (!FirstArg)
+        OS << ", ";
+      FirstArg = false;
+      printJsonEscaped(OS, Name);
+      OS << ": " << Value;
+    }
+    OS << "}}";
+  }
+  OS << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  OS.flags(Flags);
+}

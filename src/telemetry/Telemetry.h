@@ -1,0 +1,164 @@
+//===-- telemetry/Telemetry.h - Pipeline phase/counter registry -*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Low-overhead observability for the deadmember pipeline: a registry of
+/// scoped phase timers (RAII, monotonic clock) and named counters, with
+/// two emitters — a human-readable phase/counter table and Chrome
+/// trace-event JSON (loadable in chrome://tracing or Perfetto).
+///
+/// Telemetry is off by default. Instrumentation sites test one global
+/// pointer (`Telemetry::Active`); when no registry is installed via
+/// TelemetryScope, a PhaseTimer or Telemetry::count() call costs a load
+/// and a branch. The registry is single-threaded, like the pipeline.
+///
+/// Phase names are part of the tool's observable interface (benches and
+/// tests grep for them): "lex", "parse", "sema", "callgraph",
+/// "analysis", "eliminate", "interp". Counter names are dotted,
+/// prefixed by their phase (e.g. "analysis.exprs").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_TELEMETRY_TELEMETRY_H
+#define DMM_TELEMETRY_TELEMETRY_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmm {
+
+/// Accumulated cost of one named pipeline phase.
+struct PhaseStat {
+  std::string Name;
+  uint64_t Nanos = 0;       ///< Total inclusive wall time.
+  uint64_t Invocations = 0; ///< Completed PhaseTimer activations.
+  unsigned Depth = 0;       ///< Minimum nesting depth observed.
+};
+
+/// One completed timed interval — a Chrome trace-event "complete"
+/// (ph:"X") event.
+struct TimelineEvent {
+  std::string Name;
+  uint64_t StartNanos = 0; ///< Relative to the registry's epoch.
+  uint64_t DurNanos = 0;
+  unsigned Depth = 0;
+};
+
+/// The phase/counter registry. Install with TelemetryScope; instrument
+/// with PhaseTimer and Telemetry::count().
+class Telemetry {
+public:
+  Telemetry();
+
+  /// The installed process-wide sink, or null (telemetry off).
+  static Telemetry *active() { return Active; }
+
+  /// Adds \p Delta to counter \p Name on the active sink, if any. The
+  /// null test is the entire disabled-path cost.
+  static void count(const char *Name, uint64_t Delta = 1) {
+    if (Telemetry *T = Active)
+      T->addCounter(Name, Delta);
+  }
+
+  void addCounter(const std::string &Name, uint64_t Delta);
+
+  /// Folds one completed interval into the per-phase aggregate and
+  /// appends it to the event timeline.
+  void recordInterval(const std::string &Name, uint64_t StartNanos,
+                      uint64_t DurNanos, unsigned Depth);
+
+  /// Nanoseconds since this registry was created (monotonic clock).
+  uint64_t nowNanos() const;
+
+  /// Phase aggregates in first-activation order.
+  const std::vector<PhaseStat> &phases() const { return Phases; }
+  /// Null if no phase named \p Name ever completed.
+  const PhaseStat *phase(const std::string &Name) const;
+
+  const std::map<std::string, uint64_t> &counters() const {
+    return Counters;
+  }
+  /// 0 if the counter was never touched.
+  uint64_t counter(const std::string &Name) const;
+
+  const std::vector<TimelineEvent> &events() const { return Events; }
+
+  /// Writes the human-readable phase/counter table.
+  void printMetrics(std::ostream &OS) const;
+  /// Writes Chrome trace-event JSON ({"traceEvents": [...]}).
+  void printChromeTrace(std::ostream &OS) const;
+
+private:
+  friend class TelemetryScope;
+  friend class PhaseTimer;
+  static Telemetry *Active;
+
+  std::chrono::steady_clock::time_point Epoch;
+  unsigned NestingDepth = 0;
+  std::vector<PhaseStat> Phases;
+  std::map<std::string, size_t> PhaseIndex;
+  std::map<std::string, uint64_t> Counters;
+  std::vector<TimelineEvent> Events;
+};
+
+/// Installs a registry as the process-wide active sink for the current
+/// scope. Scopes nest; the previous sink is restored on destruction.
+class TelemetryScope {
+public:
+  explicit TelemetryScope(Telemetry &T) : Saved(Telemetry::Active) {
+    Telemetry::Active = &T;
+  }
+  ~TelemetryScope() { Telemetry::Active = Saved; }
+  TelemetryScope(const TelemetryScope &) = delete;
+  TelemetryScope &operator=(const TelemetryScope &) = delete;
+
+private:
+  Telemetry *Saved;
+};
+
+/// RAII phase timer: accumulates the enclosed interval into the active
+/// registry under \p Name. \p Name must outlive the timer (string
+/// literals only).
+class PhaseTimer {
+public:
+  explicit PhaseTimer(const char *Name)
+      : T(Telemetry::Active), Name(Name) {
+    if (T) {
+      Depth = T->NestingDepth++;
+      Start = std::chrono::steady_clock::now();
+    }
+  }
+  ~PhaseTimer() {
+    if (!T)
+      return;
+    auto End = std::chrono::steady_clock::now();
+    --T->NestingDepth;
+    T->recordInterval(
+        Name,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Start -
+                                                             T->Epoch)
+            .count(),
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+            .count(),
+        Depth);
+  }
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+private:
+  Telemetry *T;
+  const char *Name;
+  unsigned Depth = 0;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace dmm
+
+#endif // DMM_TELEMETRY_TELEMETRY_H

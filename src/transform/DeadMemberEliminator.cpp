@@ -7,6 +7,7 @@
 #include "transform/DeadMemberEliminator.h"
 
 #include "ast/ASTWalker.h"
+#include "telemetry/Telemetry.h"
 
 #include <map>
 
@@ -289,6 +290,7 @@ private:
 EliminationResult dmm::eliminateDeadMembers(const ASTContext &Ctx,
                                             const DeadMemberResult &Result,
                                             const CallGraph &Graph) {
+  PhaseTimer Timer("eliminate");
   RemovalPlanner Planner(Ctx, Result, Graph);
   Planner.plan();
 
@@ -300,5 +302,9 @@ EliminationResult dmm::eliminateDeadMembers(const ASTContext &Ctx,
     if (!Out.Removed.count(F))
       Out.Kept.insert(F);
   Out.RemovedFunctions = Planner.removedFunctions();
+  Telemetry::count("eliminate.removed_members", Out.Removed.size());
+  Telemetry::count("eliminate.kept_members", Out.Kept.size());
+  Telemetry::count("eliminate.removed_functions",
+                   Out.RemovedFunctions.size());
   return Out;
 }

@@ -13,6 +13,7 @@
 #include "TestUtil.h"
 
 #include "analysis/ProgramStats.h"
+#include "telemetry/Telemetry.h"
 
 using namespace dmm;
 using namespace dmm::test;
@@ -148,6 +149,29 @@ TEST(Integration, KitchenSinkRunsAndAnalyzes) {
   EXPECT_GT(M.ObjectSpace, 0u);
   EXPECT_GT(M.DeadMemberSpace, 0u);
   EXPECT_LE(M.HighWaterMarkNoDead, M.HighWaterMark);
+}
+
+TEST(Integration, MetricsTableCoversStablePhaseNames) {
+  // The phase names in the --metrics table are part of the tool's
+  // observable interface (docs/CLI.md documents them; benches and
+  // scripts grep for them). Run the full pipeline and pin them down.
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    auto C = compileOK(KitchenSink);
+    analyze(*C);
+    runOK(*C);
+  }
+  std::ostringstream OS;
+  Tel.printMetrics(OS);
+  std::string Table = OS.str();
+  for (const char *Phase :
+       {"lex", "parse", "sema", "callgraph", "analysis", "interp"})
+    EXPECT_NE(Table.find(Phase), std::string::npos)
+        << "metrics table lost phase '" << Phase << "':\n"
+        << Table;
+  EXPECT_NE(Table.find("lex.tokens"), std::string::npos);
+  EXPECT_NE(Table.find("interp.steps"), std::string::npos);
 }
 
 TEST(Integration, MultiFileProgramWithLibraryBoundary) {

@@ -1,0 +1,353 @@
+//===-- tests/TelemetryTest.cpp - Telemetry & provenance tests ------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the telemetry registry (phase timers, counters, scope
+/// install/restore, disabled-path no-op), the Chrome trace-event JSON
+/// emitter, and liveness provenance: direct marks carry a source
+/// location, propagated marks carry the propagation edge, and the
+/// --explain report renders the full cause chain.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/Report.h"
+#include "telemetry/Telemetry.h"
+
+#include <vector>
+
+using namespace dmm;
+using namespace dmm::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, CountersAccumulateAndReadBackZeroWhenAbsent) {
+  Telemetry Tel;
+  TelemetryScope Scope(Tel);
+  Telemetry::count("x.a");
+  Telemetry::count("x.a", 4);
+  Telemetry::count("x.b", 7);
+  EXPECT_EQ(Tel.counter("x.a"), 5u);
+  EXPECT_EQ(Tel.counter("x.b"), 7u);
+  EXPECT_EQ(Tel.counter("never.touched"), 0u);
+}
+
+TEST(Telemetry, PhaseTimersAggregateInvocationsInActivationOrder) {
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    for (int I = 0; I < 3; ++I) {
+      PhaseTimer Timer("alpha");
+    }
+    PhaseTimer Timer("beta");
+  }
+  ASSERT_EQ(Tel.phases().size(), 2u);
+  EXPECT_EQ(Tel.phases()[0].Name, "alpha");
+  EXPECT_EQ(Tel.phases()[1].Name, "beta");
+  const PhaseStat *Alpha = Tel.phase("alpha");
+  ASSERT_NE(Alpha, nullptr);
+  EXPECT_EQ(Alpha->Invocations, 3u);
+  EXPECT_EQ(Tel.phase("gamma"), nullptr);
+  EXPECT_EQ(Tel.events().size(), 4u);
+}
+
+TEST(Telemetry, NestedPhasesRecordDepth) {
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    PhaseTimer Outer("outer");
+    {
+      PhaseTimer Inner("inner");
+    }
+  }
+  const PhaseStat *Outer = Tel.phase("outer");
+  const PhaseStat *Inner = Tel.phase("inner");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Outer->Depth, 0u);
+  EXPECT_EQ(Inner->Depth, 1u);
+}
+
+TEST(Telemetry, ScopeRestoresPreviousSinkAndInactiveIsNoOp) {
+  EXPECT_EQ(Telemetry::active(), nullptr);
+  Telemetry::count("dropped"); // No sink installed: must not crash.
+  {
+    PhaseTimer Timer("dropped_phase");
+  }
+  Telemetry OuterTel;
+  {
+    TelemetryScope OuterScope(OuterTel);
+    EXPECT_EQ(Telemetry::active(), &OuterTel);
+    Telemetry InnerTel;
+    {
+      TelemetryScope InnerScope(InnerTel);
+      EXPECT_EQ(Telemetry::active(), &InnerTel);
+      Telemetry::count("seen");
+    }
+    EXPECT_EQ(Telemetry::active(), &OuterTel);
+    EXPECT_EQ(InnerTel.counter("seen"), 1u);
+    EXPECT_EQ(OuterTel.counter("seen"), 0u);
+  }
+  EXPECT_EQ(Telemetry::active(), nullptr);
+}
+
+TEST(Telemetry, MetricsTableListsPhasesAndCounters) {
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    PhaseTimer Timer("demo");
+    Telemetry::count("demo.items", 42);
+  }
+  std::ostringstream OS;
+  Tel.printMetrics(OS);
+  EXPECT_NE(OS.str().find("demo"), std::string::npos);
+  EXPECT_NE(OS.str().find("demo.items"), std::string::npos);
+  EXPECT_NE(OS.str().find("42"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace JSON
+//===----------------------------------------------------------------------===//
+
+/// Minimal JSON syntax check: braces/brackets balance outside string
+/// literals, strings terminate, and the trailing content is exhausted.
+bool isBalancedJson(const std::string &S) {
+  std::vector<char> Stack;
+  bool InString = false;
+  for (size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (InString) {
+      if (C == '\\')
+        ++I; // Skip the escaped character.
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InString = true;
+      break;
+    case '{':
+    case '[':
+      Stack.push_back(C);
+      break;
+    case '}':
+      if (Stack.empty() || Stack.back() != '{')
+        return false;
+      Stack.pop_back();
+      break;
+    case ']':
+      if (Stack.empty() || Stack.back() != '[')
+        return false;
+      Stack.pop_back();
+      break;
+    default:
+      break;
+    }
+  }
+  return !InString && Stack.empty();
+}
+
+TEST(Telemetry, ChromeTraceIsWellFormed) {
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    PhaseTimer Outer("outer");
+    {
+      PhaseTimer Inner("inner");
+    }
+    Telemetry::count("outer.things", 3);
+  }
+  std::ostringstream OS;
+  Tel.printChromeTrace(OS);
+  std::string Json = OS.str();
+  EXPECT_TRUE(isBalancedJson(Json)) << Json;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"inner\""), std::string::npos);
+  // Counters ride along on a final instant event.
+  EXPECT_NE(Json.find("\"ph\": \"I\""), std::string::npos);
+  EXPECT_NE(Json.find("\"outer.things\""), std::string::npos);
+}
+
+TEST(Telemetry, ChromeTraceEscapesNamesSafely) {
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    Telemetry::count("weird\"name\\with\ncontrols");
+  }
+  std::ostringstream OS;
+  Tel.printChromeTrace(OS);
+  EXPECT_TRUE(isBalancedJson(OS.str())) << OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration: phase names are a stable interface
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, PipelinePopulatesStablePhaseNames) {
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    auto C = compileOK("class P { public: int x; };\n"
+                       "int main() { P p; p.x = 1; return p.x; }\n");
+    analyze(*C);
+    runOK(*C);
+  }
+  for (const char *Phase :
+       {"lex", "parse", "sema", "callgraph", "analysis", "interp"}) {
+    const PhaseStat *P = Tel.phase(Phase);
+    ASSERT_NE(P, nullptr) << "missing phase " << Phase;
+    EXPECT_GT(P->Invocations, 0u) << Phase;
+  }
+  EXPECT_GT(Tel.counter("lex.tokens"), 0u);
+  EXPECT_GT(Tel.counter("sema.classes"), 0u);
+  EXPECT_GT(Tel.counter("analysis.exprs_visited"), 0u);
+  EXPECT_GT(Tel.counter("interp.steps"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness provenance
+//===----------------------------------------------------------------------===//
+
+const char *ProvenanceProgram = R"(union Blob {
+public:
+  int word;
+  double wide;
+};
+class Holder {
+public:
+  int kept;
+  int lost;
+};
+int main() {
+  Blob b;
+  b.wide = 2.0;
+  Holder h;
+  h.kept = 3;
+  int *p = reinterpret_cast<int*>(&h);
+  return b.word;
+}
+)";
+
+AnalysisOptions withProvenance() {
+  AnalysisOptions Options;
+  Options.RecordProvenance = true;
+  return Options;
+}
+
+TEST(Provenance, DirectReadCarriesMarkingLocation) {
+  auto C = compileOK(ProvenanceProgram);
+  DeadMemberResult R = analyze(*C, withProvenance());
+  const FieldDecl *Word = findField(*C, "Blob", "word");
+  ASSERT_TRUE(R.isLive(Word));
+  const LivenessProvenance *Prov = R.provenance(Word);
+  ASSERT_NE(Prov, nullptr);
+  EXPECT_EQ(Prov->Reason, LivenessReason::Read);
+  EXPECT_TRUE(Prov->Loc.isValid());
+  EXPECT_FALSE(Prov->isPropagated());
+}
+
+TEST(Provenance, UnsafeCastSweepRecordsSourceClassAndCastLocation) {
+  auto C = compileOK(ProvenanceProgram);
+  DeadMemberResult R = analyze(*C, withProvenance());
+  // The cast's *source* type (Holder) is swept, members live or not.
+  const FieldDecl *Lost = findField(*C, "Holder", "lost");
+  ASSERT_TRUE(R.isLive(Lost));
+  const LivenessProvenance *Prov = R.provenance(Lost);
+  ASSERT_NE(Prov, nullptr);
+  EXPECT_EQ(Prov->Reason, LivenessReason::UnsafeCast);
+  ASSERT_NE(Prov->Via, nullptr);
+  EXPECT_EQ(Prov->Via->name(), "Holder");
+  EXPECT_TRUE(Prov->Loc.isValid());
+  EXPECT_TRUE(Prov->isPropagated());
+}
+
+TEST(Provenance, UnionClosureChainsToTriggeringMember) {
+  auto C = compileOK(ProvenanceProgram);
+  DeadMemberResult R = analyze(*C, withProvenance());
+  const FieldDecl *Wide = findField(*C, "Blob", "wide");
+  ASSERT_TRUE(R.isLive(Wide));
+  const LivenessProvenance *Prov = R.provenance(Wide);
+  ASSERT_NE(Prov, nullptr);
+  EXPECT_EQ(Prov->Reason, LivenessReason::UnionClosure);
+  ASSERT_NE(Prov->Via, nullptr);
+  EXPECT_EQ(Prov->Via->name(), "Blob");
+  ASSERT_NE(Prov->Trigger, nullptr);
+  EXPECT_EQ(Prov->Trigger->qualifiedName(), "Blob::word");
+  // The trigger's own provenance roots the chain at a source location.
+  const LivenessProvenance *Root = R.provenance(Prov->Trigger);
+  ASSERT_NE(Root, nullptr);
+  EXPECT_TRUE(Root->Loc.isValid());
+}
+
+TEST(Provenance, NotRecordedWithoutOptIn) {
+  auto C = compileOK(ProvenanceProgram);
+  DeadMemberResult R = analyze(*C);
+  const FieldDecl *Word = findField(*C, "Blob", "word");
+  ASSERT_TRUE(R.isLive(Word));
+  EXPECT_EQ(R.provenance(Word), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// --explain report rendering
+//===----------------------------------------------------------------------===//
+
+TEST(Explain, DirectMarkEndsAtSourceLocation) {
+  auto C = compileOK(ProvenanceProgram);
+  DeadMemberResult R = analyze(*C, withProvenance());
+  std::ostringstream OS;
+  ASSERT_TRUE(printExplainReport(OS, C->context(), R, "Blob::word", &C->SM));
+  EXPECT_NE(OS.str().find("Blob::word: live"), std::string::npos);
+  EXPECT_NE(OS.str().find("at "), std::string::npos) << OS.str();
+}
+
+TEST(Explain, UnsafeCastShowsPropagationEdge) {
+  auto C = compileOK(ProvenanceProgram);
+  DeadMemberResult R = analyze(*C, withProvenance());
+  std::ostringstream OS;
+  ASSERT_TRUE(
+      printExplainReport(OS, C->context(), R, "Holder::lost", &C->SM));
+  EXPECT_NE(OS.str().find("swept: transitively contained in 'Holder'"),
+            std::string::npos)
+      << OS.str();
+  EXPECT_NE(OS.str().find("unsafe cast"), std::string::npos);
+  EXPECT_NE(OS.str().find("at "), std::string::npos);
+}
+
+TEST(Explain, UnionClosureChainReachesRootCause) {
+  auto C = compileOK(ProvenanceProgram);
+  DeadMemberResult R = analyze(*C, withProvenance());
+  std::ostringstream OS;
+  ASSERT_TRUE(printExplainReport(OS, C->context(), R, "Blob::wide", &C->SM));
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("swept: closing union 'Blob'"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("triggered by live member 'Blob::word'"),
+            std::string::npos);
+  // The chain bottoms out at the trigger's marking expression.
+  EXPECT_NE(Out.find("Blob::word: live"), std::string::npos);
+  EXPECT_NE(Out.find("at "), std::string::npos);
+}
+
+TEST(Explain, DeadMemberAndUnknownQuery) {
+  auto C = compileOK("class Q { public: int unused; };\n"
+                     "int main() { Q q; return 0; }\n");
+  DeadMemberResult R = analyze(*C, withProvenance());
+  std::ostringstream OS;
+  ASSERT_TRUE(printExplainReport(OS, C->context(), R, "Q::unused", &C->SM));
+  EXPECT_NE(OS.str().find("dead"), std::string::npos);
+  std::ostringstream OS2;
+  EXPECT_FALSE(printExplainReport(OS2, C->context(), R, "Q::missing", &C->SM));
+}
+
+} // namespace
