@@ -43,6 +43,11 @@ GeneratedBenchmark &programFor(const std::string &Name) {
   for (GeneratedBenchmark &G : Cache)
     if (G.Spec.Name == Name)
       return G;
+  std::fprintf(stderr, "error: unknown benchmark program '%s'; known:",
+               Name.c_str());
+  for (const GeneratedBenchmark &G : Cache)
+    std::fprintf(stderr, " %s", G.Spec.Name.c_str());
+  std::fprintf(stderr, "\n");
   std::abort();
 }
 

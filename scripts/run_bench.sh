@@ -1,0 +1,25 @@
+#!/bin/sh
+# Runs the google-benchmark pipeline-throughput suite and writes a
+# machine-readable baseline to BENCH_baseline.json (repo root), for
+# before/after comparison of pipeline optimisations.
+#
+# Usage: scripts/run_bench.sh [out.json] [extra benchmark args...]
+#   DMM_THREADS=N  worker threads for the parallel pipeline stages
+set -e
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_baseline.json}"
+[ $# -gt 0 ] && shift
+
+if [ ! -x build/bench/perf_pipeline ]; then
+  echo "building perf_pipeline..." >&2
+  cmake -B build -S . >/dev/null
+  cmake --build build --target perf_pipeline >/dev/null
+fi
+
+build/bench/perf_pipeline \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $OUT" >&2

@@ -29,6 +29,7 @@
 #include "ast/Decl.h"
 #include "callgraph/CallGraph.h"
 #include "hierarchy/ObjectLayout.h"
+#include "support/BitVector.h"
 #include "support/SourceLocation.h"
 
 #include <array>
@@ -149,14 +150,15 @@ public:
   /// True if \p F was proven dead. Always false for unclassifiable
   /// members.
   bool isDead(const FieldDecl *F) const {
-    return canClassify(F) && !Live.count(F);
+    return canClassify(F) && !Live.test(F->declID());
   }
 
-  bool isLive(const FieldDecl *F) const { return Live.count(F) != 0; }
+  bool isLive(const FieldDecl *F) const { return Live.test(F->declID()); }
 
   LivenessReason reason(const FieldDecl *F) const {
-    auto It = Reasons.find(F);
-    return It == Reasons.end() ? LivenessReason::NotAccessed : It->second;
+    unsigned ID = F->declID();
+    return ID < Reasons.size() ? static_cast<LivenessReason>(Reasons[ID])
+                               : LivenessReason::NotAccessed;
   }
 
   /// The recorded cause of \p F's liveness; null when \p F is dead or
@@ -180,13 +182,26 @@ public:
 
 private:
   friend class DeadMemberAnalysis;
-  std::set<const FieldDecl *> Live;
-  std::map<const FieldDecl *, LivenessReason> Reasons;
+  /// Liveness marks and their reasons, indexed by FieldDecl::declID()
+  /// (decl IDs are dense per compilation, so these are flat bit/byte
+  /// arrays rather than pointer-keyed trees).
+  BitVector Live;
+  std::vector<uint8_t> Reasons;
   std::map<const FieldDecl *, LivenessProvenance> Provenance;
   std::vector<const FieldDecl *> Classifiable;
 };
 
 /// Runs the detection algorithm of paper Figure 2.
+///
+/// Execution model: the per-function statement scan is a pure read of
+/// the AST (it never consults earlier marks), so scans fan out across
+/// the global ThreadPool, each producing an ordered buffer of mark
+/// events. The buffers are then replayed on the calling thread in
+/// deterministic order (globals, then reachable functions by decl ID),
+/// where first-cause-wins marking, sweep dedup, and provenance
+/// recording happen exactly as in a sequential walk — so reports,
+/// `--explain` chains, and telemetry totals are byte-identical at any
+/// `--jobs` level.
 class DeadMemberAnalysis {
 public:
   DeadMemberAnalysis(const ASTContext &Ctx, const ClassHierarchy &CH,
@@ -205,26 +220,33 @@ public:
   const CallGraph &callGraph() const { return *UsedGraph; }
 
 private:
+  /// One liveness cause observed by a function scan, in scan order.
+  /// Direct marks carry the field; sweep marks (unsafe cast / sizeof)
+  /// carry the root class whose contained members are marked at replay.
+  struct MarkEvent {
+    const FieldDecl *Field = nullptr; ///< Direct mark target, or null.
+    const ClassDecl *Sweep = nullptr; ///< Sweep root, or null.
+    LivenessReason Reason = LivenessReason::NotAccessed;
+    SourceLocation Loc; ///< The marking expression's location.
+  };
+
+  /// Output of scanning one function (or the global initializers).
+  struct ScanOutput {
+    std::vector<MarkEvent> Events;
+    uint64_t ExprsVisited = 0;
+  };
+
+  class Scanner; ///< The read-only statement/expression walker.
+
+  /// Replays a scan buffer through markLive/markAllContainedMembers.
+  void applyScan(const ScanOutput &Scan);
+
   /// The first live member transitively contained in \p CD (the union
   /// closure trigger), or null.
   const FieldDecl *containsLiveMember(const ClassDecl *CD) const;
 
   void markLive(const FieldDecl *F, LivenessReason Reason);
   void markAllContainedMembers(const ClassDecl *CD, LivenessReason Reason);
-  /// Applies MarkAllContainedMembers to the class named by \p Ty
-  /// (stripping pointers/references/arrays), if any.
-  void markContainedOfType(const Type *Ty, LivenessReason Reason);
-
-  void processFunction(const FunctionDecl *FD);
-  /// Visits \p E in read context.
-  void visit(const Expr *E);
-  /// Visits the outermost node of an assignment target (plain `=`).
-  void visitWriteTarget(const Expr *E);
-  /// Handles a deallocation argument: the (cast-stripped) top-level
-  /// member value does not become live; everything beneath it does.
-  void visitDeallocArg(const Expr *E);
-  /// Records a write to \p F (ctor initializers and assignment LHS).
-  void noteWrite(const FieldDecl *F);
 
   const ASTContext &Ctx;
   const ClassHierarchy &CH;
@@ -234,12 +256,12 @@ private:
   CallGraph OwnedGraph;
 
   DeadMemberResult Result;
-  std::set<const ClassDecl *> MarkVisited; ///< MarkAllContainedMembers.
+  BitVector MarkVisited; ///< MarkAllContainedMembers dedup, by declID.
 
   /// \name Provenance context (valid only while RecordProvenance)
-  /// The location of the expression currently being visited, and the
-  /// sweep edge (class + triggering member) during a
-  /// MarkAllContainedMembers cascade; markLive() snapshots them.
+  /// The location of the event being replayed, and the sweep edge
+  /// (class + triggering member) during a MarkAllContainedMembers
+  /// cascade; markLive() snapshots them.
   /// @{
   SourceLocation ProvLoc;
   const ClassDecl *ProvVia = nullptr;

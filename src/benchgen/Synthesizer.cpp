@@ -440,6 +440,81 @@ std::string Emitter::emit() {
   return std::move(Out);
 }
 
+/// Splits \p Text into ~\p Parts source files, cutting only at blank
+/// lines between top-level declarations (brace depth 0, outside string
+/// and character literals and comments). The concatenation of the parts
+/// is the original text verbatim, and files parse in order sharing one
+/// name table, so a split program is semantically identical to the
+/// single-file form — it just gives the per-file parallel lex stage
+/// units of work.
+std::vector<SourceFile> splitTopLevel(const std::string &BaseName,
+                                      std::string Text, size_t Parts = 8) {
+  std::vector<size_t> Boundaries;
+  int Depth = 0;
+  bool InString = false, InChar = false, InLine = false, InBlock = false;
+  for (size_t I = 0; I + 1 < Text.size(); ++I) {
+    char C = Text[I];
+    if (InLine) {
+      if (C == '\n')
+        InLine = false;
+    } else if (InBlock) {
+      if (C == '*' && Text[I + 1] == '/') {
+        InBlock = false;
+        ++I;
+      }
+    } else if (InString || InChar) {
+      if (C == '\\')
+        ++I;
+      else if (C == (InString ? '"' : '\''))
+        InString = InChar = false;
+    } else {
+      switch (C) {
+      case '"': InString = true; break;
+      case '\'': InChar = true; break;
+      case '{': ++Depth; break;
+      case '}': --Depth; break;
+      case '/':
+        if (Text[I + 1] == '/') InLine = true;
+        else if (Text[I + 1] == '*') InBlock = true;
+        break;
+      case '\n':
+        if (Text[I + 1] == '\n' && Depth == 0)
+          Boundaries.push_back(I + 2); // Cut after the blank line.
+        break;
+      default: break;
+      }
+    }
+  }
+
+  // Pick the boundary nearest each equal-size target offset; dedup to
+  // keep cuts strictly increasing.
+  std::vector<size_t> Cuts;
+  for (size_t P = 1; P < Parts; ++P) {
+    size_t Target = Text.size() * P / Parts;
+    const size_t *Best = nullptr;
+    for (const size_t &B : Boundaries) {
+      size_t Dist = B > Target ? B - Target : Target - B;
+      if (!Best || Dist < (*Best > Target ? *Best - Target : Target - *Best))
+        Best = &B;
+    }
+    if (Best && (Cuts.empty() || *Best > Cuts.back()) && *Best < Text.size())
+      Cuts.push_back(*Best);
+  }
+
+  std::vector<SourceFile> Files;
+  size_t Start = 0;
+  for (size_t Index = 0; Index <= Cuts.size(); ++Index) {
+    size_t End = Index < Cuts.size() ? Cuts[Index] : Text.size();
+    std::string Name =
+        Cuts.empty() ? BaseName + ".mcc"
+                     : BaseName + ".part" + std::to_string(Index) + ".mcc";
+    Files.push_back({std::move(Name), Text.substr(Start, End - Start),
+                     /*IsLibrary=*/false});
+    Start = End;
+  }
+  return Files;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -698,16 +773,21 @@ std::vector<GeneratedBenchmark>
 dmm::paperBenchmarkPrograms(double Scale) {
   std::vector<GeneratedBenchmark> Result;
   for (const BenchmarkSpec &Spec : paperBenchmarks()) {
+    GeneratedBenchmark G;
     if (Spec.HandWritten) {
-      GeneratedBenchmark G;
       G.Spec = Spec;
       const char *Text =
           Spec.Name == "richards" ? richardsSource() : deltablueSource();
       G.Files.push_back({Spec.Name + ".mcc", Text, false});
-      Result.push_back(std::move(G));
-      continue;
+    } else {
+      G = synthesizeBenchmark(Spec, Scale);
     }
-    Result.push_back(synthesizeBenchmark(Spec, Scale));
+    // Split each program at top-level boundaries so the per-file
+    // parallel lex stage has units of work (semantically identical:
+    // the parts concatenate back to the original text and parse in
+    // order into one name table).
+    G.Files = splitTopLevel(G.Spec.Name, std::move(G.Files[0].Text));
+    Result.push_back(std::move(G));
   }
   return Result;
 }

@@ -39,8 +39,7 @@ CallGraph::callees(const FunctionDecl *FD) const {
 }
 
 std::vector<const FunctionDecl *> CallGraph::reachableFunctions() const {
-  std::vector<const FunctionDecl *> Result(Reachable.begin(),
-                                           Reachable.end());
+  std::vector<const FunctionDecl *> Result = ReachableList;
   std::sort(Result.begin(), Result.end(),
             [](const FunctionDecl *A, const FunctionDecl *B) {
               return A->declID() < B->declID();
@@ -99,7 +98,7 @@ public:
       std::string Prefix = std::string("callgraph.") + callGraphKindName(Kind);
       T->addCounter(Prefix + ".builds", 1);
       T->addCounter(Prefix + ".edges", G.numEdges());
-      T->addCounter(Prefix + ".reachable", G.Reachable.size());
+      T->addCounter(Prefix + ".reachable", G.ReachableList.size());
       T->addCounter(Prefix + ".worklist_iterations", WorklistIterations);
       T->addCounter(Prefix + ".virtual_sites", VirtualSites.size());
       T->addCounter(Prefix + ".instantiated_classes", G.Instantiated.size());
@@ -113,8 +112,10 @@ private:
   //===--------------------------------------------------------------------===//
 
   void enqueue(const FunctionDecl *FD) {
-    if (G.Reachable.insert(FD).second)
+    if (G.ReachableBits.set(FD->declID())) {
+      G.ReachableList.push_back(FD);
       Worklist.push_back(FD);
+    }
   }
 
   void addEdge(const FunctionDecl *Caller, const FunctionDecl *Callee) {

@@ -34,6 +34,7 @@
 #define DMM_CALLGRAPH_CALLGRAPH_H
 
 #include "ast/Decl.h"
+#include "support/BitVector.h"
 
 #include <map>
 #include <set>
@@ -57,7 +58,7 @@ class CallGraph {
 public:
   /// True if \p FD is reachable from main().
   bool isReachable(const FunctionDecl *FD) const {
-    return Reachable.count(FD) != 0;
+    return ReachableBits.test(FD->declID());
   }
 
   /// Direct + resolved-virtual + implicit callees of \p FD.
@@ -82,7 +83,11 @@ public:
 
 private:
   friend class CallGraphBuilder;
-  std::set<const FunctionDecl *> Reachable;
+  /// The reachable set, as a decl-ID-indexed bit vector (membership
+  /// tests run on every worklist enqueue) plus the discovery-order list
+  /// (enumeration); decl IDs are dense per compilation.
+  BitVector ReachableBits;
+  std::vector<const FunctionDecl *> ReachableList;
   std::map<const FunctionDecl *, std::vector<const FunctionDecl *>> Edges;
   std::set<const ClassDecl *> Instantiated;
   std::set<const FunctionDecl *> AddressTaken;

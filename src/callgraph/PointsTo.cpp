@@ -8,6 +8,7 @@
 
 #include "ast/ASTWalker.h"
 #include "hierarchy/ClassHierarchy.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 
@@ -25,8 +26,8 @@ unsigned PointsToAnalysis::makeNode() {
   unsigned N = static_cast<unsigned>(Parent.size());
   Parent.push_back(N);
   Pointee.push_back(0); // 0 = "no pointee yet" (node 0 is a sentinel).
-  ClassTags.emplace_back();
-  FunctionTags.emplace_back();
+  ClassTags.push_back(InternedSetPool<const ClassDecl *>::Empty);
+  FunctionTags.push_back(InternedSetPool<const FunctionDecl *>::Empty);
   Tainted.push_back(false);
   return N;
 }
@@ -45,8 +46,8 @@ void PointsToAnalysis::unify(unsigned A, unsigned B) {
   if (A == B)
     return;
   Parent[B] = A;
-  ClassTags[A].insert(ClassTags[B].begin(), ClassTags[B].end());
-  FunctionTags[A].insert(FunctionTags[B].begin(), FunctionTags[B].end());
+  ClassTags[A] = ClassSets.unionSets(ClassTags[A], ClassTags[B]);
+  FunctionTags[A] = FunctionSets.unionSets(FunctionTags[A], FunctionTags[B]);
   Tainted[A] = Tainted[A] || Tainted[B];
   unsigned PA = Pointee[A];
   unsigned PB = Pointee[B];
@@ -67,11 +68,13 @@ unsigned PointsToAnalysis::pointeeOf(unsigned Loc) {
 }
 
 void PointsToAnalysis::tagClass(unsigned N, const ClassDecl *CD) {
-  ClassTags[find(N)].insert(CD);
+  unsigned Root = find(N);
+  ClassTags[Root] = ClassSets.insert(ClassTags[Root], CD);
 }
 
 void PointsToAnalysis::tagFunction(unsigned N, const FunctionDecl *FD) {
-  FunctionTags[find(N)].insert(FD);
+  unsigned Root = find(N);
+  FunctionTags[Root] = FunctionSets.insert(FunctionTags[Root], FD);
 }
 
 void PointsToAnalysis::taint(unsigned N) { Tainted[find(N)] = true; }
@@ -563,11 +566,32 @@ void PointsToAnalysis::run() {
 
   for (const FunctionDecl *FD : Ctx.functions())
     processFunction(FD);
+
+  if (Telemetry *T = Telemetry::active()) {
+    T->addCounter("pointsto.nodes", Parent.size());
+    T->addCounter("pointsto.class_sets.unique", ClassSets.numUniqueSets());
+    T->addCounter("pointsto.class_sets.lookups", ClassSets.lookups());
+    T->addCounter("pointsto.class_sets.hits", ClassSets.hits());
+    T->addCounter("pointsto.function_sets.unique",
+                  FunctionSets.numUniqueSets());
+    T->addCounter("pointsto.function_sets.lookups", FunctionSets.lookups());
+    T->addCounter("pointsto.function_sets.hits", FunctionSets.hits());
+  }
 }
 
 //===----------------------------------------------------------------------===//
 // Queries
 //===----------------------------------------------------------------------===//
+
+/// Materializes a pooled set handle into the std::set the query API
+/// exposes.
+template <typename T>
+static std::set<T> materialize(const InternedSetPool<T> &Pool,
+                               typename InternedSetPool<T>::SetID S) {
+  std::set<T> Out;
+  Pool.forEach(S, [&](T V) { Out.insert(V); });
+  return Out;
+}
 
 std::pair<std::set<const ClassDecl *>, bool>
 PointsToAnalysis::locationClasses(const Expr *E) const {
@@ -577,7 +601,7 @@ PointsToAnalysis::locationClasses(const Expr *E) const {
   unsigned N = find(It->second);
   if (Tainted[N])
     return {{}, false};
-  return {ClassTags[N], true};
+  return {materialize(ClassSets, ClassTags[N]), true};
 }
 
 std::pair<std::set<const ClassDecl *>, bool>
@@ -588,7 +612,7 @@ PointsToAnalysis::pointeeClasses(const Expr *E) const {
   unsigned N = find(It->second);
   if (Tainted[N])
     return {{}, false};
-  return {ClassTags[N], true};
+  return {materialize(ClassSets, ClassTags[N]), true};
 }
 
 std::pair<std::set<const ClassDecl *>, bool>
@@ -599,7 +623,7 @@ PointsToAnalysis::receiverClasses(const FunctionDecl *Method) const {
   unsigned N = find(It->second);
   if (Tainted[N])
     return {{}, false};
-  return {ClassTags[N], true};
+  return {materialize(ClassSets, ClassTags[N]), true};
 }
 
 std::pair<std::set<const FunctionDecl *>, bool>
@@ -610,5 +634,5 @@ PointsToAnalysis::pointeeFunctions(const Expr *E) const {
   unsigned N = find(It->second);
   if (Tainted[N])
     return {{}, false};
-  return {FunctionTags[N], true};
+  return {materialize(FunctionSets, FunctionTags[N]), true};
 }

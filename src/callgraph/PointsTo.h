@@ -22,6 +22,14 @@
 ///    may denote) and *function tags* (for function pointers), merged on
 ///    unification.
 ///
+/// Tag sets are hash-consed through support/InternedSetPool.h (the
+/// set-deduplication technique of MDE-style points-to): each node holds
+/// a 32-bit SetID instead of its own std::set, so the many nodes that
+/// share identical tag content share one stored set, and merging on
+/// unification is a pooled union that usually returns an existing ID.
+/// The pools' dedup hit-rates are exported as `pointsto.*` telemetry
+/// counters by run().
+///
 /// Constructs the abstraction cannot track (pointer-to-member accesses,
 /// unsafe casts' sources) conservatively taint the involved nodes as
 /// "unknown", and queries on tainted nodes return no information — the
@@ -33,6 +41,7 @@
 #define DMM_CALLGRAPH_POINTSTO_H
 
 #include "ast/ASTContext.h"
+#include "support/InternedSetPool.h"
 
 #include <map>
 #include <set>
@@ -120,8 +129,11 @@ private:
 
   mutable std::vector<unsigned> Parent;
   std::vector<unsigned> Pointee; ///< 0 = none (indexed by root, lazily).
-  std::vector<std::set<const ClassDecl *>> ClassTags;
-  std::vector<std::set<const FunctionDecl *>> FunctionTags;
+  /// Per-node tag sets, as handles into the hash-consing pools.
+  InternedSetPool<const ClassDecl *> ClassSets;
+  InternedSetPool<const FunctionDecl *> FunctionSets;
+  std::vector<InternedSetPool<const ClassDecl *>::SetID> ClassTags;
+  std::vector<InternedSetPool<const FunctionDecl *>::SetID> FunctionTags;
   std::vector<bool> Tainted;
 
   std::map<const Decl *, unsigned> DeclNodes;

@@ -6,10 +6,25 @@
 
 #include "driver/Frontend.h"
 
+#include "lexer/Lexer.h"
 #include "parser/Parser.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 using namespace dmm;
+
+namespace {
+
+/// Per-file result of the parallel lex stage.
+struct LexedBuffer {
+  std::vector<Token> Tokens;
+  /// Diagnostics collected by the worker's private engine; replayed
+  /// into the compilation's engine in file order so multi-threaded runs
+  /// report identically to sequential ones.
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace
 
 std::unique_ptr<Compilation> dmm::compileProgram(std::vector<SourceFile> Files,
                                                  std::ostream *DiagOS) {
@@ -25,14 +40,48 @@ std::unique_ptr<Compilation> dmm::compileProgram(std::vector<SourceFile> Files,
     Buffers.emplace_back(ID, F.IsLibrary);
   }
 
-  bool ParseOK = true;
-  for (auto [ID, IsLibrary] : Buffers) {
+  // Lexing is per-file independent (the SourceManager is read-only once
+  // all buffers are registered), so it fans out across the pool. Each
+  // worker lexes into a private diagnostics engine and a private token
+  // vector; results merge in file order below.
+  std::vector<LexedBuffer> Lexed;
+  {
+    PhaseTimer Timer("lex");
+    Lexed = globalThreadPool().parallelMap<LexedBuffer>(
+        Buffers.size(), [&](size_t I) {
+          LexedBuffer Out;
+          DiagnosticsEngine WorkerDiags(C->SM, nullptr);
+          Lexer Lex(C->SM, Buffers[I].first, WorkerDiags);
+          Out.Tokens = Lex.lexAll();
+          Out.Diags = WorkerDiags.diagnostics();
+          return Out;
+        });
+  }
+  uint64_t TotalTokens = 0;
+  for (const LexedBuffer &L : Lexed) {
+    TotalTokens += L.Tokens.size();
+    for (const Diagnostic &D : L.Diags) {
+      switch (D.Kind) {
+      case DiagKind::Error: C->Diags.error(D.Loc, D.Message); break;
+      case DiagKind::Warning: C->Diags.warning(D.Loc, D.Message); break;
+      case DiagKind::Note: C->Diags.note(D.Loc, D.Message); break;
+      }
+    }
+  }
+  Telemetry::count("lex.tokens", TotalTokens);
+  Telemetry::count("lex.buffers", Buffers.size());
+
+  // Parsing appends to the shared ASTContext and accumulates the
+  // class/function name tables across files, so it stays sequential and
+  // deterministic.
+  bool ParseOK = !C->Diags.hasErrors();
+  for (size_t I = 0; I != Buffers.size(); ++I) {
     size_t ClassesBefore = C->Ctx->classes().size();
-    if (!P.parseBuffer(ID))
+    if (!P.parseTokens(std::move(Lexed[I].Tokens)))
       ParseOK = false;
-    if (IsLibrary)
-      for (size_t I = ClassesBefore; I != C->Ctx->classes().size(); ++I)
-        C->Ctx->classes()[I]->setLibrary();
+    if (Buffers[I].second)
+      for (size_t J = ClassesBefore; J != C->Ctx->classes().size(); ++J)
+        C->Ctx->classes()[J]->setLibrary();
   }
 
   C->TheSema = std::make_unique<Sema>(*C->Ctx, C->Diags);

@@ -16,6 +16,7 @@
 #include "analysis/Report.h"
 #include "driver/Frontend.h"
 #include "interp/Interpreter.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 #include "trace/DynamicMetrics.h"
 #include "transform/DeadMemberEliminator.h"
@@ -101,6 +102,10 @@ int usage() {
          "                           read at run time is classified "
          "live)\n"
          "  --dead-functions         also list unreachable functions\n"
+         "  --jobs=<N>               worker threads for the parallel\n"
+         "                           pipeline stages (default: all cores;\n"
+         "                           also: DMM_THREADS env var). Reports\n"
+         "                           are identical at every value\n"
          "  --metrics[=<file>]       print the pipeline phase/counter\n"
          "                           table (also: DMM_METRICS=1 env var,\n"
          "                           which prints to stderr)\n"
@@ -218,6 +223,16 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
         return false;
       }
       Opts.Explain.push_back(std::move(Query));
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      std::string Value = Arg.substr(7);
+      char *End = nullptr;
+      unsigned long Jobs = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || *End || Jobs == 0) {
+        std::cerr << "error: --jobs expects a positive integer, got '"
+                  << Value << "'\n";
+        return false;
+      }
+      setGlobalJobs(static_cast<unsigned>(Jobs));
     } else if (Arg.rfind("--inert=", 0) == 0) {
       Opts.Analysis.InertFunctions.insert(Arg.substr(8));
     } else if (Arg.rfind("--", 0) == 0) {

@@ -232,14 +232,20 @@ const Type *Parser::parseDeclarator(const Type *Ty, std::string &Name,
 //===----------------------------------------------------------------------===//
 
 bool Parser::parseBuffer(uint32_t FileID) {
+  std::vector<Token> Lexed;
   {
     PhaseTimer Timer("lex");
     Lexer Lex(SM, FileID, Diags);
-    Tokens = Lex.lexAll();
+    Lexed = Lex.lexAll();
   }
-  Telemetry::count("lex.tokens", Tokens.size());
+  Telemetry::count("lex.tokens", Lexed.size());
   Telemetry::count("lex.buffers");
+  return parseTokens(std::move(Lexed));
+}
+
+bool Parser::parseTokens(std::vector<Token> NewTokens) {
   PhaseTimer Timer("parse");
+  Tokens = std::move(NewTokens);
   Pos = 0;
   unsigned ErrorsBefore = Diags.errorCount();
   while (cur().isNot(TokenKind::EndOfFile))

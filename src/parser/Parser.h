@@ -42,6 +42,13 @@ public:
   /// translation unit. Returns false if any syntax error was reported.
   bool parseBuffer(uint32_t FileID);
 
+  /// Parses a pre-lexed token stream (the lexer runs per-file in
+  /// parallel; parsing stays sequential because it appends to the
+  /// shared ASTContext and accumulates the class-name table across
+  /// files). \p Tokens must end with EndOfFile. Returns false if any
+  /// syntax error was reported.
+  bool parseTokens(std::vector<Token> Tokens);
+
 private:
   /// \name Token stream helpers
   /// @{

@@ -1,0 +1,71 @@
+//===-- support/BitVector.h - Grow-on-demand dense bitset -------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, grow-on-demand bit set indexed by small integers (decl IDs).
+/// Replaces pointer-keyed std::set on the analysis hot paths: liveness
+/// marks, call-graph reachability, and sweep-visited sets are all "is
+/// this decl in the set" queries, which a bitset answers with one load
+/// instead of a red-black-tree walk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_SUPPORT_BITVECTOR_H
+#define DMM_SUPPORT_BITVECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmm {
+
+/// Dense bit set over unsigned indices. test() of an index beyond the
+/// current size is false; set() grows as needed.
+class BitVector {
+public:
+  bool test(size_t I) const {
+    size_t W = I >> 6;
+    return W < Words.size() && (Words[W] >> (I & 63)) & 1;
+  }
+
+  /// Sets bit \p I; returns true if it was newly set.
+  bool set(size_t I) {
+    size_t W = I >> 6;
+    if (W >= Words.size())
+      Words.resize(W + 1, 0);
+    uint64_t Mask = uint64_t(1) << (I & 63);
+    bool WasSet = Words[W] & Mask;
+    Words[W] |= Mask;
+    if (!WasSet)
+      ++NumSet;
+    return !WasSet;
+  }
+
+  /// Number of set bits.
+  size_t count() const { return NumSet; }
+  bool empty() const { return NumSet == 0; }
+
+  void clear() {
+    Words.clear();
+    NumSet = 0;
+  }
+
+  /// Pre-sizes the backing store for indices < \p N (avoids regrowth in
+  /// hot loops; not required for correctness).
+  void reserve(size_t N) {
+    size_t W = (N + 63) >> 6;
+    if (W > Words.size())
+      Words.resize(W, 0);
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t NumSet = 0;
+};
+
+} // namespace dmm
+
+#endif // DMM_SUPPORT_BITVECTOR_H

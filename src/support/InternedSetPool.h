@@ -1,0 +1,137 @@
+//===-- support/InternedSetPool.h - Hash-consed small sets ------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consing for the repetitive sets a unification-based points-to
+/// analysis produces (the set-deduplication idea from "Points-to
+/// Analysis Using MDE": most nodes carry one of a handful of distinct
+/// tag sets, so identical sets should share one canonical
+/// representation). Values are interned to dense IDs; a set is a
+/// canonical sorted vector of those IDs stored once and addressed by a
+/// 32-bit SetID. Union and insert return an existing SetID when the
+/// resulting content was seen before, so equality is an integer compare
+/// and memory stays proportional to the number of *distinct* sets.
+///
+/// The pool tracks lookup/hit statistics so callers can export a dedup
+/// hit-rate to telemetry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_SUPPORT_INTERNEDSETPOOL_H
+#define DMM_SUPPORT_INTERNEDSETPOOL_H
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dmm {
+
+/// Interns sets of T (a pointer-like value type). SetID 0 is the empty
+/// set.
+template <typename T> class InternedSetPool {
+public:
+  using SetID = uint32_t;
+  static constexpr SetID Empty = 0;
+
+  InternedSetPool() {
+    Sets.emplace_back(); // SetID 0: the canonical empty set.
+  }
+
+  /// The set {V}.
+  SetID singleton(T V) { return insert(Empty, V); }
+
+  /// The set S ∪ {V}.
+  SetID insert(SetID S, T V) {
+    uint32_t Id = valueId(V);
+    const std::vector<uint32_t> &Cur = Sets[S];
+    if (std::binary_search(Cur.begin(), Cur.end(), Id))
+      return S;
+    std::vector<uint32_t> Next;
+    Next.reserve(Cur.size() + 1);
+    auto Pos = std::lower_bound(Cur.begin(), Cur.end(), Id);
+    Next.insert(Next.end(), Cur.begin(), Pos);
+    Next.push_back(Id);
+    Next.insert(Next.end(), Pos, Cur.end());
+    return intern(std::move(Next));
+  }
+
+  /// The set A ∪ B.
+  SetID unionSets(SetID A, SetID B) {
+    if (A == B || B == Empty)
+      return A;
+    if (A == Empty)
+      return B;
+    const std::vector<uint32_t> &SA = Sets[A];
+    const std::vector<uint32_t> &SB = Sets[B];
+    std::vector<uint32_t> Merged;
+    Merged.reserve(SA.size() + SB.size());
+    std::set_union(SA.begin(), SA.end(), SB.begin(), SB.end(),
+                   std::back_inserter(Merged));
+    if (Merged.size() == SA.size())
+      return A; // B ⊆ A
+    if (Merged.size() == SB.size())
+      return B; // A ⊆ B
+    return intern(std::move(Merged));
+  }
+
+  size_t size(SetID S) const { return Sets[S].size(); }
+
+  /// Applies \p Fn to every member of \p S, in interning order of the
+  /// values (deterministic per run).
+  template <typename Fn> void forEach(SetID S, Fn &&F) const {
+    for (uint32_t Id : Sets[S])
+      F(Values[Id]);
+  }
+
+  /// \name Dedup statistics
+  /// @{
+  /// Number of distinct non-empty sets ever interned.
+  size_t numUniqueSets() const { return Sets.size() - 1; }
+  /// Times a union/insert asked for a set by content.
+  uint64_t lookups() const { return Lookups; }
+  /// Times the content already existed (shared instead of allocated).
+  uint64_t hits() const { return Hits; }
+  /// @}
+
+private:
+  uint32_t valueId(T V) {
+    auto [It, New] = ValueIds.try_emplace(V, Values.size());
+    if (New)
+      Values.push_back(V);
+    return It->second;
+  }
+
+  SetID intern(std::vector<uint32_t> Content) {
+    ++Lookups;
+    uint64_t H = 1469598103934665603ull; // FNV-1a over the id words.
+    for (uint32_t Id : Content) {
+      H ^= Id;
+      H *= 1099511628211ull;
+    }
+    auto Range = SetIndex.equal_range(H);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (Sets[It->second] == Content) {
+        ++Hits;
+        return It->second;
+      }
+    SetID New = static_cast<SetID>(Sets.size());
+    Sets.push_back(std::move(Content));
+    SetIndex.emplace(H, New);
+    return New;
+  }
+
+  std::vector<T> Values;               ///< Dense value id -> value.
+  std::unordered_map<T, uint32_t> ValueIds;
+  std::vector<std::vector<uint32_t>> Sets; ///< SetID -> sorted value ids.
+  std::unordered_multimap<uint64_t, SetID> SetIndex;
+  uint64_t Lookups = 0;
+  uint64_t Hits = 0;
+};
+
+} // namespace dmm
+
+#endif // DMM_SUPPORT_INTERNEDSETPOOL_H

@@ -11,8 +11,14 @@
 using namespace dmm;
 
 Telemetry *Telemetry::Active = nullptr;
+thread_local TelemetryShard *TelemetryShard::ActiveShard = nullptr;
 
 Telemetry::Telemetry() : Epoch(std::chrono::steady_clock::now()) {}
+
+unsigned &Telemetry::nestingDepth() {
+  static thread_local unsigned Depth = 0;
+  return Depth;
+}
 
 uint64_t Telemetry::nowNanos() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -20,12 +26,25 @@ uint64_t Telemetry::nowNanos() const {
       .count();
 }
 
+void Telemetry::count(const char *Name, uint64_t Delta) {
+  Telemetry *T = Active;
+  if (!T)
+    return;
+  if (TelemetryShard *S = TelemetryShard::ActiveShard; S && S->T == T) {
+    S->Local[Name] += Delta;
+    return;
+  }
+  T->addCounter(Name, Delta);
+}
+
 void Telemetry::addCounter(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mu);
   Counters[Name] += Delta;
 }
 
 void Telemetry::recordInterval(const std::string &Name, uint64_t StartNanos,
                                uint64_t DurNanos, unsigned Depth) {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto [It, Inserted] = PhaseIndex.try_emplace(Name, Phases.size());
   if (Inserted) {
     Phases.push_back({Name, 0, 0, Depth});
@@ -38,12 +57,27 @@ void Telemetry::recordInterval(const std::string &Name, uint64_t StartNanos,
   Events.push_back({Name, StartNanos, DurNanos, Depth});
 }
 
+TelemetryShard::TelemetryShard(Telemetry *T)
+    : T(T), Prev(ActiveShard) {
+  ActiveShard = this;
+}
+
+TelemetryShard::~TelemetryShard() {
+  ActiveShard = Prev;
+  if (!T || Local.empty())
+    return;
+  std::lock_guard<std::mutex> Lock(T->Mu);
+  for (const auto &[Name, Delta] : Local)
+    T->Counters[Name] += Delta;
+}
+
 const PhaseStat *Telemetry::phase(const std::string &Name) const {
   auto It = PhaseIndex.find(Name);
   return It == PhaseIndex.end() ? nullptr : &Phases[It->second];
 }
 
 uint64_t Telemetry::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Counters.find(Name);
   return It == Counters.end() ? 0 : It->second;
 }

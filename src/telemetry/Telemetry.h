@@ -13,7 +13,15 @@
 /// Telemetry is off by default. Instrumentation sites test one global
 /// pointer (`Telemetry::Active`); when no registry is installed via
 /// TelemetryScope, a PhaseTimer or Telemetry::count() call costs a load
-/// and a branch. The registry is single-threaded, like the pipeline.
+/// and a branch.
+///
+/// The registry is thread-safe: the pipeline's parallel stages (see
+/// support/ThreadPool.h) may time phases and bump counters from worker
+/// threads. Central state is mutex-guarded; hot worker loops should
+/// install a TelemetryShard, which batches counter increments in
+/// thread-local storage and folds them into the registry once when the
+/// shard scope ends — counter totals are sums, so sharded aggregation
+/// is deterministic. Phase nesting depth is tracked per thread.
 ///
 /// Phase names are part of the tool's observable interface (benches and
 /// tests grep for them): "lex", "parse", "sema", "callgraph",
@@ -28,11 +36,14 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace dmm {
+
+class TelemetryShard;
 
 /// Accumulated cost of one named pipeline phase.
 struct PhaseStat {
@@ -61,22 +72,24 @@ public:
   static Telemetry *active() { return Active; }
 
   /// Adds \p Delta to counter \p Name on the active sink, if any. The
-  /// null test is the entire disabled-path cost.
-  static void count(const char *Name, uint64_t Delta = 1) {
-    if (Telemetry *T = Active)
-      T->addCounter(Name, Delta);
-  }
+  /// null test is the entire disabled-path cost. Routes through the
+  /// calling thread's TelemetryShard when one is installed.
+  static void count(const char *Name, uint64_t Delta = 1);
 
   void addCounter(const std::string &Name, uint64_t Delta);
 
   /// Folds one completed interval into the per-phase aggregate and
-  /// appends it to the event timeline.
+  /// appends it to the event timeline. Thread-safe.
   void recordInterval(const std::string &Name, uint64_t StartNanos,
                       uint64_t DurNanos, unsigned Depth);
 
   /// Nanoseconds since this registry was created (monotonic clock).
   uint64_t nowNanos() const;
 
+  /// \name Aggregate accessors
+  /// Read the registry after parallel regions have completed (the
+  /// returned references are not snapshots).
+  /// @{
   /// Phase aggregates in first-activation order.
   const std::vector<PhaseStat> &phases() const { return Phases; }
   /// Null if no phase named \p Name ever completed.
@@ -89,6 +102,7 @@ public:
   uint64_t counter(const std::string &Name) const;
 
   const std::vector<TimelineEvent> &events() const { return Events; }
+  /// @}
 
   /// Writes the human-readable phase/counter table.
   void printMetrics(std::ostream &OS) const;
@@ -97,11 +111,16 @@ public:
 
 private:
   friend class TelemetryScope;
+  friend class TelemetryShard;
   friend class PhaseTimer;
   static Telemetry *Active;
 
+  /// Per-thread PhaseTimer nesting depth (concurrent timers on
+  /// different workers each have their own stack).
+  static unsigned &nestingDepth();
+
   std::chrono::steady_clock::time_point Epoch;
-  unsigned NestingDepth = 0;
+  mutable std::mutex Mu; ///< Guards Phases/PhaseIndex/Counters/Events.
   std::vector<PhaseStat> Phases;
   std::map<std::string, size_t> PhaseIndex;
   std::map<std::string, uint64_t> Counters;
@@ -123,6 +142,29 @@ private:
   Telemetry *Saved;
 };
 
+/// Thread-local counter shard: while alive on a thread, counter
+/// increments against \p T accumulate in a local map and merge into the
+/// registry (one lock acquisition) at scope end. Install one per worker
+/// task in parallel regions so hot counters don't contend on the
+/// registry mutex. Shards nest; the inner shard wins.
+class TelemetryShard {
+public:
+  /// \p T must be the active registry (or null, making the shard a
+  /// no-op).
+  explicit TelemetryShard(Telemetry *T);
+  ~TelemetryShard();
+  TelemetryShard(const TelemetryShard &) = delete;
+  TelemetryShard &operator=(const TelemetryShard &) = delete;
+
+private:
+  friend class Telemetry;
+  static thread_local TelemetryShard *ActiveShard;
+
+  Telemetry *T;
+  TelemetryShard *Prev;
+  std::map<std::string, uint64_t> Local;
+};
+
 /// RAII phase timer: accumulates the enclosed interval into the active
 /// registry under \p Name. \p Name must outlive the timer (string
 /// literals only).
@@ -131,7 +173,7 @@ public:
   explicit PhaseTimer(const char *Name)
       : T(Telemetry::Active), Name(Name) {
     if (T) {
-      Depth = T->NestingDepth++;
+      Depth = Telemetry::nestingDepth()++;
       Start = std::chrono::steady_clock::now();
     }
   }
@@ -139,7 +181,7 @@ public:
     if (!T)
       return;
     auto End = std::chrono::steady_clock::now();
-    --T->NestingDepth;
+    --Telemetry::nestingDepth();
     T->recordInterval(
         Name,
         std::chrono::duration_cast<std::chrono::nanoseconds>(Start -
