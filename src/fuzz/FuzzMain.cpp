@@ -1,0 +1,391 @@
+//===-- fuzz/FuzzMain.cpp - The dmm-fuzz differential fuzzer --------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `dmm-fuzz`: generate deterministic random MiniC++ programs and push
+/// each through the semantic/soundness/invariance oracles
+/// (fuzz/Oracles.h). On a failure, a delta-debugging shrinker minimizes
+/// the program while the same oracle keeps failing, and a self-contained
+/// reproducer (.mcc) plus a JSON failure record land in the artifacts
+/// directory. Exit status: 0 when every seed passed, 1 otherwise.
+///
+/// See docs/TESTING.md for the artifacts layout, replay workflow, and
+/// the fault-injection self-validation modes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracles.h"
+#include "fuzz/ProgramGenerator.h"
+#include "fuzz/Shrinker.h"
+
+#include "support/ThreadPool.h"
+#include "telemetry/Telemetry.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+using namespace dmm;
+using namespace dmm::fuzz;
+
+namespace {
+
+struct FuzzOptions {
+  uint64_t SeedBegin = 1;
+  uint64_t SeedEnd = 100; ///< Inclusive.
+  OracleConfig Oracles;
+  std::string OracleName = "all";
+  std::string ArtifactsDir = "fuzz-artifacts";
+  std::string ReplayFile; ///< Run oracles on a file instead.
+  bool Shrink = true;
+  unsigned MaxShrinkAttempts = 4000;
+  bool Metrics = false;
+  bool Verbose = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: dmm-fuzz [options]\n"
+         "\n"
+         "Differential fuzzing for the dead-member pipeline: random\n"
+         "MiniC++ programs are run through three oracles (differential\n"
+         "semantics of the eliminated program, dynamic soundness of the\n"
+         "analysis, configuration invariance across --jobs levels and\n"
+         "call-graph precision). Failures are shrunk to minimal\n"
+         "reproducers. Everything is deterministic in the seed.\n"
+         "\n"
+         "options:\n"
+         "  --seeds <N>|<A>..<B>     seed range, inclusive (default "
+         "1..100)\n"
+         "  --oracle <all|semantics|soundness|invariance>\n"
+         "                           which oracle family to run "
+         "(default all)\n"
+         "  --artifacts <dir>        where reproducers and JSON failure\n"
+         "                           records go (default fuzz-artifacts;\n"
+         "                           created on first failure)\n"
+         "  --replay <file.mcc>      run the oracles on a program file\n"
+         "                           (e.g. a shrunk reproducer) instead\n"
+         "                           of generating\n"
+         "  --no-shrink              keep failing programs unminimized\n"
+         "  --max-shrink-attempts=<N>  shrinker predicate budget "
+         "(default 4000)\n"
+         "  --inject-fault=<drop-live-stores|count-dealloc-reads>\n"
+         "                           deliberately break the eliminator /\n"
+         "                           the read exemption to validate that\n"
+         "                           the oracles catch it\n"
+         "  --jobs=<N>               base worker threads (the invariance\n"
+         "                           oracle still sweeps its own levels)\n"
+         "  --metrics                print the fuzz counter table at "
+         "exit\n"
+         "  --verbose                log every seed, not just failures\n";
+  return 2;
+}
+
+bool parseSeeds(const std::string &Value, FuzzOptions &Opts) {
+  size_t Dots = Value.find("..");
+  char *End = nullptr;
+  if (Dots == std::string::npos) {
+    unsigned long long N = std::strtoull(Value.c_str(), &End, 10);
+    if (Value.empty() || *End || N == 0)
+      return false;
+    Opts.SeedBegin = 1;
+    Opts.SeedEnd = N;
+    return true;
+  }
+  std::string A = Value.substr(0, Dots), B = Value.substr(Dots + 2);
+  unsigned long long Begin = std::strtoull(A.c_str(), &End, 10);
+  if (A.empty() || *End)
+    return false;
+  unsigned long long Last = std::strtoull(B.c_str(), &End, 10);
+  if (B.empty() || *End || Last < Begin)
+    return false;
+  Opts.SeedBegin = Begin;
+  Opts.SeedEnd = Last;
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, FuzzOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (++I >= Argc) {
+        std::cerr << "error: " << Flag << " requires a value\n";
+        return nullptr;
+      }
+      return Argv[I];
+    };
+    if (Arg == "--seeds") {
+      const char *V = needValue("--seeds");
+      if (!V || !parseSeeds(V, Opts)) {
+        std::cerr << "error: --seeds expects <N> or <A>..<B> with "
+                     "positive integers\n";
+        return false;
+      }
+    } else if (Arg == "--oracle") {
+      const char *V = needValue("--oracle");
+      if (!V)
+        return false;
+      std::string Kind = V;
+      Opts.OracleName = Kind;
+      Opts.Oracles.Semantics = Kind == "all" || Kind == "semantics";
+      Opts.Oracles.Soundness = Kind == "all" || Kind == "soundness";
+      Opts.Oracles.Invariance = Kind == "all" || Kind == "invariance";
+      if (!Opts.Oracles.Semantics && !Opts.Oracles.Soundness &&
+          !Opts.Oracles.Invariance) {
+        std::cerr << "error: invalid --oracle value '" << Kind
+                  << "' (valid choices: all, semantics, soundness, "
+                     "invariance)\n";
+        return false;
+      }
+    } else if (Arg == "--artifacts") {
+      const char *V = needValue("--artifacts");
+      if (!V)
+        return false;
+      Opts.ArtifactsDir = V;
+    } else if (Arg == "--replay") {
+      const char *V = needValue("--replay");
+      if (!V)
+        return false;
+      Opts.ReplayFile = V;
+    } else if (Arg == "--no-shrink") {
+      Opts.Shrink = false;
+    } else if (Arg.rfind("--max-shrink-attempts=", 0) == 0) {
+      std::string V = Arg.substr(22);
+      char *End = nullptr;
+      unsigned long N = std::strtoul(V.c_str(), &End, 10);
+      if (V.empty() || *End || N == 0) {
+        std::cerr << "error: --max-shrink-attempts expects a positive "
+                     "integer\n";
+        return false;
+      }
+      Opts.MaxShrinkAttempts = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--inject-fault=", 0) == 0) {
+      std::string Fault = Arg.substr(15);
+      if (Fault == "drop-live-stores")
+        Opts.Oracles.Fault.DropLiveMemberStores = true;
+      else if (Fault == "count-dealloc-reads")
+        Opts.Oracles.CountDeallocationReads = true;
+      else {
+        std::cerr << "error: invalid --inject-fault value '" << Fault
+                  << "' (valid choices: drop-live-stores, "
+                     "count-dealloc-reads)\n";
+        return false;
+      }
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      std::string V = Arg.substr(7);
+      char *End = nullptr;
+      unsigned long Jobs = std::strtoul(V.c_str(), &End, 10);
+      if (V.empty() || *End || Jobs == 0) {
+        std::cerr << "error: --jobs expects a positive integer, got '"
+                  << V << "'\n";
+        return false;
+      }
+      setGlobalJobs(static_cast<unsigned>(Jobs));
+    } else if (Arg == "--metrics") {
+      Opts.Metrics = true;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else {
+      std::cerr << "error: unknown option '" << Arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// One failure's on-disk record set.
+struct FailureArtifacts {
+  std::string Stem; ///< e.g. "fuzz-artifacts/seed000017"
+};
+
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::cerr << "error: cannot write '" << Path << "'\n";
+    return false;
+  }
+  Out << Text;
+  return true;
+}
+
+std::optional<FailureArtifacts>
+writeArtifacts(const FuzzOptions &Opts, const std::string &Stem,
+               uint64_t Seed, const std::string &Original,
+               const std::string &Reproducer, const OracleOutcome &Outcome,
+               const ShrinkStats &Shrink) {
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.ArtifactsDir, EC);
+  if (EC) {
+    std::cerr << "error: cannot create artifacts directory '"
+              << Opts.ArtifactsDir << "': " << EC.message() << "\n";
+    return std::nullopt;
+  }
+  FailureArtifacts Art;
+  Art.Stem = Opts.ArtifactsDir + "/" + Stem;
+
+  if (!writeFile(Art.Stem + ".original.mcc", Original) ||
+      !writeFile(Art.Stem + ".reproducer.mcc", Reproducer))
+    return std::nullopt;
+
+  std::ostringstream J;
+  J << "{\n"
+    << "  \"schema\": 1,\n"
+    << "  \"seed\": " << Seed << ",\n"
+    << "  \"oracle\": \"" << jsonEscape(Outcome.FailedOracle) << "\",\n"
+    << "  \"detail\": \"" << jsonEscape(Outcome.Detail) << "\",\n"
+    << "  \"oracle_selection\": \"" << jsonEscape(Opts.OracleName)
+    << "\",\n"
+    << "  \"injected_faults\": {\"drop_live_stores\": "
+    << (Opts.Oracles.Fault.DropLiveMemberStores ? "true" : "false")
+    << ", \"count_dealloc_reads\": "
+    << (Opts.Oracles.CountDeallocationReads ? "true" : "false") << "},\n"
+    << "  \"shrink\": {\"lines_before\": " << Shrink.LinesBefore
+    << ", \"lines_after\": " << Shrink.LinesAfter
+    << ", \"attempts\": " << Shrink.Attempts
+    << ", \"accepted\": " << Shrink.Accepted << "},\n"
+    << "  \"replay\": \"dmm-fuzz --replay " << jsonEscape(Art.Stem)
+    << ".reproducer.mcc --oracle " << jsonEscape(Opts.OracleName)
+    << "\"\n"
+    << "}\n";
+  if (!writeFile(Art.Stem + ".json", J.str()))
+    return std::nullopt;
+  return Art;
+}
+
+/// Runs one program through the oracles; on failure, shrinks and
+/// records. Returns true when the program passed.
+/// \p Label is the human-readable progress prefix; \p Stem names the
+/// artifact files (filesystem-safe, no separators).
+bool checkProgram(const FuzzOptions &Opts, const std::string &Label,
+                  const std::string &Stem, uint64_t Seed,
+                  const std::string &Source) {
+  Telemetry::count("fuzz.iterations");
+  OracleOutcome Outcome = runOracles(Source, Opts.Oracles);
+  if (Outcome.Passed) {
+    if (Opts.Verbose)
+      std::cout << Label << ": ok\n";
+    return true;
+  }
+
+  std::string Reproducer = Source;
+  ShrinkStats Shrink;
+  if (Opts.Shrink) {
+    const std::string FailedKind = Outcome.FailedOracle;
+    Reproducer = shrinkProgram(
+        Source,
+        [&](const std::string &Candidate) {
+          return runOracles(Candidate, Opts.Oracles).FailedOracle ==
+                 FailedKind;
+        },
+        Opts.MaxShrinkAttempts, &Shrink);
+  }
+
+  auto Art = writeArtifacts(Opts, Stem, Seed, Source, Reproducer,
+                            Outcome, Shrink);
+  std::cout << Label << ": FAIL " << Outcome.FailedOracle << " — "
+            << Outcome.Detail;
+  if (Opts.Shrink)
+    std::cout << " (shrunk " << Shrink.LinesBefore << " -> "
+              << Shrink.LinesAfter << " lines in " << Shrink.Attempts
+              << " attempts)";
+  if (Art)
+    std::cout << "\n  artifacts: " << Art->Stem << ".{reproducer.mcc,"
+              << "original.mcc,json}";
+  std::cout << "\n";
+  return false;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+
+  const char *MetricsEnv = std::getenv("DMM_METRICS");
+  bool MetricsToStderr = MetricsEnv && *MetricsEnv &&
+                         std::strcmp(MetricsEnv, "0") != 0 && !Opts.Metrics;
+  Telemetry Tel;
+  std::optional<TelemetryScope> TelScope;
+  if (Opts.Metrics || MetricsToStderr)
+    TelScope.emplace(Tel);
+
+  uint64_t Failures = 0, Total = 0;
+  {
+    PhaseTimer Timer("fuzz");
+    if (!Opts.ReplayFile.empty()) {
+      std::ifstream In(Opts.ReplayFile);
+      if (!In) {
+        std::cerr << "error: cannot open '" << Opts.ReplayFile << "'\n";
+        return 2;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Total = 1;
+      if (!checkProgram(Opts, "replay " + Opts.ReplayFile, "replay", 0,
+                        SS.str()))
+        ++Failures;
+    } else {
+      for (uint64_t Seed = Opts.SeedBegin; Seed <= Opts.SeedEnd; ++Seed) {
+        ++Total;
+        ProgramGenerator Gen(Seed);
+        char Label[32];
+        std::snprintf(Label, sizeof(Label), "seed%06llu",
+                      static_cast<unsigned long long>(Seed));
+        if (!checkProgram(Opts, Label, Label, Seed, Gen.generate()))
+          ++Failures;
+      }
+    }
+  }
+
+  std::cout << "dmm-fuzz: " << Total
+            << (Total == 1 ? " program, " : " programs, ") << Failures
+            << (Failures == 1 ? " failure" : " failures") << " (oracle: "
+            << Opts.OracleName << ")\n";
+  if (Opts.Metrics)
+    Tel.printMetrics(std::cout);
+  if (MetricsToStderr)
+    Tel.printMetrics(std::cerr);
+  return Failures ? 1 : 0;
+}

@@ -1,0 +1,203 @@
+//===-- fuzz/Oracles.cpp --------------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracles.h"
+
+#include "analysis/Report.h"
+#include "driver/Frontend.h"
+#include "interp/Interpreter.h"
+#include "support/ThreadPool.h"
+#include "telemetry/Telemetry.h"
+
+#include <set>
+#include <sstream>
+
+using namespace dmm;
+using namespace dmm::fuzz;
+
+namespace {
+
+std::set<std::string> deadNames(const DeadMemberResult &R) {
+  std::set<std::string> Names;
+  for (const FieldDecl *F : R.deadMembers())
+    Names.insert(F->qualifiedName());
+  return Names;
+}
+
+/// Truncates program output for failure details.
+std::string excerpt(const std::string &S, size_t Max = 160) {
+  if (S.size() <= Max)
+    return S;
+  return S.substr(0, Max) + "...[" + std::to_string(S.size()) +
+         " bytes total]";
+}
+
+OracleOutcome fail(const char *Oracle, std::string Detail) {
+  Telemetry::count("fuzz.oracle.failures");
+  OracleOutcome Out;
+  Out.Passed = false;
+  Out.FailedOracle = Oracle;
+  Out.Detail = std::move(Detail);
+  return Out;
+}
+
+/// Compiles, analyzes (with provenance) and renders the JSON report —
+/// the byte-compared unit of the jobs-invariance oracle.
+bool renderReport(const std::string &Source, const AnalysisOptions &Base,
+                  std::string &Report, std::string &Error) {
+  std::ostringstream Diag;
+  auto C = compileString(Source, &Diag);
+  if (!C->Success) {
+    Error = "does not compile: " + Diag.str();
+    return false;
+  }
+  AnalysisOptions Opts = Base;
+  Opts.RecordProvenance = true;
+  DeadMemberAnalysis A(C->context(), C->hierarchy(), Opts);
+  DeadMemberResult R = A.run(C->mainFunction());
+  std::ostringstream OS;
+  printJsonReport(OS, C->context(), R, &C->SM);
+  Report = OS.str();
+  return true;
+}
+
+} // namespace
+
+OracleOutcome fuzz::runOracles(const std::string &Source,
+                               const OracleConfig &Config) {
+  Telemetry::count("fuzz.oracle.checks");
+
+  std::ostringstream Diag;
+  auto C = compileString(Source, &Diag);
+  if (!C->Success)
+    return fail("frontend", "program does not compile: " + Diag.str());
+
+  DeadMemberAnalysis Analysis(C->context(), C->hierarchy(),
+                              Config.Analysis);
+  DeadMemberResult Result = Analysis.run(C->mainFunction());
+
+  std::set<const FieldDecl *> Reads;
+  std::vector<const FieldDecl *> ReadOrder;
+  InterpOptions IO;
+  IO.ReadSet = &Reads;
+  IO.ReadTrace = &ReadOrder;
+  IO.CountDeallocationReads = Config.CountDeallocationReads;
+  Interpreter Interp(C->context(), C->hierarchy(), IO);
+  ExecResult Original = Interp.run(C->mainFunction());
+  if (!Original.Completed)
+    return fail("runtime", "original program aborted: " + Original.Error);
+
+  // Oracle 2: dynamic soundness. Checked in first-read order so the
+  // detail names the earliest offending read.
+  if (Config.Soundness) {
+    for (size_t I = 0; I != ReadOrder.size(); ++I) {
+      const FieldDecl *F = ReadOrder[I];
+      if (Result.isDead(F))
+        return fail("soundness",
+                    F->qualifiedName() + " (dynamic read #" +
+                        std::to_string(I + 1) +
+                        ") was read at run time but classified dead");
+    }
+  }
+
+  // Oracle 1: differential semantics of the eliminated program.
+  if (Config.Semantics) {
+    EliminationResult Elim = eliminateDeadMembers(
+        C->context(), Result, Analysis.callGraph(), Config.Fault);
+    std::ostringstream ElimDiag;
+    auto CE = compileString(Elim.Source, &ElimDiag);
+    if (!CE->Success)
+      return fail("semantics", "eliminated program does not compile: " +
+                                   ElimDiag.str());
+    Interpreter ElimInterp(CE->context(), CE->hierarchy(), {});
+    ExecResult Transformed = ElimInterp.run(CE->mainFunction());
+    if (!Transformed.Completed)
+      return fail("semantics",
+                  "eliminated program aborted: " + Transformed.Error);
+    if (Transformed.Output != Original.Output)
+      return fail("semantics", "output mismatch: original \"" +
+                                   excerpt(Original.Output) +
+                                   "\" vs eliminated \"" +
+                                   excerpt(Transformed.Output) + "\"");
+    if (Transformed.ExitCode != Original.ExitCode)
+      return fail("semantics",
+                  "exit code mismatch: original " +
+                      std::to_string(Original.ExitCode) + " vs eliminated " +
+                      std::to_string(Transformed.ExitCode));
+  }
+
+  if (Config.Invariance) {
+    // Jobs invariance: the JSON report (classification, reasons,
+    // provenance, locations) must be byte-identical at every worker
+    // count.
+    if (Config.JobsLevels.size() > 1) {
+      unsigned SavedJobs = globalThreadPool().jobs();
+      std::string Reference, ReferenceError;
+      bool JobsFailed = false;
+      OracleOutcome JobsOutcome;
+      for (size_t I = 0; I != Config.JobsLevels.size(); ++I) {
+        setGlobalJobs(Config.JobsLevels[I]);
+        std::string Report, Error;
+        if (!renderReport(Source, Config.Analysis, Report, Error)) {
+          JobsOutcome = fail("invariance-jobs",
+                             "at --jobs=" +
+                                 std::to_string(Config.JobsLevels[I]) +
+                                 " the program " + Error);
+          JobsFailed = true;
+          break;
+        }
+        if (I == 0) {
+          Reference = Report;
+        } else if (Report != Reference) {
+          JobsOutcome = fail(
+              "invariance-jobs",
+              "JSON report differs between --jobs=" +
+                  std::to_string(Config.JobsLevels[0]) + " and --jobs=" +
+                  std::to_string(Config.JobsLevels[I]));
+          JobsFailed = true;
+          break;
+        }
+      }
+      setGlobalJobs(SavedJobs);
+      if (JobsFailed)
+        return JobsOutcome;
+      (void)ReferenceError;
+    }
+
+    // Monotonic precision: a more precise call graph never loses a
+    // dead member, and the write-as-live baseline never beats the
+    // paper's algorithm.
+    auto DeadWith = [&](CallGraphKind K, bool Baseline) {
+      AnalysisOptions Opts = Config.Analysis;
+      Opts.CallGraph = K;
+      Opts.TreatWritesAsLive = Baseline;
+      DeadMemberAnalysis A(C->context(), C->hierarchy(), Opts);
+      return deadNames(A.run(C->mainFunction()));
+    };
+    std::pair<const char *, std::set<std::string>> Chain[] = {
+        {"trivial", DeadWith(CallGraphKind::Trivial, false)},
+        {"cha", DeadWith(CallGraphKind::CHA, false)},
+        {"rta", DeadWith(CallGraphKind::RTA, false)},
+        {"pta", DeadWith(CallGraphKind::PTA, false)},
+    };
+    for (size_t I = 1; I != 4; ++I)
+      for (const std::string &Name : Chain[I - 1].second)
+        if (!Chain[I].second.count(Name))
+          return fail("invariance-monotonic",
+                      Name + " is dead under " + Chain[I - 1].first +
+                          " but live under " + Chain[I].first);
+    std::set<std::string> Baseline =
+        DeadWith(Config.Analysis.CallGraph, true);
+    std::set<std::string> Paper = deadNames(Result);
+    for (const std::string &Name : Baseline)
+      if (!Paper.count(Name))
+        return fail("invariance-monotonic",
+                    Name + " is dead under the write-as-live baseline "
+                           "but live under the paper algorithm");
+  }
+
+  return {};
+}

@@ -1,0 +1,90 @@
+//===-- fuzz/Oracles.h - Differential fuzzing oracles -----------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three correctness oracles the fuzzing harness runs every
+/// generated (or replayed) program through:
+///
+///  1. *Differential semantics* — the dead-member-eliminated program
+///     must recompile and produce byte-identical observable output and
+///     the same exit code as the original (the transformation's
+///     behaviour-preservation contract, DeadMemberEliminator.h).
+///  2. *Dynamic soundness* — every member whose value is read during
+///     interpretation must be classified live by the analysis
+///     (DESIGN.md §6; the paper's central invariant).
+///  3. *Configuration invariance* — the JSON classification report must
+///     be byte-identical at every `--jobs` level (the parallel
+///     pipeline's determinism guarantee), and the dead set must grow
+///     monotonically with call-graph precision
+///     (baseline ⊆ paper, Trivial ⊆ CHA ⊆ RTA ⊆ PTA).
+///
+/// An oracle failure carries a machine-readable kind plus a
+/// human-readable detail; the harness (FuzzMain.cpp) feeds failures to
+/// the shrinker (fuzz/Shrinker.h) and records them as artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_FUZZ_ORACLES_H
+#define DMM_FUZZ_ORACLES_H
+
+#include "analysis/DeadMemberAnalysis.h"
+#include "transform/DeadMemberEliminator.h"
+
+#include <string>
+#include <vector>
+
+namespace dmm {
+namespace fuzz {
+
+/// Which oracles to run and under which base analysis configuration.
+struct OracleConfig {
+  bool Semantics = true;
+  bool Soundness = true;
+  bool Invariance = true;
+
+  /// Base analysis configuration (defaults reproduce the paper's:
+  /// RTA call graph, deallocation exemption, union closure).
+  AnalysisOptions Analysis;
+
+  /// Worker counts the invariance oracle compares; reports must be
+  /// byte-identical across all of them.
+  std::vector<unsigned> JobsLevels = {1, 4};
+
+  /// \name Fault injection (harness self-validation; docs/TESTING.md)
+  /// @{
+  /// Forwarded to the eliminator: a deliberately buggy transformation
+  /// the semantics oracle must catch.
+  EliminationFault Fault;
+  /// Interpreter-side fault: count reads that only feed delete/free,
+  /// breaking the two-sided deallocation exemption the soundness
+  /// oracle relies on.
+  bool CountDeallocationReads = false;
+  /// @}
+};
+
+/// The verdict of one program's trip through the oracles.
+struct OracleOutcome {
+  bool Passed = true;
+  /// Empty when Passed; otherwise one of "frontend", "runtime",
+  /// "semantics", "soundness", "invariance-jobs",
+  /// "invariance-monotonic".
+  std::string FailedOracle;
+  /// Human-readable failure description (first violation wins).
+  std::string Detail;
+};
+
+/// Runs \p Source through every enabled oracle, stopping at the first
+/// failure. A program that fails to compile or aborts at run time is
+/// itself an oracle failure ("frontend" / "runtime"): the generator
+/// promises valid programs, so either indicates a generator or
+/// pipeline bug worth shrinking.
+OracleOutcome runOracles(const std::string &Source,
+                         const OracleConfig &Config = {});
+
+} // namespace fuzz
+} // namespace dmm
+
+#endif // DMM_FUZZ_ORACLES_H

@@ -1,0 +1,282 @@
+//===-- fuzz/ProgramGenerator.cpp -----------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ProgramGenerator.h"
+
+using namespace dmm;
+using namespace dmm::fuzz;
+
+namespace {
+
+std::string num(unsigned I) { return std::to_string(I); }
+
+/// The numeric field name grid: gI_F on class KI.
+std::string fieldName(unsigned Class, unsigned Field) {
+  return "g" + num(Class) + "_" + num(Field);
+}
+
+const char *fieldType(unsigned F) {
+  // Cycle so every class mixes widths; g*_0 is always int (the
+  // pointer-to-member and address-taken sites rely on that).
+  switch (F % 4) {
+  case 1:
+    return "double";
+  case 2:
+    return "char";
+  default:
+    return "int";
+  }
+}
+
+} // namespace
+
+ProgramGenerator::ProgramGenerator(uint64_t Seed, GeneratorOptions Options)
+    : State(Seed * 2654435761u + 1), InitState(State), Opts(Options) {}
+
+uint64_t ProgramGenerator::next() {
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545F4914F6CDD1DULL;
+}
+
+uint64_t ProgramGenerator::below(uint64_t N) { return N ? next() % N : 0; }
+
+bool ProgramGenerator::chance(unsigned Percent) {
+  return next() % 100 < Percent;
+}
+
+bool ProgramGenerator::feature(bool Enabled, unsigned Percent) {
+  // Always consume randomness so toggling one feature off does not
+  // reshuffle every later decision for the same seed.
+  bool Hit = chance(Percent);
+  return Enabled && Hit;
+}
+
+std::string ProgramGenerator::generate() {
+  State = InitState;
+
+  unsigned ClassSpan = Opts.MaxClasses - Opts.MinClasses + 1;
+  NumClasses = Opts.MinClasses + static_cast<unsigned>(below(ClassSpan));
+  unsigned FieldSpan = Opts.MaxFields - Opts.MinFields + 1;
+  FieldsPer.assign(NumClasses, 0);
+  Derives.assign(NumClasses, false);
+  HasVolatile.assign(NumClasses, false);
+  HasOwned.assign(NumClasses, false);
+  for (unsigned I = 0; I != NumClasses; ++I) {
+    FieldsPer[I] = Opts.MinFields + static_cast<unsigned>(below(FieldSpan));
+    if (I > 0)
+      Derives[I] = chance(60);
+    HasVolatile[I] = feature(Opts.VolatileMembers, 35);
+    HasOwned[I] = feature(Opts.DeleteExemption, 35);
+  }
+  UseUnion = feature(Opts.Unions, 50);
+  UseVirtual = feature(Opts.VirtualDispatch, 70);
+  UsePayload = false;
+  for (unsigned I = 0; I != NumClasses; ++I)
+    UsePayload |= HasOwned[I];
+
+  std::string Out;
+  emitClasses(Out);
+  emitHelpers(Out);
+  emitMain(Out);
+  return Out;
+}
+
+void ProgramGenerator::emitClasses(std::string &Out) {
+  auto L = [&](const std::string &S) { Out += S + "\n"; };
+
+  if (UsePayload) {
+    // A leaf class whose instances exist only to be deallocated: its
+    // owner members exercise the paper's delete/free exemption.
+    L("class Payload {");
+    L("public:");
+    L("  int pv;");
+    L("  Payload() { pv = 5; }");
+    L("};");
+    L("");
+  }
+
+  for (unsigned I = 0; I != NumClasses; ++I) {
+    std::string Name = "K" + num(I);
+    std::string Head = "class " + Name;
+    if (Derives[I])
+      Head += " : public K" + num(I - 1);
+    L(Head + " {");
+    L("public:");
+    for (unsigned F = 0; F != FieldsPer[I]; ++F)
+      L("  " + std::string(fieldType(F)) + " " + fieldName(I, F) + ";");
+    if (HasVolatile[I])
+      L("  volatile int v" + num(I) + ";");
+    if (HasOwned[I])
+      L("  Payload *own" + num(I) + ";");
+
+    // Constructor: initializes a random subset (writes only) plus the
+    // special members.
+    L("  " + Name + "() {");
+    for (unsigned F = 0; F != FieldsPer[I]; ++F)
+      if (chance(70))
+        L("    " + fieldName(I, F) + " = " + num(F + 1) + ";");
+    if (HasVolatile[I] && chance(70))
+      L("    v" + num(I) + " = " + num(I + 1) + ";");
+    if (HasOwned[I])
+      L("    own" + num(I) + " = new Payload();");
+    L("  }");
+
+    // A reader method over a random subset; the chain call is
+    // qualified, so it never virtual-dispatches back down.
+    L(std::string("  ") + (UseVirtual ? "virtual " : "") + "int sum() {");
+    L("    int acc = 0;");
+    for (unsigned F = 0; F != FieldsPer[I]; ++F)
+      if (chance(60))
+        L("    acc = acc + (int)" + fieldName(I, F) + ";");
+    if (Derives[I]) {
+      L("    acc = acc + this->K" + num(I - 1) + "::sum();");
+      if (feature(Opts.QualifiedAccess, 40))
+        L("    acc = acc + (int)this->K" + num(I - 1) +
+          "::" + fieldName(I - 1, 0) + ";");
+    }
+    L("    return acc;");
+    L("  }");
+
+    // A never-called method reading other fields: its reads must not
+    // create liveness under any reachability-aware call graph.
+    L("  int ghost() {");
+    L("    int acc = 0;");
+    for (unsigned F = 0; F != FieldsPer[I]; ++F)
+      if (chance(30))
+        L("    acc = acc + (int)" + fieldName(I, F) + ";");
+    L("    return acc;");
+    L("  }");
+    L("};");
+    L("");
+  }
+
+  if (UseUnion) {
+    L("union UU {");
+    L("public:");
+    L("  int ua;");
+    L("  int ub;");
+    L("  double uc;");
+    L("};");
+    L("");
+  }
+}
+
+void ProgramGenerator::emitHelpers(std::string &Out) {
+  Out += "int absorb(int *p) { return (*p); }\n\n";
+}
+
+void ProgramGenerator::emitMain(std::string &Out) {
+  auto L = [&](const std::string &S) { Out += S + "\n"; };
+
+  L("int main() {");
+  L("  int acc = 0;");
+  // Stack object per class, heap object for the last class.
+  for (unsigned I = 0; I != NumClasses; ++I)
+    L("  K" + num(I) + " s" + num(I) + ";");
+  std::string Last = num(NumClasses - 1);
+  L("  K" + Last + " *h = new K" + Last + "();");
+
+  // Random per-class action mix.
+  for (unsigned I = 0; I != NumClasses; ++I) {
+    std::string V = "s" + num(I);
+    if (chance(80))
+      L("  acc = acc + " + V + ".sum();");
+    unsigned F = static_cast<unsigned>(below(FieldsPer[I]));
+    std::string Field = fieldName(I, F);
+    if (chance(50))
+      L("  " + V + "." + Field + " = " + num(I + 7) + ";");
+    if (chance(40))
+      L("  acc = acc + (int)" + V + "." + Field + ";");
+    if (feature(Opts.AddressTaken, 25)) {
+      // Address-taken read through a helper (g*_0 is int by
+      // construction).
+      L("  acc = acc + absorb(&" + V + "." + fieldName(I, 0) + ");");
+    }
+    if (feature(Opts.PointerToMember, 25)) {
+      L("  int K" + num(I) + "::* pm" + num(I) + " = &K" + num(I) +
+        "::" + fieldName(I, 0) + ";");
+      L("  acc = acc + " + V + ".*pm" + num(I) + ";");
+    }
+    if (Derives[I] && feature(Opts.QualifiedAccess, 30))
+      L("  acc = acc + (int)" + V + ".K" + num(I - 1) +
+        "::" + fieldName(I - 1, 0) + ";");
+    if (HasVolatile[I] && chance(50))
+      L("  " + V + ".v" + num(I) + " = 7;");
+    if (HasOwned[I]) {
+      // The member's only use: feeding a deallocation (paper fn. 3).
+      if (chance(50))
+        L("  delete " + V + ".own" + num(I) + ";");
+      else
+        L("  free(" + V + ".own" + num(I) + ");");
+    }
+    if (feature(Opts.Sizeof, 20)) {
+      // sizeof is exercised but its value must not reach the output:
+      // the eliminated program has a different layout, and the default
+      // IgnoreAll policy asserts sizes only feed allocation.
+      L("  int z" + num(I) + " = (int)sizeof(" + V + ");");
+      L("  if (z" + num(I) + " > 0) { acc = acc + 1; }");
+    }
+    if (feature(Opts.UnsafeCasts, 12)) {
+      // An unrelated cast: sweeps the source class' contained members
+      // live. The raw pointer is never dereferenced (the interpreter
+      // models objects as storage graphs, not flat bytes).
+      L("  char *raw" + num(I) + " = reinterpret_cast<char*>(&" + V +
+        ");");
+    }
+  }
+
+  // Virtual dispatch / safe down-casts along the chain.
+  for (unsigned I = 1; I != NumClasses; ++I) {
+    if (!Derives[I])
+      continue;
+    std::string BaseName = "K" + num(I - 1);
+    std::string DerName = "K" + num(I);
+    std::string V = "s" + num(I);
+    if (chance(60)) {
+      L("  " + BaseName + " *bp" + num(I) + " = &" + V + ";");
+      L("  acc = acc + bp" + num(I) + "->sum();");
+      if (feature(Opts.Downcasts, 50)) {
+        // A safe down-cast: the pointer provably targets a DerName.
+        // (static_cast here, C-style on the deep chain below — both
+        // spellings reach Sema's down-cast classification.)
+        L("  " + DerName + " *dp" + num(I) + " = static_cast<" + DerName +
+          "*>(bp" + num(I) + ");");
+        L("  acc = acc + dp" + num(I) + "->sum();");
+      }
+    }
+  }
+
+  // Deep dispatch: a root-typed pointer to the deepest object on an
+  // unbroken derivation chain.
+  unsigned Deepest = 0;
+  while (Deepest + 1 < NumClasses && Derives[Deepest + 1])
+    ++Deepest;
+  if (Deepest >= 2 && chance(50)) {
+    L("  K0 *deep = &s" + num(Deepest) + ";");
+    L("  acc = acc + deep->sum();");
+    if (feature(Opts.Downcasts, 40)) {
+      L("  K" + num(Deepest) + " *mdp = (K" + num(Deepest) + "*)deep;");
+      L("  acc = acc + mdp->sum();");
+    }
+  }
+
+  if (UseUnion) {
+    L("  UU u;");
+    L("  u.ua = 3;");
+    if (chance(50))
+      L("  acc = acc + u.ub;");
+    else
+      L("  acc = acc + u.ua;");
+  }
+
+  L("  acc = acc + h->sum();");
+  L("  delete h;");
+  L("  print_int(acc);");
+  L("  return 0;");
+  L("}");
+}

@@ -1,0 +1,111 @@
+//===-- fuzz/Shrinker.cpp -------------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <vector>
+
+using namespace dmm;
+using namespace dmm::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Source) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t NL = Source.find('\n', Pos);
+    if (NL == std::string::npos) {
+      Lines.push_back(Source.substr(Pos));
+      break;
+    }
+    Lines.push_back(Source.substr(Pos, NL - Pos));
+    Pos = NL + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Counts lines that carry anything beyond whitespace.
+unsigned nonBlankCount(const std::vector<std::string> &Lines) {
+  unsigned N = 0;
+  for (const std::string &L : Lines)
+    if (L.find_first_not_of(" \t\r") != std::string::npos)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+std::string fuzz::shrinkProgram(
+    const std::string &Source,
+    const std::function<bool(const std::string &)> &StillFails,
+    unsigned MaxAttempts, ShrinkStats *Stats) {
+  std::vector<std::string> Lines = splitLines(Source);
+  ShrinkStats S;
+  S.LinesBefore = nonBlankCount(Lines);
+
+  // ddmin over line windows: window size halves from |Lines|/2 down to
+  // 1; every pass that deletes something re-arms another full sweep,
+  // until a sweep makes no progress or the attempt budget runs out.
+  bool Progress = true;
+  while (Progress && S.Attempts < MaxAttempts) {
+    Progress = false;
+    for (size_t Window = Lines.size() / 2; Window >= 1; Window /= 2) {
+      size_t Start = 0;
+      while (Start < Lines.size() && S.Attempts < MaxAttempts) {
+        size_t Len = Window < Lines.size() - Start ? Window
+                                                   : Lines.size() - Start;
+        std::vector<std::string> Candidate;
+        Candidate.reserve(Lines.size() - Len);
+        Candidate.insert(Candidate.end(), Lines.begin(),
+                         Lines.begin() + Start);
+        Candidate.insert(Candidate.end(), Lines.begin() + Start + Len,
+                         Lines.end());
+        ++S.Attempts;
+        if (StillFails(joinLines(Candidate))) {
+          Lines = std::move(Candidate);
+          ++S.Accepted;
+          Progress = true;
+          // Retry the same offset: the next window slid into place.
+        } else {
+          Start += Len;
+        }
+      }
+      if (Window == 1)
+        break;
+    }
+  }
+
+  // Strip blank lines the deletions left behind (free wins; no
+  // predicate cost — blank lines cannot affect compilation).
+  std::vector<std::string> Packed;
+  for (const std::string &L : Lines)
+    if (L.find_first_not_of(" \t\r") != std::string::npos)
+      Packed.push_back(L);
+  std::string Result = joinLines(Packed);
+  if (Packed.size() != Lines.size() && !StillFails(Result)) {
+    ++S.Attempts;
+    Result = joinLines(Lines); // Paranoia: keep the verified version.
+  }
+
+  S.LinesAfter = nonBlankCount(splitLines(Result));
+  Telemetry::count("fuzz.shrink.attempts", S.Attempts);
+  Telemetry::count("fuzz.shrink.accepted", S.Accepted);
+  if (Stats)
+    *Stats = S;
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===-- fuzz/Shrinker.h - Delta-debugging program minimizer -----*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-granular delta-debugging shrinker (ddmin over source lines):
+/// given a failing program and a predicate that re-checks the failure,
+/// it repeatedly deletes line windows — halving the window until single
+/// lines — keeping every deletion under which the failure still
+/// reproduces. Because generated programs put one statement or member
+/// declaration per line and classes on contiguous line runs, the
+/// windows naturally drop statements, then members, then whole classes,
+/// and candidates that break the syntax are rejected by the predicate
+/// itself (a non-compiling candidate no longer fails the *same*
+/// oracle).
+///
+/// The predicate is arbitrary, so the shrinker also minimizes
+/// non-fuzzing witnesses (e.g. "still contains this diagnostic").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_FUZZ_SHRINKER_H
+#define DMM_FUZZ_SHRINKER_H
+
+#include <functional>
+#include <string>
+
+namespace dmm {
+namespace fuzz {
+
+/// Bookkeeping for one shrink run (reported in failure records).
+struct ShrinkStats {
+  unsigned Attempts = 0;    ///< Predicate evaluations.
+  unsigned Accepted = 0;    ///< Deletions that kept the failure.
+  unsigned LinesBefore = 0; ///< Line count of the input program.
+  unsigned LinesAfter = 0;  ///< Line count of the reproducer.
+};
+
+/// Minimizes \p Source while \p StillFails holds. \p StillFails must
+/// return true for \p Source itself (callers pass the already-observed
+/// failure's re-check); the returned program is the smallest
+/// intermediate for which it returned true. At most \p MaxAttempts
+/// predicate evaluations are spent.
+std::string shrinkProgram(
+    const std::string &Source,
+    const std::function<bool(const std::string &)> &StillFails,
+    unsigned MaxAttempts = 4000, ShrinkStats *Stats = nullptr);
+
+} // namespace fuzz
+} // namespace dmm
+
+#endif // DMM_FUZZ_SHRINKER_H

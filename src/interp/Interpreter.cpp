@@ -674,6 +674,8 @@ Value Interpreter::loadScalar(Storage *S) {
   if (S->OwnerField) {
     if (Options.ReadSet)
       Options.ReadSet->insert(S->OwnerField);
+    if (Options.ReadTrace && TracedReads.insert(S->OwnerField).second)
+      Options.ReadTrace->push_back(S->OwnerField);
     if (Options.Heat)
       ++Options.Heat->Reads[S->OwnerField];
   }

@@ -71,6 +71,11 @@ struct InterpOptions {
   std::set<const FieldDecl *> *ReadSet = nullptr;
   /// Record member loads that only feed delete/free (see ReadSet).
   bool CountDeallocationReads = false;
+  /// When set, receives every distinct FieldDecl in order of *first*
+  /// dynamic read (same deallocation exemption as ReadSet). The fuzzing
+  /// harness (src/fuzz) cites this order in its failure records, so an
+  /// unsound classification can be tied to the earliest offending read.
+  std::vector<const FieldDecl *> *ReadTrace = nullptr;
   /// When set, receives every FieldDecl written at run time.
   std::set<const FieldDecl *> *WriteSet = nullptr;
   /// When set, receives per-member dynamic read/write counts. Reads
@@ -173,6 +178,8 @@ private:
 
   std::string Output;
   uint64_t Steps = 0;
+  /// Fields already appended to Options.ReadTrace (first-read dedup).
+  std::set<const FieldDecl *> TracedReads;
   /// Telemetry tallies (plain members so the per-event cost is an
   /// increment; flushed to the active Telemetry when run() finishes).
   uint64_t NumCalls = 0;

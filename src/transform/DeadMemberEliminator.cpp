@@ -79,8 +79,8 @@ const Expr *stripCasts(const Expr *E) {
 class RemovalPlanner {
 public:
   RemovalPlanner(const ASTContext &Ctx, const DeadMemberResult &Result,
-                 const CallGraph &Graph)
-      : Ctx(Ctx), Result(Result), Graph(Graph) {}
+                 const CallGraph &Graph, const EliminationFault &Fault)
+      : Ctx(Ctx), Result(Result), Graph(Graph), Fault(Fault) {}
 
   void plan() {
     // Unreachable non-builtin function bodies are stripped (their
@@ -114,10 +114,16 @@ public:
   const std::set<const FunctionDecl *> &removedFunctions() const {
     return RemovedFunctions;
   }
-  /// Field whose removal the action is contingent on, per statement.
-  const std::map<const Stmt *,
-                 std::pair<const FieldDecl *, SourcePrinter::StmtAction>> &
-  stmtPlans() const {
+  /// A planned statement rewrite. Unforced plans apply only when their
+  /// field is actually removed; forced plans (fault injection) apply
+  /// unconditionally.
+  struct StmtPlan {
+    const FieldDecl *Field = nullptr;
+    SourcePrinter::StmtAction Action = SourcePrinter::StmtAction::Keep;
+    bool Forced = false;
+  };
+
+  const std::map<const Stmt *, StmtPlan> &stmtPlans() const {
     return StmtPlans;
   }
   /// Ctor initializers droppable when their field is removed.
@@ -159,19 +165,24 @@ private:
     }
     const Expr *E = ES->expr();
 
-    // `target = rhs;` where target is a dead member.
+    // `target = rhs;` where target is a dead member (or, under fault
+    // injection, any member at all).
     if (const auto *AE = dyn_cast<AssignExpr>(E)) {
       const FieldDecl *F = fieldAccess(AE->lhs());
-      if (F && Result.isDead(F) && !AE->isCompound()) {
+      bool Forced = F && Fault.DropLiveMemberStores && !Result.isDead(F);
+      if (F && (Result.isDead(F) || Forced) && !AE->isCompound()) {
         const Expr *Base =
             isa<MemberExpr>(AE->lhs()) ? cast<MemberExpr>(AE->lhs())->base()
                                        : nullptr;
         bool BasePure = !Base || isPure(Base);
         if (BasePure && isPure(AE->rhs())) {
-          StmtPlans[S] = {F, SourcePrinter::StmtAction::Drop};
+          StmtPlans[S] = {F, SourcePrinter::StmtAction::Drop, Forced};
         } else if (BasePure) {
-          StmtPlans[S] = {F, SourcePrinter::StmtAction::RhsOnly};
+          StmtPlans[S] = {F, SourcePrinter::StmtAction::RhsOnly, Forced};
           noteResidualOccurrences(AE->rhs());
+        } else if (Forced) {
+          noteResidualOccurrences(E);
+          return;
         } else {
           Blocked.insert(F);
           noteResidualOccurrences(E);
@@ -205,7 +216,7 @@ private:
                                ? cast<MemberExpr>(Stripped)->base()
                                : nullptr;
         if (!Base || isPure(Base)) {
-          StmtPlans[S] = {F, SourcePrinter::StmtAction::Drop};
+          StmtPlans[S] = {F, SourcePrinter::StmtAction::Drop, false};
           if (Base)
             noteResidualOccurrencesExcept(Base, nullptr);
           return;
@@ -240,13 +251,12 @@ private:
   const ASTContext &Ctx;
   const DeadMemberResult &Result;
   const CallGraph &Graph;
+  const EliminationFault &Fault;
 
   std::set<const FieldDecl *> Removed;
   std::set<const FieldDecl *> Blocked;
   std::set<const FunctionDecl *> RemovedFunctions;
-  std::map<const Stmt *,
-           std::pair<const FieldDecl *, SourcePrinter::StmtAction>>
-      StmtPlans;
+  std::map<const Stmt *, StmtPlan> StmtPlans;
   std::set<const CtorInitializer *> DroppableInits;
 };
 
@@ -275,10 +285,11 @@ protected:
     auto It = Plan.stmtPlans().find(S);
     if (It == Plan.stmtPlans().end())
       return StmtAction::Keep;
-    // The rewrite only applies when the member is actually removed.
-    if (!Plan.removed().count(It->second.first))
+    // The rewrite only applies when the member is actually removed —
+    // unless the plan is a forced fault injection.
+    if (!It->second.Forced && !Plan.removed().count(It->second.Field))
       return StmtAction::Keep;
-    return It->second.second;
+    return It->second.Action;
   }
 
 private:
@@ -289,9 +300,10 @@ private:
 
 EliminationResult dmm::eliminateDeadMembers(const ASTContext &Ctx,
                                             const DeadMemberResult &Result,
-                                            const CallGraph &Graph) {
+                                            const CallGraph &Graph,
+                                            const EliminationFault &Fault) {
   PhaseTimer Timer("eliminate");
-  RemovalPlanner Planner(Ctx, Result, Graph);
+  RemovalPlanner Planner(Ctx, Result, Graph, Fault);
   Planner.plan();
 
   EliminatingPrinter Printer(Planner);

@@ -56,11 +56,26 @@ struct EliminationResult {
   std::set<const FunctionDecl *> RemovedFunctions;
 };
 
+/// Deliberate defect injection for the fuzzing harness' self-validation
+/// (src/fuzz, docs/TESTING.md): `dmm-fuzz --inject-fault=...` uses this
+/// to confirm that the differential-semantics oracle detects a buggy
+/// transformation and that the shrinker can minimize the witness.
+/// Production callers never set these.
+struct EliminationFault {
+  /// Drop (or reduce to their RHS) assignment statements whose target
+  /// is a *live* member, wherever the rewrite is syntactically
+  /// possible — as if the analysis had classified every member dead.
+  /// Observable behaviour changes for almost every program that reads
+  /// a member it wrote.
+  bool DropLiveMemberStores = false;
+};
+
 /// Produces a transformed copy of the program with dead members (per
 /// \p Result) and unreachable functions (per \p Graph) removed.
 EliminationResult eliminateDeadMembers(const ASTContext &Ctx,
                                        const DeadMemberResult &Result,
-                                       const CallGraph &Graph);
+                                       const CallGraph &Graph,
+                                       const EliminationFault &Fault = {});
 
 } // namespace dmm
 

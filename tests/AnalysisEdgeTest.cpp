@@ -277,4 +277,107 @@ TEST(AnalysisEdge, GlobalClassObjectInitializerArgsAreReads) {
   EXPECT_TRUE(R.isLive(findField(*C, "Cfg", "level")));
 }
 
+TEST(AnalysisEdge, VolatileMemberWrittenOnlyIsLive) {
+  // A volatile member that is only ever *written* must still be live:
+  // the store is an observable effect (paper §2.3, hardware registers),
+  // unlike a plain member's write-only traffic.
+  auto C = compileOK(R"(
+    class Device {
+    public:
+      volatile int ctl;
+      int shadow;
+    };
+    int main() {
+      Device d;
+      d.ctl = 1;
+      d.shadow = 1;
+      return 0;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(R.reason(findField(*C, "Device", "ctl")),
+            LivenessReason::VolatileWrite);
+  EXPECT_TRUE(R.isDead(findField(*C, "Device", "shadow")));
+}
+
+TEST(AnalysisEdge, MemberPassedOnlyToDeallocationIsDead) {
+  // The deallocation exemption (paper §3.2): reading a pointer member
+  // solely to delete/free it does not make it live — but turning the
+  // exemption off must flip both members to live.
+  const char *Source = R"(
+    class Owner {
+    public:
+      int *viaDelete;
+      int *viaFree;
+      Owner() {
+        viaDelete = new int;
+        viaFree = new int;
+      }
+      ~Owner() {
+        delete viaDelete;
+        free(viaFree);
+      }
+    };
+    int main() { Owner o; return 0; }
+  )";
+  auto C = compileOK(Source);
+  auto R = analyze(*C);
+  EXPECT_TRUE(R.isDead(findField(*C, "Owner", "viaDelete")));
+  EXPECT_TRUE(R.isDead(findField(*C, "Owner", "viaFree")));
+
+  AnalysisOptions NoExempt;
+  NoExempt.ExemptDeallocationArgs = false;
+  auto R2 = analyze(*C, NoExempt);
+  EXPECT_TRUE(R2.isLive(findField(*C, "Owner", "viaDelete")));
+  EXPECT_TRUE(R2.isLive(findField(*C, "Owner", "viaFree")));
+}
+
+TEST(AnalysisEdge, QualifiedBaseMemberReadIsLive) {
+  // `e.Y::m` value reads (paper Fig. 2 line 23 reads the member, not
+  // its address): liveness lands on the base class' member, and the
+  // derived homonym stays independent.
+  auto C = compileOK(R"(
+    class Y { public: int m; int other; };
+    class E : public Y { public: int m; };
+    int main() {
+      E e;
+      e.m = 1;
+      int v = e.Y::m;
+      return v;
+    }
+  )");
+  auto R = analyze(*C);
+  EXPECT_EQ(R.reason(findField(*C, "Y", "m")), LivenessReason::Read);
+  EXPECT_TRUE(R.isDead(findField(*C, "E", "m")));
+  EXPECT_TRUE(R.isDead(findField(*C, "Y", "other")));
+}
+
+TEST(AnalysisEdge, UnionClosureLiftsSiblingsUnlessDisabled) {
+  // One live union member lifts its siblings (storage overlap, paper
+  // §3.3) — and the UnionClosure toggle isolates exactly that rule.
+  const char *Source = R"(
+    union Packet { public: int word; char tag; double wide; };
+    int main() {
+      Packet p;
+      p.word = 7;
+      return p.word;
+    }
+  )";
+  auto C = compileOK(Source);
+  auto R = analyze(*C);
+  EXPECT_EQ(R.reason(findField(*C, "Packet", "word")),
+            LivenessReason::Read);
+  EXPECT_EQ(R.reason(findField(*C, "Packet", "tag")),
+            LivenessReason::UnionClosure);
+  EXPECT_EQ(R.reason(findField(*C, "Packet", "wide")),
+            LivenessReason::UnionClosure);
+
+  AnalysisOptions NoClosure;
+  NoClosure.UnionClosure = false;
+  auto R2 = analyze(*C, NoClosure);
+  EXPECT_TRUE(R2.isLive(findField(*C, "Packet", "word")));
+  EXPECT_TRUE(R2.isDead(findField(*C, "Packet", "tag")));
+  EXPECT_TRUE(R2.isDead(findField(*C, "Packet", "wide")));
+}
+
 } // namespace

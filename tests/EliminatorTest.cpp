@@ -11,7 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgramGen.h"
+#include "fuzz/ProgramGenerator.h"
 #include "TestUtil.h"
 
 #include "benchgen/Synthesizer.h"
@@ -223,7 +223,7 @@ TEST(Eliminator, ShrinksRichardsMaintenanceBloat) {
 class EliminatorRandom : public ::testing::TestWithParam<int> {};
 
 TEST_P(EliminatorRandom, PreservesBehaviourAndNeverGrows) {
-  RandomProgram Gen(static_cast<uint64_t>(GetParam()) + 5000);
+  fuzz::ProgramGenerator Gen(static_cast<uint64_t>(GetParam()) + 5000);
   runElimination(Gen.generate());
 }
 

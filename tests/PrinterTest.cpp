@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgramGen.h"
+#include "fuzz/ProgramGenerator.h"
 #include "TestUtil.h"
 
 #include "ast/SourcePrinter.h"
@@ -172,7 +172,7 @@ TEST(Printer, DeltaBlueRoundTrips) {
 class PrinterRandomRoundTrip : public ::testing::TestWithParam<int> {};
 
 TEST_P(PrinterRandomRoundTrip, RoundTrips) {
-  RandomProgram Gen(static_cast<uint64_t>(GetParam()) + 1000);
+  fuzz::ProgramGenerator Gen(static_cast<uint64_t>(GetParam()) + 1000);
   expectRoundTrip(Gen.generate());
 }
 

@@ -12,11 +12,11 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgramGen.h"
 #include "TestUtil.h"
 
 #include "analysis/ProgramStats.h"
 #include "benchgen/Synthesizer.h"
+#include "fuzz/ProgramGenerator.h"
 
 using namespace dmm;
 using namespace dmm::test;
@@ -32,7 +32,7 @@ class RandomProgramSoundness
 
 TEST_P(RandomProgramSoundness, DynamicReadsAreLive) {
   auto [Seed, Kind] = GetParam();
-  RandomProgram Gen(static_cast<uint64_t>(Seed));
+  fuzz::ProgramGenerator Gen(static_cast<uint64_t>(Seed));
   std::string Source = Gen.generate();
 
   auto C = compileOK(Source);
@@ -76,7 +76,7 @@ class RandomProgramProperties : public ::testing::TestWithParam<int> {};
 TEST_P(RandomProgramProperties, PrecisionIsMonotonic) {
   // A more precise call graph never classifies fewer members dead:
   // dead(RTA) >= dead(CHA) >= dead(Trivial), as inclusion of sets.
-  RandomProgram Gen(static_cast<uint64_t>(GetParam()));
+  fuzz::ProgramGenerator Gen(static_cast<uint64_t>(GetParam()));
   auto C = compileOK(Gen.generate());
 
   auto DeadWith = [&](CallGraphKind K) {
@@ -103,7 +103,7 @@ TEST_P(RandomProgramProperties, PrecisionIsMonotonic) {
 TEST_P(RandomProgramProperties, BaselineIsMoreConservative) {
   // The "accessed = live" baseline never finds more dead members than
   // the paper's algorithm.
-  RandomProgram Gen(static_cast<uint64_t>(GetParam()));
+  fuzz::ProgramGenerator Gen(static_cast<uint64_t>(GetParam()));
   auto C = compileOK(Gen.generate());
   auto Paper = deadNames(analyze(*C));
   AnalysisOptions BOpts;
@@ -116,8 +116,8 @@ TEST_P(RandomProgramProperties, BaselineIsMoreConservative) {
 }
 
 TEST_P(RandomProgramProperties, GenerationAndAnalysisAreDeterministic) {
-  RandomProgram GenA(static_cast<uint64_t>(GetParam()));
-  RandomProgram GenB(static_cast<uint64_t>(GetParam()));
+  fuzz::ProgramGenerator GenA(static_cast<uint64_t>(GetParam()));
+  fuzz::ProgramGenerator GenB(static_cast<uint64_t>(GetParam()));
   std::string SrcA = GenA.generate();
   std::string SrcB = GenB.generate();
   EXPECT_EQ(SrcA, SrcB);
@@ -131,7 +131,7 @@ TEST_P(RandomProgramProperties, NeverCalledMethodReadsStayDeadUnderRTA) {
   // Every generated class has a `ghost` method that is never called;
   // fields read *only* there must be dead (unless another path reads
   // them or a conservative rule fires).
-  RandomProgram Gen(static_cast<uint64_t>(GetParam()));
+  fuzz::ProgramGenerator Gen(static_cast<uint64_t>(GetParam()));
   auto C = compileOK(Gen.generate());
   auto R = analyze(*C);
   // Sanity: the analysis classified something, and all dead members are

@@ -12,7 +12,6 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgramGen.h"
 #include "TestUtil.h"
 
 #include "benchgen/Synthesizer.h"
