@@ -1,23 +1,63 @@
 #!/bin/sh
-# Runs the google-benchmark pipeline-throughput suite and writes a
-# machine-readable baseline to BENCH_baseline.json (repo root), for
-# before/after comparison of pipeline optimisations.
+# Runs a google-benchmark suite and writes a machine-readable baseline
+# JSON (repo root by default), for before/after comparison of pipeline
+# optimisations.
 #
-# Usage: scripts/run_bench.sh [out.json] [extra benchmark args...]
-#   DMM_THREADS=N  worker threads for the parallel pipeline stages
+# Usage: scripts/run_bench.sh [options] [out.json] [extra benchmark args...]
+#   --label <name>   write BENCH_<name>.json instead of BENCH_baseline.json
+#   --suite <bench>  which harness to run: perf_pipeline (default) or
+#                    perf_incremental
+#   DMM_THREADS=N    worker threads for the parallel pipeline stages
 set -e
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_baseline.json}"
-[ $# -gt 0 ] && shift
+SUITE=perf_pipeline
+LABEL=""
+OUT=""
 
-if [ ! -x build/bench/perf_pipeline ]; then
-  echo "building perf_pipeline..." >&2
-  cmake -B build -S . >/dev/null
-  cmake --build build --target perf_pipeline >/dev/null
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --label)
+      [ $# -ge 2 ] || { echo "error: --label requires a name" >&2; exit 2; }
+      LABEL="$2"; shift 2 ;;
+    --label=*)
+      LABEL="${1#--label=}"; shift ;;
+    --suite)
+      [ $# -ge 2 ] || { echo "error: --suite requires a name" >&2; exit 2; }
+      SUITE="$2"; shift 2 ;;
+    --suite=*)
+      SUITE="${1#--suite=}"; shift ;;
+    *)
+      break ;;
+  esac
+done
+
+if [ -n "$LABEL" ]; then
+  OUT="BENCH_${LABEL}.json"
+elif [ $# -gt 0 ]; then
+  case "$1" in
+    -*) ;; # First remaining arg is a benchmark flag, keep the default.
+    *) OUT="$1"; shift ;;
+  esac
+fi
+OUT="${OUT:-BENCH_baseline.json}"
+
+if [ ! -f build/CMakeCache.txt ]; then
+  echo "error: build/ is not configured; run 'cmake -B build -S .' first" >&2
+  exit 2
 fi
 
-build/bench/perf_pipeline \
+if [ ! -x "build/bench/$SUITE" ]; then
+  echo "building $SUITE..." >&2
+  cmake --build build --target "$SUITE" >/dev/null
+fi
+
+# google-benchmark does not create missing directories for
+# --benchmark_out; make sure the destination exists.
+OUT_DIR=$(dirname "$OUT")
+[ -d "$OUT_DIR" ] || mkdir -p "$OUT_DIR"
+
+"build/bench/$SUITE" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   "$@"

@@ -1,0 +1,761 @@
+//===-- analysis/Summary.cpp - Summary extraction and linking -------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Summary.h"
+
+#include "analysis/Scanner.h"
+#include "ast/ASTContext.h"
+#include "ast/ASTWalker.h"
+#include "ast/Expr.h"
+#include "hierarchy/ClassHierarchy.h"
+#include "support/SourceManager.h"
+#include "telemetry/Telemetry.h"
+
+#include <set>
+#include <string_view>
+#include <unordered_map>
+
+using namespace dmm;
+
+std::string dmm::stableFunctionName(const FunctionDecl *FD) {
+  std::string Name = FD->qualifiedName();
+  Name += '/';
+  Name += std::to_string(FD->params().size());
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Extraction
+//===----------------------------------------------------------------------===//
+
+uint32_t dmm::summaryFileOf(const FunctionDecl *FD) {
+  if (FD->isBuiltin())
+    return 0;
+  if (const Stmt *Body = FD->body())
+    if (Body->location().isValid())
+      return Body->location().fileID();
+  // A constructor's initializer list is spelled at its definition, so
+  // it identifies the defining file even without a body location.
+  if (const auto *Ctor = dyn_cast<ConstructorDecl>(FD))
+    for (const CtorInitializer &Init : Ctor->initializers())
+      if (Init.Loc.isValid())
+        return Init.Loc.fileID();
+  return FD->location().fileID();
+}
+
+/// True if scanning \p FD can contribute anything to a summary.
+static bool hasScannableContent(const FunctionDecl *FD) {
+  if (FD->body())
+    return true;
+  if (const auto *Ctor = dyn_cast<ConstructorDecl>(FD))
+    return !Ctor->initializers().empty();
+  return false;
+}
+
+static bool hasScannableContent(const VarDecl *GV) {
+  return GV->init() != nullptr || !GV->ctorArgs().empty();
+}
+
+namespace {
+
+/// Builds a FileSummary's string table: each distinct spelling is
+/// stored once and referenced by index (index 0 is the empty string).
+class StringInterner {
+public:
+  explicit StringInterner(FileSummary &Summary) : Summary(Summary) {
+    Refs.emplace(std::string(), 0);
+  }
+
+  uint32_t intern(std::string S) {
+    auto [It, Inserted] =
+        Refs.emplace(std::move(S), static_cast<uint32_t>(Summary.Strings.size()));
+    if (Inserted)
+      Summary.Strings.push_back(It->first);
+    return It->second;
+  }
+
+private:
+  FileSummary &Summary;
+  std::unordered_map<std::string, uint32_t> Refs;
+};
+
+} // namespace
+
+/// Rewrites one MarkEvent location into serializable form. Events whose
+/// location *is* the target field's declaration (constructor-initializer
+/// writes) are stored symbolically: the field may be declared in a
+/// different file whose text — and therefore offsets — can change
+/// without invalidating this summary.
+static SummaryLoc encodeLoc(const MarkEvent &E, const SourceManager &SM,
+                            uint32_t FileID, StringInterner &Strings) {
+  SummaryLoc Loc;
+  if (!E.Loc.isValid())
+    return Loc;
+  if (E.Field && E.Loc == E.Field->location()) {
+    Loc.K = SummaryLoc::Kind::OfField;
+    return Loc;
+  }
+  Loc.Offset = E.Loc.offset();
+  if (E.Loc.fileID() == FileID) {
+    Loc.K = SummaryLoc::Kind::InFile;
+  } else {
+    Loc.K = SummaryLoc::Kind::OtherFile;
+    Loc.File = Strings.intern(std::string(SM.bufferName(E.Loc.fileID())));
+  }
+  return Loc;
+}
+
+static std::vector<SummaryEvent> encodeEvents(const ScanOutput &Scan,
+                                              const SourceManager &SM,
+                                              uint32_t FileID,
+                                              StringInterner &Strings) {
+  std::vector<SummaryEvent> Events;
+  Events.reserve(Scan.Events.size());
+  for (const MarkEvent &E : Scan.Events) {
+    SummaryEvent SE;
+    SE.IsSweep = E.Sweep != nullptr;
+    SE.Target = Strings.intern(E.Field ? E.Field->qualifiedName()
+                                       : std::string(E.Sweep->name()));
+    SE.Reason = E.Reason;
+    SE.Loc = encodeLoc(E, SM, FileID, Strings);
+    Events.push_back(SE);
+  }
+  return Events;
+}
+
+/// Records the call-graph transcript of \p FD in the exact order the
+/// builder's AST walk (CallGraphBuilder::processFunction) observes it:
+/// a callee-position pre-pass, then every expression in preorder, then
+/// local variable lifetimes in statement preorder. Constructor
+/// initializer and implicit subobject edges are decl-derived and
+/// re-created from the live AST at link time, so they need no facts.
+static std::vector<SummaryCallFact> collectCallFacts(const FunctionDecl *FD,
+                                                     StringInterner &Strings) {
+  std::vector<SummaryCallFact> Facts;
+  std::set<const Expr *> CalleePositions;
+  forEachExprInFunction(FD, [&](const Expr *E) {
+    if (const auto *Call = dyn_cast<CallExpr>(E))
+      CalleePositions.insert(Call->callee());
+  });
+
+  forEachExprInFunction(FD, [&](const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::Call: {
+      const auto *Call = cast<CallExpr>(E);
+      SummaryCallFact F;
+      if (const FunctionDecl *Direct = Call->directCallee()) {
+        F.K = Call->isVirtualCall() ? CallGraphBodyFact::Kind::VirtualCall
+                                    : CallGraphBodyFact::Kind::DirectCall;
+        F.Name = Strings.intern(stableFunctionName(Direct));
+      } else {
+        F.K = CallGraphBodyFact::Kind::IndirectCall;
+        F.Arity = static_cast<uint32_t>(Call->args().size());
+      }
+      Facts.push_back(F);
+      return;
+    }
+    case Expr::Kind::DeclRef: {
+      const auto *DRE = cast<DeclRefExpr>(E);
+      const auto *Fn = dyn_cast_or_null<FunctionDecl>(DRE->referent());
+      if (!Fn || CalleePositions.count(E))
+        return;
+      SummaryCallFact F;
+      F.K = CallGraphBodyFact::Kind::AddressTaken;
+      F.Name = Strings.intern(stableFunctionName(Fn));
+      Facts.push_back(F);
+      return;
+    }
+    case Expr::Kind::New: {
+      const auto *N = cast<NewExpr>(E);
+      const ClassDecl *CD = N->allocType()->asClassDecl();
+      if (!CD)
+        return;
+      SummaryCallFact F;
+      F.K = CallGraphBodyFact::Kind::New;
+      F.Name = Strings.intern(std::string(CD->name()));
+      if (const ConstructorDecl *Ctor = N->constructor())
+        F.Ctor = Strings.intern(stableFunctionName(Ctor));
+      Facts.push_back(F);
+      return;
+    }
+    case Expr::Kind::Delete: {
+      const auto *D = cast<DeleteExpr>(E);
+      const Type *SubTy = D->sub()->type();
+      const ClassDecl *CD = nullptr;
+      if (const auto *PT = dyn_cast_or_null<PointerType>(SubTy))
+        CD = PT->pointee()->asClassDecl();
+      if (!CD)
+        return;
+      SummaryCallFact F;
+      F.K = CallGraphBodyFact::Kind::DeleteObject;
+      F.Name = Strings.intern(std::string(CD->name()));
+      Facts.push_back(F);
+      return;
+    }
+    default:
+      return;
+    }
+  });
+
+  if (FD->body())
+    forEachStmtPreorder(FD->body(), [&](const Stmt *S) {
+      const auto *DS = dyn_cast<DeclStmt>(S);
+      if (!DS)
+        return;
+      for (const VarDecl *V : DS->vars()) {
+        const Type *Ty = V->type()->nonReferenceType();
+        if (const auto *AT = dyn_cast<ArrayType>(Ty))
+          Ty = AT->element();
+        const ClassDecl *CD = Ty->asClassDecl();
+        if (!CD || V->type()->isReference())
+          continue;
+        SummaryCallFact F;
+        F.K = CallGraphBodyFact::Kind::VarLifetime;
+        F.Name = Strings.intern(std::string(CD->name()));
+        if (const ConstructorDecl *Ctor = V->ctor())
+          F.Ctor = Strings.intern(stableFunctionName(Ctor));
+        Facts.push_back(F);
+      }
+    });
+
+  return Facts;
+}
+
+/// Base-class methods overridden by \p FD (virtual methods and
+/// destructors), walking the transitive base closure.
+static std::vector<uint32_t> collectOverrides(const FunctionDecl *FD,
+                                              StringInterner &Strings) {
+  std::vector<uint32_t> Overrides;
+  const auto *MD = dyn_cast<MethodDecl>(FD);
+  if (!MD || !MD->isVirtual() || isa<ConstructorDecl>(MD))
+    return Overrides;
+  std::set<const ClassDecl *> Seen;
+  std::vector<const ClassDecl *> Work;
+  for (const BaseSpecifier &BS : MD->parent()->bases())
+    Work.push_back(BS.Base);
+  while (!Work.empty()) {
+    const ClassDecl *Base = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Base).second)
+      continue;
+    if (isa<DestructorDecl>(MD)) {
+      if (const DestructorDecl *Dtor = Base->destructor())
+        Overrides.push_back(Strings.intern(stableFunctionName(Dtor)));
+    } else if (const MethodDecl *BaseMD = Base->findMethod(MD->name())) {
+      Overrides.push_back(Strings.intern(stableFunctionName(BaseMD)));
+    }
+    for (const BaseSpecifier &BS : Base->bases())
+      Work.push_back(BS.Base);
+  }
+  return Overrides;
+}
+
+FileSummary dmm::extractFileSummary(const ASTContext &Ctx,
+                                    const SourceManager &SM, uint32_t FileID,
+                                    const AnalysisOptions &Options) {
+  FileSummary Summary;
+  Summary.FileName = std::string(SM.bufferName(FileID));
+  StringInterner Strings(Summary);
+
+  // Reachability-independent: every function whose body lives here is
+  // summarized; the link phase selects the ones reachable in the
+  // program being analyzed.
+  for (const FunctionDecl *FD : Ctx.functions()) {
+    if (summaryFileOf(FD) != FileID || !hasScannableContent(FD))
+      continue;
+    LivenessScanner S(Options);
+    S.scanFunction(FD);
+    ScanOutput Scan = S.take();
+
+    FunctionSummary FS;
+    FS.Name = Strings.intern(stableFunctionName(FD));
+    FS.ExprsVisited = Scan.ExprsVisited;
+    FS.Events = encodeEvents(Scan, SM, FileID, Strings);
+    FS.CallFacts = collectCallFacts(FD, Strings);
+    FS.Overrides = collectOverrides(FD, Strings);
+    Summary.Functions.push_back(std::move(FS));
+
+    if (FD->kind() == Decl::Kind::Function && FD->name() == "main")
+      Summary.EntryPoints.push_back(Strings.intern(stableFunctionName(FD)));
+  }
+
+  for (const VarDecl *GV : Ctx.globals()) {
+    if (GV->location().fileID() != FileID || !hasScannableContent(GV))
+      continue;
+    LivenessScanner S(Options);
+    S.scanGlobal(GV);
+    ScanOutput Scan = S.take();
+
+    GlobalSummary GS;
+    GS.Name = Strings.intern(std::string(GV->name()));
+    GS.ExprsVisited = Scan.ExprsVisited;
+    GS.Events = encodeEvents(Scan, SM, FileID, Strings);
+    Summary.Globals.push_back(std::move(GS));
+  }
+
+  for (const ClassDecl *CD : Ctx.classes())
+    if (CD->isUnion() && CD->location().fileID() == FileID)
+      Summary.UnionsDefined.push_back(Strings.intern(std::string(CD->name())));
+
+  return Summary;
+}
+
+//===----------------------------------------------------------------------===//
+// Linking
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Resolves name-keyed summary refs back to declarations of the
+/// current compilation. Stable names are globally unique (the language
+/// rejects redefinitions, and the arity suffix separates overloaded
+/// constructors), so resolution is an injection over the program's
+/// declarations. Member names are *parsed* — "Class::member/arity"
+/// resolves through the (small) class table and a scan of that class's
+/// own member lists — so no map over every field and function in the
+/// program is ever built; link-time setup is proportional to the class
+/// count and the summary contents, not to program size. Per-file
+/// resolutions are memoized by string-table index: each distinct name
+/// is parsed at most once per file.
+class SummaryLinker {
+public:
+  SummaryLinker(
+      const ASTContext &Ctx,
+      const std::vector<std::pair<uint32_t, const FileSummary *>> &Summaries) {
+    PhaseTimer Timer("summary.link.maps");
+    for (const ClassDecl *CD : Ctx.classes())
+      ClassByName.emplace(CD->name(), CD);
+
+    // The remaining maps key string_views into summary-owned storage
+    // (FileSummary outlives the linker), so building them copies no
+    // strings.
+    Files.reserve(Summaries.size());
+    std::vector<size_t> IdxByFileID; // FileID -> Files index + 1.
+    for (const auto &[FileID, Summary] : Summaries) {
+      FileIDByName.emplace(Summary->FileName, FileID);
+      PerFile PF;
+      PF.Summary = Summary;
+      PF.FileID = FileID;
+      if (FileID >= IdxByFileID.size())
+        IdxByFileID.resize(FileID + 1, 0);
+      IdxByFileID[FileID] = Files.size() + 1;
+      Files.push_back(std::move(PF));
+    }
+
+    // One pass over the program's functions feeds both the free-
+    // function map (bare names identify them — the language rejects
+    // redefinitions — with the arity suffix verified at lookup) and
+    // the per-file extraction-order candidate lists used below.
+    std::vector<std::vector<const FunctionDecl *>> Cands(Files.size());
+    FreeFnByName.reserve(Ctx.functions().size());
+    for (std::vector<const FunctionDecl *> &C : Cands)
+      C.reserve(Ctx.functions().size() / Files.size() * 2 + 16);
+    for (const FunctionDecl *FD : Ctx.functions()) {
+      if (!isa<MethodDecl>(FD))
+        FreeFnByName.emplace(FD->name(), FD);
+      if (!hasScannableContent(FD))
+        continue;
+      const uint32_t FileID = summaryFileOf(FD);
+      if (FileID < IdxByFileID.size())
+        if (const size_t Idx1 = IdxByFileID[FileID])
+          Cands[Idx1 - 1].push_back(FD);
+    }
+
+    // Attribute each function summary to its declaration up front,
+    // indexed by dense decl ID: replay lookups are then a vector read,
+    // with no per-function name rebuild. Extraction emits summaries in
+    // Ctx.functions() order filtered to the file, and a cache hit
+    // implies identical file content, so the pairing is positional —
+    // verified per function by an allocation-free name/arity check,
+    // with full parse-based resolution as the fallback (then names the
+    // program no longer declares are simply never consulted).
+    FnSummaryByDecl.resize(Ctx.numDecls());
+    for (size_t Idx = 0; Idx != Files.size(); ++Idx) {
+      const FileSummary *Summary = Files[Idx].Summary;
+      const std::vector<const FunctionDecl *> &C = Cands[Idx];
+      bool Paired = C.size() == Summary->Functions.size();
+      for (size_t K = 0; Paired && K != C.size(); ++K)
+        Paired = matchesStableName(C[K],
+                                   Summary->str(Summary->Functions[K].Name));
+      if (Paired) {
+        for (size_t K = 0; K != C.size(); ++K)
+          FnSummaryByDecl[C[K]->declID()] = {&Summary->Functions[K], Idx};
+      } else {
+        for (const FunctionSummary &FS : Summary->Functions)
+          if (const FunctionDecl *FD = resolveFunction(Summary->str(FS.Name)))
+            FnSummaryByDecl[FD->declID()] = {&FS, Idx};
+      }
+      for (const GlobalSummary &GS : Summary->Globals)
+        GlobalByName.emplace(Summary->str(GS.Name), std::make_pair(&GS, Idx));
+    }
+  }
+
+  const std::string &error() const { return Error; }
+
+  /// Rebuilds the ScanOutput of a summaried declaration as the
+  /// monolithic scan would have produced it. Returns false (with
+  /// error() set) on unresolvable names — the summary is stale for this
+  /// program.
+  bool decodeEvents(const std::vector<SummaryEvent> &Events, size_t FileIdx,
+                    ScanOutput &Out) {
+    PerFile &PF = Files[FileIdx];
+    Out.Events.reserve(Events.size());
+    for (const SummaryEvent &SE : Events) {
+      MarkEvent E;
+      E.Reason = SE.Reason;
+      if (SE.IsSweep) {
+        E.Sweep = classRef(PF, SE.Target);
+        if (!E.Sweep)
+          return fail("unknown class '" + PF.Summary->str(SE.Target) + "'");
+      } else {
+        E.Field = fieldRef(PF, SE.Target);
+        if (!E.Field)
+          return fail("unknown member '" + PF.Summary->str(SE.Target) + "'");
+      }
+      switch (SE.Loc.K) {
+      case SummaryLoc::Kind::None:
+        break;
+      case SummaryLoc::Kind::InFile:
+        E.Loc = SourceLocation(PF.FileID, SE.Loc.Offset);
+        break;
+      case SummaryLoc::Kind::OfField:
+        if (!E.Field)
+          return fail("field-relative location on a sweep event");
+        E.Loc = E.Field->location();
+        break;
+      case SummaryLoc::Kind::OtherFile: {
+        uint32_t FileID = fileRef(PF, SE.Loc.File);
+        if (!FileID)
+          return fail("unknown file '" + PF.Summary->str(SE.Loc.File) + "'");
+        E.Loc = SourceLocation(FileID, SE.Loc.Offset);
+        break;
+      }
+      }
+      Out.Events.push_back(E);
+    }
+    return true;
+  }
+
+  const FunctionSummary *findFunction(const FunctionDecl *FD,
+                                      size_t &FileIdx) const {
+    const auto &Entry = FnSummaryByDecl[FD->declID()];
+    if (!Entry.first)
+      return nullptr;
+    FileIdx = Entry.second;
+    return Entry.first;
+  }
+
+  const GlobalSummary *findGlobal(const std::string &Name,
+                                  size_t &FileIdx) const {
+    auto It = GlobalByName.find(std::string_view(Name));
+    if (It == GlobalByName.end())
+      return nullptr;
+    FileIdx = It->second.second;
+    return It->second.first;
+  }
+
+  /// The resolved call-graph transcript of \p FD, or null when no
+  /// summary covers it or a fact fails to resolve — the builder then
+  /// walks the function's AST instead, which is always sound. The
+  /// returned vector is a scratch buffer reused by the next call: the
+  /// builder replays it immediately, once per function, so caching
+  /// per-function copies would only buy allocations.
+  const std::vector<CallGraphBodyFact> *factsFor(const FunctionDecl *FD) {
+    size_t FileIdx = 0;
+    const FunctionSummary *FS = findFunction(FD, FileIdx);
+    if (!FS)
+      return nullptr;
+    PerFile &PF = Files[FileIdx];
+    FactsScratch.clear();
+    FactsScratch.reserve(FS->CallFacts.size());
+    for (const SummaryCallFact &F : FS->CallFacts) {
+      CallGraphBodyFact B;
+      B.K = F.K;
+      switch (F.K) {
+      case CallGraphBodyFact::Kind::DirectCall:
+      case CallGraphBodyFact::Kind::AddressTaken:
+        B.Callee = funcRef(PF, F.Name);
+        if (!B.Callee)
+          return nullptr;
+        break;
+      case CallGraphBodyFact::Kind::VirtualCall:
+        B.Callee = funcRef(PF, F.Name);
+        if (!B.Callee || !isa<MethodDecl>(B.Callee))
+          return nullptr;
+        break;
+      case CallGraphBodyFact::Kind::New:
+      case CallGraphBodyFact::Kind::VarLifetime:
+        B.Class = classRef(PF, F.Name);
+        if (!B.Class)
+          return nullptr;
+        if (F.Ctor) {
+          B.Callee = funcRef(PF, F.Ctor);
+          if (!B.Callee || !isa<ConstructorDecl>(B.Callee))
+            return nullptr;
+        }
+        break;
+      case CallGraphBodyFact::Kind::DeleteObject:
+        B.Class = classRef(PF, F.Name);
+        if (!B.Class)
+          return nullptr;
+        break;
+      case CallGraphBodyFact::Kind::IndirectCall:
+        B.Arity = F.Arity;
+        break;
+      }
+      FactsScratch.push_back(B);
+    }
+    return &FactsScratch;
+  }
+
+  bool fail(std::string Message) {
+    if (Error.empty())
+      Error = std::move(Message);
+    return false;
+  }
+
+private:
+  /// One linked summary plus its per-string resolution memos (null /
+  /// zero = not yet resolved or unresolvable; failed resolutions are
+  /// rare and immediately fatal or fact-invalidating, so they need no
+  /// separate "known bad" state).
+  struct PerFile {
+    const FileSummary *Summary = nullptr;
+    uint32_t FileID = 0;
+    std::vector<const FieldDecl *> Fields;
+    std::vector<const ClassDecl *> Classes;
+    std::vector<const FunctionDecl *> Funcs;
+    std::vector<uint32_t> FileIDs;
+  };
+
+  /// Splits "Class::member" on the first "::" (member names are plain
+  /// identifiers, so the first occurrence is the only one).
+  static bool splitQualified(std::string_view Name, std::string_view &Cls,
+                             std::string_view &Member) {
+    const size_t Pos = Name.find("::");
+    if (Pos == std::string_view::npos)
+      return false;
+    Cls = Name.substr(0, Pos);
+    Member = Name.substr(Pos + 2);
+    return true;
+  }
+
+  /// Parses the arity suffix of "Qualified/arity"; npos on malformed
+  /// names.
+  static size_t parseArity(std::string_view Digits) {
+    if (Digits.empty())
+      return std::string_view::npos;
+    size_t Arity = 0;
+    for (char C : Digits) {
+      if (C < '0' || C > '9')
+        return std::string_view::npos;
+      Arity = Arity * 10 + static_cast<size_t>(C - '0');
+    }
+    return Arity;
+  }
+
+  /// True when \p SN is exactly stableFunctionName(FD), checked without
+  /// building the string: constructor and destructor decl names already
+  /// equal their member spelling ("X" and "~X").
+  static bool matchesStableName(const FunctionDecl *FD, std::string_view SN) {
+    const size_t Slash = SN.rfind('/');
+    if (Slash == std::string_view::npos ||
+        parseArity(SN.substr(Slash + 1)) != FD->params().size())
+      return false;
+    const std::string_view Qual = SN.substr(0, Slash);
+    std::string_view Cls, Member;
+    if (splitQualified(Qual, Cls, Member)) {
+      const auto *MD = dyn_cast<MethodDecl>(FD);
+      return MD && Cls == MD->parent()->name() && Member == FD->name();
+    }
+    return !isa<MethodDecl>(FD) && Qual == FD->name();
+  }
+
+  /// Resolves "Class::field" by scanning the class's own field list.
+  const FieldDecl *resolveField(std::string_view Name) const {
+    std::string_view Cls, Member;
+    if (!splitQualified(Name, Cls, Member))
+      return nullptr;
+    auto It = ClassByName.find(Cls);
+    if (It == ClassByName.end())
+      return nullptr;
+    for (const FieldDecl *F : It->second->fields())
+      if (F->name() == Member)
+        return F;
+    return nullptr;
+  }
+
+  /// Resolves a stable function name "Qualified/arity". Free functions
+  /// come from the bare-name map; members resolve within their class:
+  /// "~Class" is the destructor, "Class::Class" a constructor selected
+  /// by arity (the one overload the language permits), anything else a
+  /// scan of the class's methods.
+  const FunctionDecl *resolveFunction(std::string_view Name) const {
+    const size_t Slash = Name.rfind('/');
+    if (Slash == std::string_view::npos)
+      return nullptr;
+    const size_t Arity = parseArity(Name.substr(Slash + 1));
+    if (Arity == std::string_view::npos)
+      return nullptr;
+    const std::string_view Qual = Name.substr(0, Slash);
+    std::string_view Cls, Member;
+    if (!splitQualified(Qual, Cls, Member)) {
+      auto It = FreeFnByName.find(Qual);
+      if (It == FreeFnByName.end() || It->second->params().size() != Arity)
+        return nullptr;
+      return It->second;
+    }
+    auto It = ClassByName.find(Cls);
+    if (It == ClassByName.end())
+      return nullptr;
+    const ClassDecl *CD = It->second;
+    if (!Member.empty() && Member[0] == '~') {
+      if (Arity != 0 || Member.substr(1) != CD->name())
+        return nullptr;
+      return CD->destructor();
+    }
+    if (Member == CD->name()) {
+      for (const ConstructorDecl *Ctor : CD->constructors())
+        if (Ctor->params().size() == Arity)
+          return Ctor;
+      return nullptr;
+    }
+    for (const MethodDecl *M : CD->methods())
+      if (M->params().size() == Arity && M->name() == Member)
+        return M;
+    return nullptr;
+  }
+
+  const FieldDecl *fieldRef(PerFile &PF, uint32_t Ref) {
+    if (Ref >= PF.Summary->Strings.size())
+      return nullptr;
+    if (PF.Fields.empty())
+      PF.Fields.resize(PF.Summary->Strings.size());
+    if (const FieldDecl *F = PF.Fields[Ref])
+      return F;
+    return PF.Fields[Ref] = resolveField(PF.Summary->str(Ref));
+  }
+
+  const ClassDecl *classRef(PerFile &PF, uint32_t Ref) {
+    if (Ref >= PF.Summary->Strings.size())
+      return nullptr;
+    if (PF.Classes.empty())
+      PF.Classes.resize(PF.Summary->Strings.size());
+    if (const ClassDecl *CD = PF.Classes[Ref])
+      return CD;
+    auto It = ClassByName.find(std::string_view(PF.Summary->str(Ref)));
+    return It == ClassByName.end() ? nullptr : (PF.Classes[Ref] = It->second);
+  }
+
+  const FunctionDecl *funcRef(PerFile &PF, uint32_t Ref) {
+    if (Ref >= PF.Summary->Strings.size())
+      return nullptr;
+    if (PF.Funcs.empty())
+      PF.Funcs.resize(PF.Summary->Strings.size());
+    if (const FunctionDecl *FD = PF.Funcs[Ref])
+      return FD;
+    return PF.Funcs[Ref] = resolveFunction(PF.Summary->str(Ref));
+  }
+
+  uint32_t fileRef(PerFile &PF, uint32_t Ref) {
+    if (Ref >= PF.Summary->Strings.size())
+      return 0;
+    if (PF.FileIDs.empty())
+      PF.FileIDs.resize(PF.Summary->Strings.size());
+    if (uint32_t ID = PF.FileIDs[Ref])
+      return ID;
+    auto It = FileIDByName.find(std::string_view(PF.Summary->str(Ref)));
+    return It == FileIDByName.end() ? 0 : (PF.FileIDs[Ref] = It->second);
+  }
+
+  std::vector<PerFile> Files;
+  std::unordered_map<std::string_view, const ClassDecl *> ClassByName;
+  std::unordered_map<std::string_view, const FunctionDecl *> FreeFnByName;
+  std::unordered_map<std::string_view, uint32_t> FileIDByName;
+  std::vector<std::pair<const FunctionSummary *, size_t>> FnSummaryByDecl;
+  std::unordered_map<std::string_view,
+                     std::pair<const GlobalSummary *, size_t>>
+      GlobalByName;
+  std::vector<CallGraphBodyFact> FactsScratch;
+  std::string Error;
+};
+
+} // namespace
+
+std::optional<DeadMemberResult> DeadMemberAnalysis::runWithSummaries(
+    const FunctionDecl *Main,
+    const std::vector<std::pair<uint32_t, const FileSummary *>> &Summaries,
+    std::string *Error) {
+  PhaseTimer Timer("summary.link");
+  auto Fail = [&](const std::string &Message) -> std::optional<DeadMemberResult> {
+    if (Error)
+      *Error = Message;
+    return std::nullopt;
+  };
+
+  SummaryLinker Linker(Ctx, Summaries);
+
+  // Build the call graph by fact replay where possible: the non-PTA
+  // kinds never consult receiver expressions, so the recorded
+  // transcripts reconstruct the identical graph without re-walking
+  // every reachable body. PTA (and an injected graph) keep the classic
+  // path.
+  CallGraphFactsFn FactsFn = [&Linker](const FunctionDecl *FD) {
+    return Linker.factsFor(FD);
+  };
+  bool UseFacts = !InjectedGraph && Options.CallGraph != CallGraphKind::PTA;
+  beginRun(Main, UseFacts ? &FactsFn : nullptr);
+
+  // Globals replay first, in declaration order — the monolithic pass
+  // scans them all into one buffer before any function, and per-global
+  // replay in the same order produces the identical event sequence.
+  for (const VarDecl *GV : Ctx.globals()) {
+    size_t FileIdx = 0;
+    const GlobalSummary *GS = Linker.findGlobal(GV->name(), FileIdx);
+    if (!GS) {
+      if (GV->init() || !GV->ctorArgs().empty()) {
+        if (GV->location().isValid())
+          return Fail("no summary covers global '" + GV->name() + "'");
+        // Unattributable synthesized global: scan it live.
+        LivenessScanner S(Options);
+        S.scanGlobal(GV);
+        applyScan(S.take());
+      }
+      continue;
+    }
+    ScanOutput Scan;
+    Scan.ExprsVisited = GS->ExprsVisited;
+    if (!Linker.decodeEvents(GS->Events, FileIdx, Scan))
+      return Fail(Linker.error());
+    applyScan(Scan);
+  }
+
+  // Then reachable functions by decl ID, exactly as run() replays them.
+  for (const FunctionDecl *FD : UsedGraph->reachableFunctions()) {
+    ++NumFunctionsProcessed;
+    size_t FileIdx = 0;
+    const FunctionSummary *FS = Linker.findFunction(FD, FileIdx);
+    if (!FS) {
+      if (!hasScannableContent(FD))
+        continue; // Nothing to replay; builtins and externs land here.
+      if (summaryFileOf(FD) != 0)
+        return Fail("no summary covers function '" + FD->qualifiedName() +
+                    "'");
+      // Unattributable synthesized function: scan it live.
+      LivenessScanner S(Options);
+      S.scanFunction(FD);
+      applyScan(S.take());
+      continue;
+    }
+    ScanOutput Scan;
+    Scan.ExprsVisited = FS->ExprsVisited;
+    if (!Linker.decodeEvents(FS->Events, FileIdx, Scan))
+      return Fail(Linker.error());
+    applyScan(Scan);
+  }
+
+  return finishRun();
+}

@@ -1,0 +1,170 @@
+//===-- analysis/Summary.h - Per-file analysis summaries --------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The summary-based decomposition of the paper's whole-program
+/// analysis. All liveness-relevant facts of Figure 2 are local to a
+/// translation unit — member reads and address-takes, pointer-to-member
+/// constants, unsafe casts, union and sizeof occurrences, call and
+/// override edges — and only reachability propagation is global. A
+/// FileSummary captures one file's facts in a *name-keyed*,
+/// serializable form:
+///
+///  - Every name is interned once in the summary's string table and
+///    referenced by index, so events and call facts are fixed-width and
+///    a cached summary decodes without per-event allocations.
+///  - Mark events reference fields as "Class::member" and sweep roots
+///    by class name. Functions are keyed by their *stable name*,
+///    "qualified-name/arity" (stableFunctionName): the language rejects
+///    every other redefinition, but constructors may overload by arity,
+///    and the arity suffix keeps those distinct. Stable names therefore
+///    resolve unambiguously back to declarations at link time.
+///  - Each function carries its call-graph fact transcript
+///    (CallGraphBodyFact order), so the link phase rebuilds the call
+///    graph by replay instead of re-walking every reachable body —
+///    the dominant cost of the monolithic pipeline's graph phase.
+///  - Source locations are stored as offsets relative to the summarized
+///    file (rebound to the file's FileID in the linking compilation),
+///    as "the target field's own location" for constructor-initializer
+///    writes (whose location lives in the file that *declares* the
+///    class, which may be edited independently), or — defensively — as
+///    an explicit (file name, offset) pair.
+///
+/// Functions are attributed to the file containing their *body* (an
+/// out-of-line definition belongs to the defining file, so editing the
+/// declaring file never stales it). Extraction is
+/// reachability-independent: every function of the file is summarized,
+/// and the link phase (DeadMemberAnalysis::runWithSummaries) replays
+/// only the ones reachable in the current program, in the same
+/// deterministic order as the monolithic pass.
+///
+/// Cross-file dependencies of a scan (cast safety from the class
+/// hierarchy, member resolution, expression types) are guarded by the
+/// cache key's program-structure hash, not by the summary itself — see
+/// cache/IncrementalAnalysis.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_ANALYSIS_SUMMARY_H
+#define DMM_ANALYSIS_SUMMARY_H
+
+#include "analysis/DeadMemberAnalysis.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmm {
+
+class SourceManager;
+
+/// A serializable source position. Offsets are only meaningful while
+/// the owning file's text is unchanged — which the cache key's content
+/// hash guarantees for InFile, and the OfField indirection sidesteps
+/// for locations owned by *other* files.
+struct SummaryLoc {
+  enum class Kind : uint8_t {
+    None,      ///< Invalid/unknown location.
+    InFile,    ///< Offset within the summarized file itself.
+    OfField,   ///< The event's target field's own declaration location
+               ///  (constructor-initializer writes), resolved from the
+               ///  live AST at link time.
+    OtherFile, ///< Offset within another, explicitly named file.
+  };
+
+  Kind K = Kind::None;
+  uint32_t Offset = 0;
+  uint32_t File = 0; ///< String-table ref of the file name; OtherFile only.
+
+  friend bool operator==(const SummaryLoc &A, const SummaryLoc &B) {
+    return A.K == B.K && A.Offset == B.Offset && A.File == B.File;
+  }
+};
+
+/// One liveness cause. Mirrors MarkEvent (Scanner.h) with declarations
+/// replaced by string-table refs of their stable spellings.
+struct SummaryEvent {
+  bool IsSweep = false;
+  /// "Class::member" for direct marks; the class name for sweeps.
+  uint32_t Target = 0;
+  LivenessReason Reason = LivenessReason::NotAccessed;
+  SummaryLoc Loc;
+
+  friend bool operator==(const SummaryEvent &A, const SummaryEvent &B) {
+    return A.IsSweep == B.IsSweep && A.Target == B.Target &&
+           A.Reason == B.Reason && A.Loc == B.Loc;
+  }
+};
+
+/// One recorded call-graph action (CallGraphBodyFact before name
+/// resolution). Name is the callee/function stable name or the class
+/// name, Ctor the chosen constructor's stable name (New/VarLifetime; 0
+/// when implicit), Arity the argument count of an indirect call.
+struct SummaryCallFact {
+  CallGraphBodyFact::Kind K = CallGraphBodyFact::Kind::DirectCall;
+  uint32_t Name = 0;
+  uint32_t Ctor = 0;
+  uint32_t Arity = 0;
+};
+
+/// Facts of one function whose body (or constructor initializer list)
+/// lives in the summarized file.
+struct FunctionSummary {
+  uint32_t Name = 0; ///< Stable name ref ("f/0", "C::f/2", "C::~C/0").
+  uint64_t ExprsVisited = 0;
+  std::vector<SummaryEvent> Events; ///< In scan order.
+  /// The function's call-graph transcript, in the builder's AST-walk
+  /// order: calls, address-takes, allocations, deallocations, then
+  /// local variable lifetimes. Replayed by buildCallGraphFromFacts.
+  std::vector<SummaryCallFact> CallFacts;
+  /// Base-class methods this method overrides (stable name refs).
+  std::vector<uint32_t> Overrides;
+};
+
+/// Facts of one global variable declared in the summarized file.
+struct GlobalSummary {
+  uint32_t Name = 0; ///< Plain name ref (globals cannot overload).
+  uint64_t ExprsVisited = 0;
+  std::vector<SummaryEvent> Events; ///< In scan order.
+};
+
+/// Everything the link phase needs from one source file.
+struct FileSummary {
+  std::string FileName;
+  /// The intern table; index 0 is always the empty string, so 0 doubles
+  /// as "absent" for optional refs.
+  std::vector<std::string> Strings{std::string()};
+  std::vector<FunctionSummary> Functions;  ///< In decl order.
+  std::vector<GlobalSummary> Globals;      ///< In decl order.
+  std::vector<uint32_t> EntryPoints;       ///< main()s defined here.
+  std::vector<uint32_t> UnionsDefined;     ///< Union types defined here.
+
+  const std::string &str(uint32_t Ref) const { return Strings[Ref]; }
+};
+
+/// The globally unique spelling of a function: "qualified-name/arity".
+/// Constructors are the one declaration kind the language lets overload
+/// (by arity); the suffix disambiguates them and is harmless noise for
+/// everything else.
+std::string stableFunctionName(const FunctionDecl *FD);
+
+/// The file a function's facts belong to: its body's file, else (for
+/// bodyless constructors with initializer lists) the first
+/// initializer's file, else the declaration's file. 0 (no file) for
+/// builtins and undefined externals, which contribute no facts.
+uint32_t summaryFileOf(const FunctionDecl *FD);
+
+/// Extracts the summary of file \p FileID: scans every function and
+/// global attributed to it with the shared LivenessScanner, rewrites
+/// the resulting mark events into name-keyed form, and records each
+/// function's call-graph transcript.
+FileSummary extractFileSummary(const ASTContext &Ctx, const SourceManager &SM,
+                               uint32_t FileID,
+                               const AnalysisOptions &Options);
+
+} // namespace dmm
+
+#endif // DMM_ANALYSIS_SUMMARY_H

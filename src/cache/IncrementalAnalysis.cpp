@@ -1,0 +1,154 @@
+//===-- cache/IncrementalAnalysis.cpp - Summary-based pipeline ------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/IncrementalAnalysis.h"
+
+#include "analysis/Summary.h"
+#include "ast/ASTContext.h"
+#include "cache/Hash.h"
+#include "cache/SummaryCache.h"
+#include "support/SourceManager.h"
+#include "support/ThreadPool.h"
+#include "telemetry/Telemetry.h"
+
+#include <unordered_map>
+
+using namespace dmm;
+
+uint64_t dmm::analysisConfigFingerprint(const AnalysisOptions &Options,
+                                        uint32_t FormatVersion) {
+  Hasher H;
+  H.str(kToolVersion);
+  H.u32(FormatVersion);
+  H.u8(static_cast<uint8_t>(Options.CallGraph));
+  H.u8(Options.AssumeDowncastsSafe ? 1 : 0);
+  H.u8(static_cast<uint8_t>(Options.Sizeof));
+  H.u8(Options.ExemptDeallocationArgs ? 1 : 0);
+  H.u8(Options.UnionClosure ? 1 : 0);
+  H.u8(Options.TreatWritesAsLive ? 1 : 0);
+  H.u64(Options.InertFunctions.size());
+  for (const std::string &Name : Options.InertFunctions) // std::set: sorted
+    H.str(Name);
+  return H.value();
+}
+
+uint64_t dmm::programStructureHash(const ASTContext &Ctx) {
+  Hasher H;
+
+  // Type spellings repeat heavily across parameter lists and fields;
+  // Type::str() allocates, so hash each distinct Type object once and
+  // feed the value. Object identity under-approximates type equality,
+  // which only means an occasional duplicate spelling gets re-hashed —
+  // the contribution stays deterministic.
+  std::unordered_map<const Type *, uint64_t> TypeHashes;
+  auto typeHash = [&](const Type *Ty) -> uint64_t {
+    if (!Ty)
+      return 0;
+    auto [It, Inserted] = TypeHashes.try_emplace(Ty, 0);
+    if (Inserted) {
+      Hasher TH;
+      TH.str(Ty->str());
+      It->second = TH.value();
+    }
+    return It->second;
+  };
+
+  H.u64(Ctx.classes().size());
+  for (const ClassDecl *CD : Ctx.classes()) {
+    H.str(CD->name());
+    H.u8(static_cast<uint8_t>(CD->tagKind()));
+    H.u8(CD->isComplete() ? 1 : 0);
+    H.u8(CD->isLibrary() ? 1 : 0);
+    H.u64(CD->bases().size());
+    for (const BaseSpecifier &BS : CD->bases()) {
+      H.str(BS.Base->name());
+      H.u8(BS.IsVirtual ? 1 : 0);
+    }
+    H.u64(CD->fields().size());
+    for (const FieldDecl *F : CD->fields()) {
+      H.str(F->name());
+      H.u64(typeHash(F->type()));
+      H.u8(F->isVolatile() ? 1 : 0);
+    }
+    H.u64(CD->methods().size());
+    for (const MethodDecl *MD : CD->methods()) {
+      H.str(MD->name());
+      H.u8(MD->isVirtual() ? 1 : 0);
+    }
+  }
+
+  H.u64(Ctx.functions().size());
+  for (const FunctionDecl *FD : Ctx.functions()) {
+    // The qualified name, without building it: owner and spelling are
+    // length-prefixed separately, so the boundary stays unambiguous.
+    const auto *MD = dyn_cast<MethodDecl>(FD);
+    H.str(MD ? MD->parent()->name() : std::string_view());
+    H.str(FD->name());
+    H.u8(static_cast<uint8_t>(FD->builtinKind()));
+    H.u64(typeHash(FD->returnType()));
+    H.u64(FD->params().size());
+    for (const ParamDecl *P : FD->params())
+      H.u64(typeHash(P->type()));
+  }
+
+  H.u64(Ctx.globals().size());
+  for (const VarDecl *GV : Ctx.globals()) {
+    H.str(GV->name());
+    H.u64(typeHash(GV->type()));
+  }
+
+  return H.value();
+}
+
+uint64_t dmm::environmentHash(const ASTContext &Ctx,
+                              const AnalysisOptions &Options,
+                              uint32_t FormatVersion) {
+  Hasher H;
+  H.u64(analysisConfigFingerprint(Options, FormatVersion));
+  H.u64(programStructureHash(Ctx));
+  return H.value();
+}
+
+std::optional<DeadMemberResult>
+dmm::runSummaryAnalysis(const ASTContext &Ctx, const SourceManager &SM,
+                        DeadMemberAnalysis &Analysis, const FunctionDecl *Main,
+                        const AnalysisOptions &Options, SummaryCache *Cache,
+                        std::string *Error) {
+  const size_t NumFiles = SM.numBuffers();
+  std::vector<FileSummary> Summaries;
+  {
+    PhaseTimer Timer("summary.extract");
+    const uint64_t EnvHash = environmentHash(
+        Ctx, Options,
+        Cache ? Cache->formatVersion() : kSummaryFormatVersion);
+    // Per-file extraction is independent (pure AST reads), so files fan
+    // out across the pool just like per-function scans do in run().
+    Summaries = globalThreadPool().parallelMap<FileSummary>(
+        NumFiles, [&](size_t I) {
+          const uint32_t FileID = static_cast<uint32_t>(I + 1);
+          if (Cache) {
+            const uint64_t ContentHash = hashBytes(SM.bufferText(FileID));
+            FileSummary Summary;
+            if (Cache->lookup(ContentHash, EnvHash, Summary)) {
+              // Content-identical file under a new name: the facts are
+              // name-keyed and unaffected, only the label needs fixing.
+              Summary.FileName = std::string(SM.bufferName(FileID));
+              return Summary;
+            }
+            Summary = extractFileSummary(Ctx, SM, FileID, Options);
+            Cache->store(ContentHash, EnvHash, Summary);
+            return Summary;
+          }
+          return extractFileSummary(Ctx, SM, FileID, Options);
+        });
+  }
+
+  std::vector<std::pair<uint32_t, const FileSummary *>> Pairs;
+  Pairs.reserve(NumFiles);
+  for (size_t I = 0; I != NumFiles; ++I)
+    Pairs.emplace_back(static_cast<uint32_t>(I + 1), &Summaries[I]);
+  return Analysis.runWithSummaries(Main, Pairs, Error);
+}

@@ -1,0 +1,80 @@
+//===-- cache/IncrementalAnalysis.h - Summary-based pipeline ----*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orchestrates the summary-based analysis pipeline: per-file summary
+/// extraction (optionally backed by the persistent SummaryCache),
+/// followed by the global link/propagate phase
+/// (DeadMemberAnalysis::runWithSummaries).
+///
+/// Cache key derivation (docs/CACHING.md): an entry for file F is valid
+/// when BOTH
+///   - the content hash of F's text is unchanged (F itself did not
+///     change), and
+///   - the environment hash is unchanged. The environment hash folds in
+///     the analysis configuration fingerprint (sizeof/downcasts/
+///     callgraph/deallocation/union-closure/baseline policy, inert
+///     functions, tool version, summary format version) and the
+///     *program structure hash* — a digest of every class definition,
+///     function signature, and global declaration in the program.
+///
+/// The structure hash is what makes per-file reuse sound despite
+/// cross-file semantic dependencies: a scan of F consults other files'
+/// class hierarchies (cast safety), member declarations, and signatures
+/// (expression types). Editing only a function body anywhere keeps the
+/// structure hash stable, so every other file's summary stays valid —
+/// the common incremental case costs one re-extraction. Editing any
+/// declaration changes the structure hash and refreshes all summaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_CACHE_INCREMENTALANALYSIS_H
+#define DMM_CACHE_INCREMENTALANALYSIS_H
+
+#include "analysis/DeadMemberAnalysis.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dmm {
+
+class SourceManager;
+class SummaryCache;
+
+/// Reported by --version and folded into cache keys, so upgrading the
+/// tool can never replay summaries written by different analysis code.
+inline constexpr const char kToolVersion[] = "0.3.0";
+
+/// Digest of the analysis configuration knobs a scan depends on.
+/// RecordProvenance is deliberately excluded: summaries always carry
+/// event locations, so provenance on/off replays the same entries.
+uint64_t analysisConfigFingerprint(const AnalysisOptions &Options,
+                                   uint32_t FormatVersion);
+
+/// Digest of every class definition (name, tag, library/completeness,
+/// bases, fields with types and volatility, methods with signatures),
+/// function signature, and global declaration in \p Ctx.
+uint64_t programStructureHash(const ASTContext &Ctx);
+
+/// The full cache-key environment: config fingerprint + structure hash.
+uint64_t environmentHash(const ASTContext &Ctx, const AnalysisOptions &Options,
+                         uint32_t FormatVersion);
+
+/// Runs the two-phase pipeline: extracts one summary per source buffer
+/// of \p SM in parallel (consulting \p Cache when non-null — hits skip
+/// extraction, misses extract and store), then links them through \p
+/// Analysis. Returns std::nullopt with *Error set when linking rejects
+/// a summary; the caller should fall back to Analysis.run(Main).
+std::optional<DeadMemberResult>
+runSummaryAnalysis(const ASTContext &Ctx, const SourceManager &SM,
+                   DeadMemberAnalysis &Analysis, const FunctionDecl *Main,
+                   const AnalysisOptions &Options, SummaryCache *Cache,
+                   std::string *Error = nullptr);
+
+} // namespace dmm
+
+#endif // DMM_CACHE_INCREMENTALANALYSIS_H

@@ -1,0 +1,124 @@
+//===-- cache/Serialization.h - Bounded binary (de)serialization -*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian fixed-width binary encoding used by the summary cache.
+/// The reader is defensive: every read is bounds-checked and element
+/// counts are sanity-checked against the remaining payload, so a
+/// truncated or bit-flipped cache entry degrades to a decode failure
+/// (treated as a cache miss) rather than undefined behaviour or an
+/// attempted multi-gigabyte allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_CACHE_SERIALIZATION_H
+#define DMM_CACHE_SERIALIZATION_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dmm {
+
+/// Appends fixed-width little-endian values to a byte string.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    u32(static_cast<uint32_t>(V >> 32));
+  }
+
+  void str(std::string_view S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S.data(), S.size());
+  }
+
+  const std::string &data() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+/// Bounds-checked reader over a byte buffer. After any failed read the
+/// reader is sticky-failed and every subsequent read returns zero
+/// values, so decode loops terminate promptly; callers check ok() once
+/// at the end (or before trusting a count).
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Data) : Data(Data) {}
+
+  bool ok() const { return !Failed; }
+  size_t remaining() const { return Data.size() - Pos; }
+
+  uint8_t u8() {
+    if (!require(1))
+      return 0;
+    return static_cast<uint8_t>(Data[Pos++]);
+  }
+
+  uint32_t u32() {
+    uint32_t V = 0;
+    if (!require(4))
+      return 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Data[Pos++])) << (8 * I);
+    return V;
+  }
+
+  uint64_t u64() {
+    uint64_t Lo = u32();
+    uint64_t Hi = u32();
+    return Lo | (Hi << 32);
+  }
+
+  std::string str() {
+    uint32_t Size = u32();
+    if (!require(Size))
+      return {};
+    std::string S(Data.substr(Pos, Size));
+    Pos += Size;
+    return S;
+  }
+
+  /// Reads an element count and rejects values that could not possibly
+  /// fit in the remaining payload (each element occupies at least
+  /// \p MinElementSize bytes) — the guard against corrupt counts.
+  uint32_t count(size_t MinElementSize) {
+    uint32_t N = u32();
+    if (MinElementSize != 0 && N > remaining() / MinElementSize) {
+      Failed = true;
+      return 0;
+    }
+    return N;
+  }
+
+  void fail() { Failed = true; }
+
+private:
+  bool require(size_t N) {
+    if (Failed || N > remaining()) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view Data;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace dmm
+
+#endif // DMM_CACHE_SERIALIZATION_H

@@ -1,0 +1,274 @@
+//===-- cache/SummaryCache.cpp - Persistent summary cache -----------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/SummaryCache.h"
+
+#include "cache/Hash.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#ifdef _WIN32
+#include <process.h>
+#define DMM_GETPID _getpid
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define DMM_GETPID getpid
+#endif
+
+using namespace dmm;
+
+namespace fs = std::filesystem;
+
+/// Reads a whole file into \p Out. POSIX builds use raw descriptors —
+/// the warm path opens one cache entry per source file and iostream
+/// setup dominates small reads; elsewhere, fall back to ifstream.
+static bool readEntireFile(const std::string &Path, std::string &Out) {
+#ifndef _WIN32
+  const int FD = ::open(Path.c_str(), O_RDONLY);
+  if (FD < 0)
+    return false;
+  struct stat St;
+  if (::fstat(FD, &St) != 0 || St.st_size < 0) {
+    ::close(FD);
+    return false;
+  }
+  Out.resize(static_cast<size_t>(St.st_size));
+  size_t Done = 0;
+  while (Done != Out.size()) {
+    const ssize_t N = ::read(FD, Out.data() + Done, Out.size() - Done);
+    if (N <= 0) {
+      ::close(FD);
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  ::close(FD);
+  return true;
+#else
+  std::ifstream In(Path, std::ios::in | std::ios::binary);
+  if (!In.is_open())
+    return false;
+  In.seekg(0, std::ios::end);
+  const std::streamoff Size = In.tellg();
+  if (Size < 0)
+    return false;
+  In.seekg(0, std::ios::beg);
+  Out.resize(static_cast<size_t>(Size));
+  In.read(Out.data(), Size);
+  return In.gcount() == Size;
+#endif
+}
+
+/// Entry header: magic, format version, both key hashes, payload
+/// checksum, payload size. 40 bytes, followed by the payload.
+static constexpr char kMagic[4] = {'D', 'M', 'S', 'C'};
+static constexpr const char *kEntryExtension = ".dms";
+
+static std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+SummaryCache::SummaryCache(Config C) : Cfg(std::move(C)) {
+  std::error_code EC;
+  fs::create_directories(Cfg.Dir, EC);
+  Usable = !EC && fs::is_directory(Cfg.Dir, EC) && !EC;
+  if (!Usable)
+    return;
+  uint64_t Total = 0;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Cfg.Dir, EC)) {
+    if (EC)
+      break;
+    if (Entry.path().extension() == kEntryExtension) {
+      std::error_code SizeEC;
+      uint64_t Size = Entry.file_size(SizeEC);
+      if (!SizeEC)
+        Total += Size;
+    }
+  }
+  Bytes.store(Total);
+}
+
+std::string SummaryCache::entryPath(uint64_t ContentHash,
+                                    uint64_t EnvHash) const {
+  return (fs::path(Cfg.Dir) /
+          (hex16(ContentHash) + "-" + hex16(EnvHash) + kEntryExtension))
+      .string();
+}
+
+bool SummaryCache::lookup(uint64_t ContentHash, uint64_t EnvHash,
+                          FileSummary &Out) {
+  ++Lookups;
+  auto Miss = [&] {
+    ++Misses;
+    return false;
+  };
+  if (!Usable)
+    return Miss();
+
+  // Raw read, not iostreams: a warm run opens one entry per source
+  // file, and stream construction alone costs several microseconds.
+  std::string Data;
+  if (!readEntireFile(entryPath(ContentHash, EnvHash), Data))
+    return Miss();
+
+  ByteReader R(Data);
+  char Magic[4];
+  Magic[0] = static_cast<char>(R.u8());
+  Magic[1] = static_cast<char>(R.u8());
+  Magic[2] = static_cast<char>(R.u8());
+  Magic[3] = static_cast<char>(R.u8());
+  if (!R.ok() || !std::equal(Magic, Magic + 4, kMagic))
+    return Miss();
+  if (R.u32() != Cfg.FormatVersion)
+    return Miss();
+  if (R.u64() != ContentHash || R.u64() != EnvHash)
+    return Miss();
+  const uint64_t Checksum = R.u64();
+  const uint64_t PayloadSize = R.u64();
+  if (!R.ok() || PayloadSize != R.remaining())
+    return Miss();
+  const std::string_view Payload(Data.data() + (Data.size() - PayloadSize),
+                                 PayloadSize);
+  if (hashBytes(Payload) != Checksum)
+    return Miss();
+
+  ByteReader PayloadReader(Payload);
+  if (!decodeFileSummary(PayloadReader, Out))
+    return Miss();
+  ++Hits;
+  return true;
+}
+
+void SummaryCache::store(uint64_t ContentHash, uint64_t EnvHash,
+                         const FileSummary &Summary) {
+  if (!Usable)
+    return;
+
+  ByteWriter PayloadWriter;
+  encodeFileSummary(Summary, PayloadWriter);
+  const std::string Payload = PayloadWriter.take();
+
+  ByteWriter W;
+  for (char C : kMagic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(Cfg.FormatVersion);
+  W.u64(ContentHash);
+  W.u64(EnvHash);
+  W.u64(hashBytes(Payload));
+  W.u64(Payload.size());
+  std::string Entry = W.take();
+  Entry += Payload;
+
+  // Write-to-temp + rename: readers and concurrent writers only ever
+  // observe complete entries.
+  const std::string TmpName = (fs::path(Cfg.Dir) /
+                               ("tmp-" + std::to_string(DMM_GETPID()) + "-" +
+                                std::to_string(TmpCounter.fetch_add(1)) +
+                                ".part"))
+                                  .string();
+  {
+    std::ofstream Tmp(TmpName, std::ios::out | std::ios::binary |
+                                   std::ios::trunc);
+    if (!Tmp.is_open())
+      return;
+    Tmp.write(Entry.data(), static_cast<std::streamsize>(Entry.size()));
+    if (!Tmp.good()) {
+      Tmp.close();
+      std::error_code EC;
+      fs::remove(TmpName, EC);
+      return;
+    }
+  }
+  std::error_code EC;
+  fs::rename(TmpName, entryPath(ContentHash, EnvHash), EC);
+  if (EC) {
+    fs::remove(TmpName, EC);
+    return;
+  }
+  Bytes.fetch_add(Entry.size());
+  if (Bytes.load() > Cfg.MaxBytes)
+    evictIfOverBudget();
+}
+
+void SummaryCache::evictIfOverBudget() {
+  std::lock_guard<std::mutex> Lock(EvictionMutex);
+
+  struct EntryInfo {
+    fs::path Path;
+    fs::file_time_type MTime;
+    uint64_t Size = 0;
+  };
+  std::vector<EntryInfo> Entries;
+  uint64_t Total = 0;
+  std::error_code EC;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Cfg.Dir, EC)) {
+    if (EC)
+      return;
+    if (Entry.path().extension() != kEntryExtension)
+      continue;
+    std::error_code StatEC;
+    EntryInfo Info{Entry.path(), Entry.last_write_time(StatEC),
+                   Entry.file_size(StatEC)};
+    if (StatEC)
+      continue;
+    Total += Info.Size;
+    Entries.push_back(std::move(Info));
+  }
+  // Rebase the running size on the real directory contents (concurrent
+  // processes may have added or evicted entries since we last scanned).
+  Bytes.store(Total);
+  if (Total <= Cfg.MaxBytes)
+    return;
+
+  std::sort(Entries.begin(), Entries.end(),
+            [](const EntryInfo &A, const EntryInfo &B) {
+              return A.MTime < B.MTime;
+            });
+  for (const EntryInfo &Info : Entries) {
+    if (Total <= Cfg.MaxBytes)
+      break;
+    std::error_code RemoveEC;
+    if (fs::remove(Info.Path, RemoveEC) && !RemoveEC) {
+      Total -= Info.Size;
+      ++Evictions;
+    }
+  }
+  Bytes.store(Total);
+}
+
+SummaryCache::Stats SummaryCache::stats() const {
+  Stats S;
+  S.Lookups = Lookups.load();
+  S.Hits = Hits.load();
+  S.Misses = Misses.load();
+  S.Evictions = Evictions.load();
+  S.Bytes = Bytes.load();
+  return S;
+}
+
+void SummaryCache::flushTelemetry() const {
+  Telemetry *T = Telemetry::active();
+  if (!T)
+    return;
+  const Stats S = stats();
+  T->addCounter("cache.lookups", S.Lookups);
+  T->addCounter("cache.hits", S.Hits);
+  T->addCounter("cache.misses", S.Misses);
+  T->addCounter("cache.evictions", S.Evictions);
+  T->addCounter("cache.bytes", S.Bytes);
+}

@@ -1,0 +1,106 @@
+//===-- cache/SummaryCache.h - Persistent summary cache ---------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-disk cache of per-file analysis summaries (docs/CACHING.md).
+///
+/// Entries are keyed by (content hash of the file's text, environment
+/// hash) — the environment hash folds in the analysis configuration,
+/// tool and format versions, and the program structure hash (see
+/// cache/IncrementalAnalysis.h). Both halves of the key appear in the
+/// entry file name, so distinct configurations coexist in one
+/// directory, and again in the entry header, so renamed or damaged
+/// files are rejected. Every failure mode (missing file, bad magic,
+/// version skew, checksum mismatch, truncation, decode error) degrades
+/// to a miss; the caller re-extracts and overwrites.
+///
+/// Writes go to a per-process temporary file followed by an atomic
+/// rename, so a crashed or concurrent writer can never publish a
+/// partial entry. When the directory exceeds Config::MaxBytes after a
+/// store, oldest entries (by modification time) are evicted until it
+/// fits.
+///
+/// Counters (lookups/hits/misses/evictions/bytes) are kept internally
+/// and flushed to the active Telemetry as cache.* by flushTelemetry().
+/// All methods are thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_CACHE_SUMMARYCACHE_H
+#define DMM_CACHE_SUMMARYCACHE_H
+
+#include "analysis/Summary.h"
+#include "cache/SummaryIO.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace dmm {
+
+class SummaryCache {
+public:
+  struct Config {
+    std::string Dir;
+    /// Evict oldest entries once the directory grows past this.
+    uint64_t MaxBytes = 256ull << 20;
+    /// Format version folded into entry headers. Overridable so tests
+    /// can simulate a version bump without recompiling.
+    uint32_t FormatVersion = kSummaryFormatVersion;
+  };
+
+  /// Counter snapshot (also exported as cache.* telemetry).
+  struct Stats {
+    uint64_t Lookups = 0;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    uint64_t Bytes = 0; ///< Directory size after the last operation.
+  };
+
+  /// Creates \p C.Dir (and parents) if needed and sizes the existing
+  /// contents. A directory that cannot be created disables the cache:
+  /// every lookup misses and stores are dropped.
+  explicit SummaryCache(Config C);
+
+  /// Loads the entry keyed by (ContentHash, EnvHash) into \p Out.
+  /// Returns false — a miss — if absent, stale, or corrupt.
+  bool lookup(uint64_t ContentHash, uint64_t EnvHash, FileSummary &Out);
+
+  /// Publishes \p Summary under (ContentHash, EnvHash). Failures (e.g.
+  /// disk full) are silently dropped: the cache is an accelerator, not
+  /// a store of record.
+  void store(uint64_t ContentHash, uint64_t EnvHash,
+             const FileSummary &Summary);
+
+  Stats stats() const;
+
+  /// Adds cache.{lookups,hits,misses,evictions,bytes} to the active
+  /// Telemetry, if any.
+  void flushTelemetry() const;
+
+  const std::string &dir() const { return Cfg.Dir; }
+  uint32_t formatVersion() const { return Cfg.FormatVersion; }
+
+private:
+  std::string entryPath(uint64_t ContentHash, uint64_t EnvHash) const;
+  void evictIfOverBudget();
+
+  Config Cfg;
+  bool Usable = false;
+  std::atomic<uint64_t> Lookups{0};
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> Bytes{0};
+  std::atomic<uint64_t> TmpCounter{0};
+  std::mutex EvictionMutex;
+};
+
+} // namespace dmm
+
+#endif // DMM_CACHE_SUMMARYCACHE_H

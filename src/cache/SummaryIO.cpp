@@ -1,0 +1,214 @@
+//===-- cache/SummaryIO.cpp - FileSummary binary format -------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Layout: file name, then the string table, then functions, globals,
+// entry points, and unions. Every name is a u32 index into the string
+// table, so events (15 bytes) and call facts (13 bytes) are fixed-width
+// and a warm decode allocates only the table itself. The decoder
+// validates every index against the table size — a corrupt ref degrades
+// to a decode failure (cache miss), never an out-of-bounds access.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/SummaryIO.h"
+
+using namespace dmm;
+
+namespace {
+
+/// Decode-side validation context: the number of interned strings.
+struct RefCheck {
+  uint32_t NumStrings = 0;
+
+  bool valid(ByteReader &R, uint32_t Ref) const {
+    if (Ref < NumStrings)
+      return true;
+    R.fail();
+    return false;
+  }
+};
+
+} // namespace
+
+static void encodeEvent(const SummaryEvent &E, ByteWriter &W) {
+  W.u8(E.IsSweep ? 1 : 0);
+  W.u32(E.Target);
+  W.u8(static_cast<uint8_t>(E.Reason));
+  W.u8(static_cast<uint8_t>(E.Loc.K));
+  W.u32(E.Loc.Offset);
+  W.u32(E.Loc.File);
+}
+
+static bool decodeEvent(ByteReader &R, const RefCheck &Refs, SummaryEvent &E) {
+  E.IsSweep = R.u8() != 0;
+  E.Target = R.u32();
+  uint8_t Reason = R.u8();
+  // LivenessReason has 9 enumerators (NotAccessed..Written).
+  if (Reason > static_cast<uint8_t>(LivenessReason::Written)) {
+    R.fail();
+    return false;
+  }
+  E.Reason = static_cast<LivenessReason>(Reason);
+  uint8_t Kind = R.u8();
+  if (Kind > static_cast<uint8_t>(SummaryLoc::Kind::OtherFile)) {
+    R.fail();
+    return false;
+  }
+  E.Loc.K = static_cast<SummaryLoc::Kind>(Kind);
+  E.Loc.Offset = R.u32();
+  E.Loc.File = R.u32();
+  return Refs.valid(R, E.Target) && Refs.valid(R, E.Loc.File) && R.ok();
+}
+
+static void encodeFact(const SummaryCallFact &F, ByteWriter &W) {
+  W.u8(static_cast<uint8_t>(F.K));
+  W.u32(F.Name);
+  W.u32(F.Ctor);
+  W.u32(F.Arity);
+}
+
+static bool decodeFact(ByteReader &R, const RefCheck &Refs,
+                       SummaryCallFact &F) {
+  uint8_t Kind = R.u8();
+  if (Kind > static_cast<uint8_t>(CallGraphBodyFact::Kind::IndirectCall)) {
+    R.fail();
+    return false;
+  }
+  F.K = static_cast<CallGraphBodyFact::Kind>(Kind);
+  F.Name = R.u32();
+  F.Ctor = R.u32();
+  F.Arity = R.u32();
+  return Refs.valid(R, F.Name) && Refs.valid(R, F.Ctor) && R.ok();
+}
+
+static void encodeRefs(const std::vector<uint32_t> &Refs, ByteWriter &W) {
+  W.u32(static_cast<uint32_t>(Refs.size()));
+  for (uint32_t Ref : Refs)
+    W.u32(Ref);
+}
+
+static bool decodeRefs(ByteReader &R, const RefCheck &Refs,
+                       std::vector<uint32_t> &Out) {
+  uint32_t N = R.count(/*MinElementSize=*/4);
+  Out.reserve(N);
+  for (uint32_t I = 0; I != N && R.ok(); ++I) {
+    uint32_t Ref = R.u32();
+    if (!Refs.valid(R, Ref))
+      return false;
+    Out.push_back(Ref);
+  }
+  return R.ok();
+}
+
+void dmm::encodeFileSummary(const FileSummary &Summary, ByteWriter &W) {
+  W.str(Summary.FileName);
+
+  W.u32(static_cast<uint32_t>(Summary.Strings.size()));
+  for (const std::string &S : Summary.Strings)
+    W.str(S);
+
+  W.u32(static_cast<uint32_t>(Summary.Functions.size()));
+  for (const FunctionSummary &FS : Summary.Functions) {
+    W.u32(FS.Name);
+    W.u64(FS.ExprsVisited);
+    W.u32(static_cast<uint32_t>(FS.Events.size()));
+    for (const SummaryEvent &E : FS.Events)
+      encodeEvent(E, W);
+    W.u32(static_cast<uint32_t>(FS.CallFacts.size()));
+    for (const SummaryCallFact &F : FS.CallFacts)
+      encodeFact(F, W);
+    encodeRefs(FS.Overrides, W);
+  }
+
+  W.u32(static_cast<uint32_t>(Summary.Globals.size()));
+  for (const GlobalSummary &GS : Summary.Globals) {
+    W.u32(GS.Name);
+    W.u64(GS.ExprsVisited);
+    W.u32(static_cast<uint32_t>(GS.Events.size()));
+    for (const SummaryEvent &E : GS.Events)
+      encodeEvent(E, W);
+  }
+
+  encodeRefs(Summary.EntryPoints, W);
+  encodeRefs(Summary.UnionsDefined, W);
+}
+
+bool dmm::decodeFileSummary(ByteReader &R, FileSummary &Out) {
+  Out = FileSummary();
+  Out.FileName = R.str();
+
+  uint32_t NumStrings = R.count(/*MinElementSize=*/4);
+  if (NumStrings == 0) {
+    // A well-formed table always holds at least the empty string.
+    R.fail();
+    return false;
+  }
+  Out.Strings.clear();
+  Out.Strings.reserve(NumStrings);
+  for (uint32_t I = 0; I != NumStrings && R.ok(); ++I)
+    Out.Strings.push_back(R.str());
+  if (!R.ok())
+    return false;
+  RefCheck Refs{NumStrings};
+
+  // A FunctionSummary occupies >= 4 (name) + 8 + 4 + 4 + 4 bytes.
+  uint32_t NumFunctions = R.count(/*MinElementSize=*/24);
+  Out.Functions.reserve(NumFunctions);
+  for (uint32_t I = 0; I != NumFunctions && R.ok(); ++I) {
+    FunctionSummary FS;
+    FS.Name = R.u32();
+    if (!Refs.valid(R, FS.Name))
+      return false;
+    FS.ExprsVisited = R.u64();
+    uint32_t NumEvents = R.count(/*MinElementSize=*/15);
+    FS.Events.reserve(NumEvents);
+    for (uint32_t J = 0; J != NumEvents && R.ok(); ++J) {
+      SummaryEvent E;
+      if (!decodeEvent(R, Refs, E))
+        return false;
+      FS.Events.push_back(E);
+    }
+    uint32_t NumFacts = R.count(/*MinElementSize=*/13);
+    FS.CallFacts.reserve(NumFacts);
+    for (uint32_t J = 0; J != NumFacts && R.ok(); ++J) {
+      SummaryCallFact F;
+      if (!decodeFact(R, Refs, F))
+        return false;
+      FS.CallFacts.push_back(F);
+    }
+    if (!decodeRefs(R, Refs, FS.Overrides))
+      return false;
+    Out.Functions.push_back(std::move(FS));
+  }
+
+  uint32_t NumGlobals = R.count(/*MinElementSize=*/16);
+  Out.Globals.reserve(NumGlobals);
+  for (uint32_t I = 0; I != NumGlobals && R.ok(); ++I) {
+    GlobalSummary GS;
+    GS.Name = R.u32();
+    if (!Refs.valid(R, GS.Name))
+      return false;
+    GS.ExprsVisited = R.u64();
+    uint32_t NumEvents = R.count(/*MinElementSize=*/15);
+    GS.Events.reserve(NumEvents);
+    for (uint32_t J = 0; J != NumEvents && R.ok(); ++J) {
+      SummaryEvent E;
+      if (!decodeEvent(R, Refs, E))
+        return false;
+      GS.Events.push_back(E);
+    }
+    Out.Globals.push_back(std::move(GS));
+  }
+
+  if (!decodeRefs(R, Refs, Out.EntryPoints) ||
+      !decodeRefs(R, Refs, Out.UnionsDefined))
+    return false;
+
+  // Trailing garbage means the payload is not what we wrote.
+  if (R.remaining() != 0)
+    R.fail();
+  return R.ok();
+}

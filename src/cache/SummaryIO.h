@@ -1,0 +1,35 @@
+//===-- cache/SummaryIO.h - FileSummary binary format -----------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned binary encoding of analysis/Summary.h FileSummary values.
+/// The format version participates in the cache environment fingerprint
+/// (cache/IncrementalAnalysis.h), so bumping kSummaryFormatVersion
+/// orphans every existing entry rather than risking a misparse; decode
+/// additionally bounds-checks everything via ByteReader so corrupt
+/// payloads fail cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_CACHE_SUMMARYIO_H
+#define DMM_CACHE_SUMMARYIO_H
+
+#include "analysis/Summary.h"
+#include "cache/Serialization.h"
+
+namespace dmm {
+
+/// Bump on ANY change to the encoded layout of FileSummary.
+inline constexpr uint32_t kSummaryFormatVersion = 1;
+
+void encodeFileSummary(const FileSummary &Summary, ByteWriter &W);
+
+/// Returns false (leaving \p Out unspecified) on malformed input.
+bool decodeFileSummary(ByteReader &R, FileSummary &Out);
+
+} // namespace dmm
+
+#endif // DMM_CACHE_SUMMARYIO_H

@@ -15,8 +15,9 @@
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
-#include <memory>
 #include <cassert>
+#include <memory>
+#include <unordered_set>
 
 using namespace dmm;
 
@@ -61,8 +62,9 @@ namespace dmm {
 class CallGraphBuilder {
 public:
   CallGraphBuilder(const ASTContext &Ctx, const ClassHierarchy &CH,
-                   CallGraphKind Kind, const PointsToAnalysis *PTA)
-      : Ctx(Ctx), CH(CH), Kind(Kind), PTA(PTA) {}
+                   CallGraphKind Kind, const PointsToAnalysis *PTA,
+                   const CallGraphFactsFn *FactsFor = nullptr)
+      : Ctx(Ctx), CH(CH), Kind(Kind), PTA(PTA), FactsFor(FactsFor) {}
 
   CallGraph build(const FunctionDecl *Main) {
     if (Kind == CallGraphKind::Trivial) {
@@ -119,7 +121,12 @@ private:
   }
 
   void addEdge(const FunctionDecl *Caller, const FunctionDecl *Callee) {
-    if (EdgeSet.insert({Caller, Callee}).second)
+    // Decl IDs are dense per compilation, so a caller/callee pair packs
+    // into one hashed word — measurably cheaper than an ordered set of
+    // pointer pairs on edge-heavy programs.
+    const uint64_t Key = (static_cast<uint64_t>(Caller->declID()) << 32) |
+                         Callee->declID();
+    if (EdgeSet.insert(Key).second)
       G.Edges[Caller].push_back(Callee);
     enqueue(Callee);
   }
@@ -365,6 +372,13 @@ private:
     if (!FD->body() && !isa<ConstructorDecl>(FD))
       return;
 
+    // Recorded body facts replace the AST walk when available.
+    if (FactsFor)
+      if (const std::vector<CallGraphBodyFact> *Facts = (*FactsFor)(FD)) {
+        replayFacts(FD, *Facts);
+        return;
+      }
+
     // First pass: identify callee-position expressions so that other
     // uses of function names count as address-taken.
     std::set<const Expr *> CalleePositions;
@@ -531,6 +545,56 @@ private:
     }
   }
 
+  /// Replays a recorded fact transcript through the same operations the
+  /// AST walk of \p FD would perform, in the same order. Receiver
+  /// expressions are unavailable (and unneeded: facts replay is gated to
+  /// the non-PTA kinds, whose dispatch ignores them).
+  void replayFacts(const FunctionDecl *FD,
+                   const std::vector<CallGraphBodyFact> &Facts) {
+    for (const CallGraphBodyFact &F : Facts) {
+      switch (F.K) {
+      case CallGraphBodyFact::Kind::DirectCall:
+        addEdge(FD, F.Callee);
+        break;
+      case CallGraphBodyFact::Kind::VirtualCall:
+        addVirtualSite({FD, cast<MethodDecl>(F.Callee), nullptr, nullptr,
+                        false});
+        break;
+      case CallGraphBodyFact::Kind::AddressTaken:
+        if (G.AddressTaken.insert(F.Callee).second) {
+          enqueue(F.Callee);
+          for (const IndirectSite &Site : IndirectSites)
+            if (F.Callee->params().size() == Site.Arity)
+              addEdge(Site.Caller, F.Callee);
+        }
+        break;
+      case CallGraphBodyFact::Kind::New:
+        addConstructionEdges(FD, F.Class,
+                             dyn_cast_or_null<ConstructorDecl>(F.Callee));
+        break;
+      case CallGraphBodyFact::Kind::DeleteObject:
+        if (F.Class->destructor() && F.Class->destructor()->isVirtual())
+          addVirtualSite({FD, nullptr, F.Class, nullptr, false});
+        else
+          addDestructionEdges(FD, F.Class);
+        break;
+      case CallGraphBodyFact::Kind::VarLifetime:
+        addConstructionEdges(FD, F.Class,
+                             dyn_cast_or_null<ConstructorDecl>(F.Callee));
+        addDestructionEdges(FD, F.Class);
+        break;
+      case CallGraphBodyFact::Kind::IndirectCall: {
+        IndirectSite Site{FD, F.Arity};
+        for (const FunctionDecl *Taken : G.AddressTaken)
+          if (Taken->params().size() == Site.Arity)
+            addEdge(FD, Taken);
+        IndirectSites.push_back(Site);
+        break;
+      }
+      }
+    }
+  }
+
   struct IndirectSite {
     const FunctionDecl *Caller;
     size_t Arity;
@@ -540,9 +604,10 @@ private:
   const ClassHierarchy &CH;
   CallGraphKind Kind;
   const PointsToAnalysis *PTA;
+  const CallGraphFactsFn *FactsFor;
   CallGraph G;
   std::vector<const FunctionDecl *> Worklist;
-  std::set<std::pair<const FunctionDecl *, const FunctionDecl *>> EdgeSet;
+  std::unordered_set<uint64_t> EdgeSet;
   std::vector<VirtualSite> VirtualSites;
   std::vector<IndirectSite> IndirectSites;
 };
@@ -561,5 +626,17 @@ CallGraph dmm::buildCallGraph(const ASTContext &Ctx,
     PTA->run();
   }
   CallGraphBuilder Builder(Ctx, CH, Kind, PTA.get());
+  return Builder.build(Main);
+}
+
+CallGraph dmm::buildCallGraphFromFacts(const ASTContext &Ctx,
+                                       const ClassHierarchy &CH,
+                                       const FunctionDecl *Main,
+                                       CallGraphKind Kind,
+                                       const CallGraphFactsFn &FactsFor) {
+  PhaseTimer Timer("callgraph");
+  assert(Kind != CallGraphKind::PTA &&
+         "facts carry no receiver expressions; PTA must walk the AST");
+  CallGraphBuilder Builder(Ctx, CH, Kind, /*PTA=*/nullptr, &FactsFor);
   return Builder.build(Main);
 }

@@ -14,6 +14,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Report.h"
+#include "cache/IncrementalAnalysis.h"
+#include "cache/SummaryCache.h"
 #include "driver/Frontend.h"
 #include "interp/Interpreter.h"
 #include "support/ThreadPool.h"
@@ -36,8 +38,9 @@ using namespace dmm;
 
 namespace {
 
-const char VersionString[] =
-    "deadmember 0.2.0 — dead data member analysis for MiniC++\n"
+const std::string VersionString =
+    std::string("deadmember ") + kToolVersion +
+    " — dead data member analysis for MiniC++\n"
     "(reproduction of Sweeney & Tip, \"A Study of Dead Data Members in\n"
     "C++ Applications\", PLDI 1998)\n";
 
@@ -56,6 +59,8 @@ struct DriverOptions {
   bool DeadFunctions = false;
   bool Version = false;
   bool Metrics = false;
+  bool Summary = false;      ///< --summary: in-memory summary pipeline.
+  std::string CacheDir;      ///< --cache-dir=<dir> / DMM_CACHE_DIR.
   std::string MetricsFile;   ///< --metrics=<file>; empty = stdout.
   std::string TraceJsonFile; ///< --trace-json=<file>; empty = off.
   std::vector<std::string> Explain; ///< --explain=<Class::member>.
@@ -102,6 +107,13 @@ int usage() {
          "                           read at run time is classified "
          "live)\n"
          "  --dead-functions         also list unreachable functions\n"
+         "  --summary                analyze through per-file summaries\n"
+         "                           and the global link phase (reports\n"
+         "                           are identical to the default path)\n"
+         "  --cache-dir=<dir>        persist per-file summaries in <dir>\n"
+         "                           and reuse them across runs (implies\n"
+         "                           --summary; also: DMM_CACHE_DIR env\n"
+         "                           var; see docs/CACHING.md)\n"
          "  --jobs=<N>               worker threads for the parallel\n"
          "                           pipeline stages (default: all cores;\n"
          "                           also: DMM_THREADS env var). Reports\n"
@@ -203,6 +215,14 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       Opts.DeadFunctions = true;
     } else if (Arg == "--version") {
       Opts.Version = true;
+    } else if (Arg == "--summary") {
+      Opts.Summary = true;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = Arg.substr(12);
+      if (Opts.CacheDir.empty()) {
+        std::cerr << "error: --cache-dir requires a directory\n";
+        return false;
+      }
     } else if (Arg == "--metrics") {
       Opts.Metrics = true;
     } else if (Arg.rfind("--metrics=", 0) == 0) {
@@ -332,12 +352,37 @@ int main(int Argc, char **Argv) {
   if (Opts.Json || !Opts.Explain.empty())
     Opts.Analysis.RecordProvenance = true;
 
+  // --cache-dir flag wins over the DMM_CACHE_DIR env hook.
+  if (Opts.CacheDir.empty())
+    if (const char *CacheEnv = std::getenv("DMM_CACHE_DIR"); CacheEnv && *CacheEnv)
+      Opts.CacheDir = CacheEnv;
+
   auto C = compileProgram(std::move(Opts.Files), &std::cerr);
   if (!C->Success)
     return 1;
 
   DeadMemberAnalysis Analysis(C->context(), C->hierarchy(), Opts.Analysis);
-  DeadMemberResult Result = Analysis.run(C->mainFunction());
+  DeadMemberResult Result;
+  if (Opts.Summary || !Opts.CacheDir.empty()) {
+    std::optional<SummaryCache> Cache;
+    if (!Opts.CacheDir.empty())
+      Cache.emplace(SummaryCache::Config{Opts.CacheDir});
+    std::string LinkError;
+    std::optional<DeadMemberResult> Linked = runSummaryAnalysis(
+        C->context(), C->SM, Analysis, C->mainFunction(), Opts.Analysis,
+        Cache ? &*Cache : nullptr, &LinkError);
+    if (Cache)
+      Cache->flushTelemetry();
+    if (Linked) {
+      Result = std::move(*Linked);
+    } else {
+      std::cerr << "warning: summary link failed (" << LinkError
+                << "); falling back to whole-program analysis\n";
+      Result = Analysis.run(C->mainFunction());
+    }
+  } else {
+    Result = Analysis.run(C->mainFunction());
+  }
 
   if (Opts.Eliminate) {
     EliminationResult Elim = eliminateDeadMembers(C->context(), Result,

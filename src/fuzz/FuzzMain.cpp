@@ -6,7 +6,7 @@
 ///
 /// \file
 /// `dmm-fuzz`: generate deterministic random MiniC++ programs and push
-/// each through the semantic/soundness/invariance oracles
+/// each through the semantic/soundness/invariance/cache oracles
 /// (fuzz/Oracles.h). On a failure, a delta-debugging shrinker minimizes
 /// the program while the same oracle keeps failing, and a self-contained
 /// reproducer (.mcc) plus a JSON failure record land in the artifacts
@@ -65,7 +65,7 @@ int usage() {
          "options:\n"
          "  --seeds <N>|<A>..<B>     seed range, inclusive (default "
          "1..100)\n"
-         "  --oracle <all|semantics|soundness|invariance>\n"
+         "  --oracle <all|semantics|soundness|invariance|cache>\n"
          "                           which oracle family to run "
          "(default all)\n"
          "  --artifacts <dir>        where reproducers and JSON failure\n"
@@ -138,11 +138,12 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &Opts) {
       Opts.Oracles.Semantics = Kind == "all" || Kind == "semantics";
       Opts.Oracles.Soundness = Kind == "all" || Kind == "soundness";
       Opts.Oracles.Invariance = Kind == "all" || Kind == "invariance";
+      Opts.Oracles.Cache = Kind == "all" || Kind == "cache";
       if (!Opts.Oracles.Semantics && !Opts.Oracles.Soundness &&
-          !Opts.Oracles.Invariance) {
+          !Opts.Oracles.Invariance && !Opts.Oracles.Cache) {
         std::cerr << "error: invalid --oracle value '" << Kind
                   << "' (valid choices: all, semantics, soundness, "
-                     "invariance)\n";
+                     "invariance, cache)\n";
         return false;
       }
     } else if (Arg == "--artifacts") {

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The three correctness oracles the fuzzing harness runs every
+/// The four correctness oracles the fuzzing harness runs every
 /// generated (or replayed) program through:
 ///
 ///  1. *Differential semantics* — the dead-member-eliminated program
@@ -20,6 +20,10 @@
 ///     pipeline's determinism guarantee), and the dead set must grow
 ///     monotonically with call-graph precision
 ///     (baseline ⊆ paper, Trivial ⊆ CHA ⊆ RTA ⊆ PTA).
+///  4. *Cache equivalence* — the summary-linked pipeline, a cold
+///     on-disk cache, and a warm on-disk cache (cache/SummaryCache.h)
+///     must each reproduce the monolithic JSON report byte-for-byte,
+///     and the warm run must actually hit the cache (docs/CACHING.md).
 ///
 /// An oracle failure carries a machine-readable kind plus a
 /// human-readable detail; the harness (FuzzMain.cpp) feeds failures to
@@ -44,6 +48,7 @@ struct OracleConfig {
   bool Semantics = true;
   bool Soundness = true;
   bool Invariance = true;
+  bool Cache = true;
 
   /// Base analysis configuration (defaults reproduce the paper's:
   /// RTA call graph, deallocation exemption, union closure).
@@ -70,7 +75,7 @@ struct OracleOutcome {
   bool Passed = true;
   /// Empty when Passed; otherwise one of "frontend", "runtime",
   /// "semantics", "soundness", "invariance-jobs",
-  /// "invariance-monotonic".
+  /// "invariance-monotonic", "cache".
   std::string FailedOracle;
   /// Human-readable failure description (first violation wins).
   std::string Detail;

@@ -1,0 +1,344 @@
+//===-- tests/CacheTest.cpp - Summary-cache invalidation matrix -----------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cache-invalidation matrix (docs/CACHING.md): every way a cached
+/// summary can go stale — file edit, declaration edit, config-flag
+/// flip, format-version bump, on-disk corruption — must surface as a
+/// miss that transparently re-extracts, and the report must stay
+/// byte-identical to the cacheless monolithic analysis throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadMemberAnalysis.h"
+#include "analysis/Report.h"
+#include "cache/IncrementalAnalysis.h"
+#include "cache/SummaryCache.h"
+#include "cache/SummaryIO.h"
+#include "driver/Frontend.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dmm;
+
+namespace {
+
+const char *kAlpha = "class Alpha {\n"
+                     "public:\n"
+                     "  int used;\n"
+                     "  int dropped;\n"
+                     "  Alpha() : used(1), dropped(2) {}\n"
+                     "  int get() { return used; }\n"
+                     "};\n";
+
+const char *kBeta = "class Beta {\n"
+                    "public:\n"
+                    "  Alpha a;\n"
+                    "  int total;\n"
+                    "  Beta() : total(0) {}\n"
+                    "  void accumulate() { total = total + a.get(); }\n"
+                    "};\n";
+
+const char *kMain = "int main() {\n"
+                    "  Beta b;\n"
+                    "  b.accumulate();\n"
+                    "  print_int(b.total);\n"
+                    "  return 0;\n"
+                    "}\n";
+
+std::vector<SourceFile> programFiles() {
+  return {{"alpha.mcc", kAlpha}, {"beta.mcc", kBeta}, {"main.mcc", kMain}};
+}
+
+std::unique_ptr<Compilation> compile(std::vector<SourceFile> Files) {
+  std::ostringstream Diag;
+  auto C = compileProgram(std::move(Files), &Diag);
+  EXPECT_TRUE(C->Success) << "program does not compile: " << Diag.str();
+  return C;
+}
+
+std::string renderMonolithic(Compilation &C, AnalysisOptions Opts) {
+  DeadMemberAnalysis A(C.context(), C.hierarchy(), Opts);
+  DeadMemberResult R = A.run(C.mainFunction());
+  std::ostringstream OS;
+  printJsonReport(OS, C.context(), R, &C.SM);
+  return OS.str();
+}
+
+std::string renderCached(Compilation &C, AnalysisOptions Opts,
+                         SummaryCache &Cache) {
+  DeadMemberAnalysis A(C.context(), C.hierarchy(), Opts);
+  std::string Error;
+  std::optional<DeadMemberResult> R = runSummaryAnalysis(
+      C.context(), C.SM, A, C.mainFunction(), Opts, &Cache, &Error);
+  EXPECT_TRUE(R.has_value()) << "summary link failed: " << Error;
+  if (!R)
+    return "";
+  std::ostringstream OS;
+  printJsonReport(OS, C.context(), *R, &C.SM);
+  return OS.str();
+}
+
+AnalysisOptions defaultOpts() {
+  AnalysisOptions Opts;
+  Opts.RecordProvenance = true;
+  return Opts;
+}
+
+class CacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = std::filesystem::path(::testing::TempDir()) /
+          ("dmm-cache-test-" +
+           std::string(
+               ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(Dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+
+  SummaryCache::Config config() {
+    SummaryCache::Config Cfg;
+    Cfg.Dir = Dir.string();
+    return Cfg;
+  }
+
+  /// Populates the cache with the default program/options and verifies
+  /// the cold run: three lookups, three misses.
+  void warmUp() {
+    auto C = compile(programFiles());
+    SummaryCache Cache(config());
+    const std::string Report = renderCached(*C, defaultOpts(), Cache);
+    EXPECT_EQ(Report, renderMonolithic(*C, defaultOpts()));
+    SummaryCache::Stats S = Cache.stats();
+    EXPECT_EQ(S.Misses, 3u);
+    EXPECT_EQ(S.Hits, 0u);
+    EXPECT_EQ(S.Lookups, S.Hits + S.Misses);
+  }
+
+  std::vector<std::filesystem::path> entryFiles() {
+    std::vector<std::filesystem::path> Entries;
+    for (const auto &E : std::filesystem::directory_iterator(Dir))
+      if (E.path().extension() == ".dms")
+        Entries.push_back(E.path());
+    return Entries;
+  }
+
+  std::filesystem::path Dir;
+};
+
+TEST_F(CacheTest, WarmRunHitsEveryFile) {
+  warmUp();
+  auto C = compile(programFiles());
+  SummaryCache Cache(config());
+  const std::string Report = renderCached(*C, defaultOpts(), Cache);
+  EXPECT_EQ(Report, renderMonolithic(*C, defaultOpts()));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Misses, 0u);
+  EXPECT_EQ(S.Lookups, S.Hits + S.Misses);
+}
+
+TEST_F(CacheTest, BodyEditMissesOnlyTheDirtyFile) {
+  warmUp();
+  // A body-only edit: content hash of beta.mcc changes, the program
+  // structure hash does not, so alpha/main summaries stay valid.
+  std::vector<SourceFile> Files = programFiles();
+  Files[1].Text = std::string(kBeta) + "// touched\n";
+  auto C = compile(std::move(Files));
+  SummaryCache Cache(config());
+  const std::string Report = renderCached(*C, defaultOpts(), Cache);
+  EXPECT_EQ(Report, renderMonolithic(*C, defaultOpts()));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 2u);
+  EXPECT_EQ(S.Misses, 1u);
+}
+
+TEST_F(CacheTest, DeclarationEditInvalidatesEveryFile) {
+  warmUp();
+  // Adding a field changes the program structure hash, which is part
+  // of every file's cache key: all three files must re-extract even
+  // though only alpha.mcc's text changed.
+  std::vector<SourceFile> Files = programFiles();
+  Files[0].Text = "class Alpha {\n"
+                  "public:\n"
+                  "  int used;\n"
+                  "  int dropped;\n"
+                  "  int extra;\n"
+                  "  Alpha() : used(1), dropped(2), extra(3) {}\n"
+                  "  int get() { return used; }\n"
+                  "};\n";
+  auto C = compile(std::move(Files));
+  SummaryCache Cache(config());
+  const std::string Report = renderCached(*C, defaultOpts(), Cache);
+  EXPECT_EQ(Report, renderMonolithic(*C, defaultOpts()));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Misses, 3u);
+}
+
+TEST_F(CacheTest, EveryConfigFlagFlipMisses) {
+  warmUp();
+  struct Variant {
+    const char *Name;
+    AnalysisOptions Opts;
+  };
+  std::vector<Variant> Variants;
+  {
+    AnalysisOptions O = defaultOpts();
+    O.CallGraph = CallGraphKind::CHA;
+    Variants.push_back({"--callgraph=cha", O});
+  }
+  {
+    AnalysisOptions O = defaultOpts();
+    O.AssumeDowncastsSafe = false;
+    Variants.push_back({"--downcasts=conservative", O});
+  }
+  {
+    AnalysisOptions O = defaultOpts();
+    O.Sizeof = SizeofPolicy::Conservative;
+    Variants.push_back({"--sizeof=conservative", O});
+  }
+  {
+    AnalysisOptions O = defaultOpts();
+    O.ExemptDeallocationArgs = false;
+    Variants.push_back({"--no-dealloc-exemption", O});
+  }
+  {
+    AnalysisOptions O = defaultOpts();
+    O.UnionClosure = false;
+    Variants.push_back({"--no-union-closure", O});
+  }
+  {
+    AnalysisOptions O = defaultOpts();
+    O.TreatWritesAsLive = true;
+    Variants.push_back({"--baseline", O});
+  }
+  {
+    AnalysisOptions O = defaultOpts();
+    O.InertFunctions.insert("debug_log");
+    Variants.push_back({"--inert=debug_log", O});
+  }
+  for (const Variant &V : Variants) {
+    auto C = compile(programFiles());
+    SummaryCache Cache(config());
+    const std::string Report = renderCached(*C, V.Opts, Cache);
+    EXPECT_EQ(Report, renderMonolithic(*C, V.Opts)) << V.Name;
+    SummaryCache::Stats S = Cache.stats();
+    EXPECT_EQ(S.Hits, 0u) << V.Name << " must not reuse default-config"
+                          << " summaries";
+    EXPECT_EQ(S.Misses, 3u) << V.Name;
+  }
+}
+
+TEST_F(CacheTest, ProvenanceToggleDoesNotInvalidate) {
+  warmUp();
+  // RecordProvenance is excluded from the config fingerprint on
+  // purpose: summaries always carry locations, so both settings replay
+  // the same entries.
+  AnalysisOptions NoProv;
+  NoProv.RecordProvenance = false;
+  auto C = compile(programFiles());
+  SummaryCache Cache(config());
+  const std::string Report = renderCached(*C, NoProv, Cache);
+  EXPECT_EQ(Report, renderMonolithic(*C, NoProv));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Misses, 0u);
+}
+
+TEST_F(CacheTest, FormatVersionBumpMisses) {
+  warmUp();
+  auto C = compile(programFiles());
+  SummaryCache::Config Cfg = config();
+  Cfg.FormatVersion = kSummaryFormatVersion + 1;
+  SummaryCache Cache(Cfg);
+  const std::string Report = renderCached(*C, defaultOpts(), Cache);
+  EXPECT_EQ(Report, renderMonolithic(*C, defaultOpts()));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Misses, 3u);
+}
+
+TEST_F(CacheTest, TruncatedEntryRecovers) {
+  warmUp();
+  std::vector<std::filesystem::path> Entries = entryFiles();
+  ASSERT_EQ(Entries.size(), 3u);
+  // Truncate one entry to half its size: header parses but the payload
+  // is short, so the lookup must fail cleanly and re-extract.
+  const uintmax_t Size = std::filesystem::file_size(Entries[0]);
+  std::filesystem::resize_file(Entries[0], Size / 2);
+  auto C = compile(programFiles());
+  SummaryCache Cache(config());
+  const std::string Report = renderCached(*C, defaultOpts(), Cache);
+  EXPECT_EQ(Report, renderMonolithic(*C, defaultOpts()));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 2u);
+  EXPECT_EQ(S.Misses, 1u);
+}
+
+TEST_F(CacheTest, CorruptedPayloadRecovers) {
+  warmUp();
+  std::vector<std::filesystem::path> Entries = entryFiles();
+  ASSERT_EQ(Entries.size(), 3u);
+  for (const std::filesystem::path &Entry : Entries) {
+    // Flip the last byte of each entry; the payload checksum must
+    // reject it.
+    std::fstream F(Entry, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.good());
+    F.seekg(-1, std::ios::end);
+    char Byte = 0;
+    F.get(Byte);
+    F.seekp(-1, std::ios::end);
+    F.put(static_cast<char>(Byte ^ 0xFF));
+  }
+  auto C = compile(programFiles());
+  SummaryCache Cache(config());
+  const std::string Report = renderCached(*C, defaultOpts(), Cache);
+  EXPECT_EQ(Report, renderMonolithic(*C, defaultOpts()));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Misses, 3u);
+  // The misses re-stored fresh entries, so the next run hits again.
+  SummaryCache Rewarmed(config());
+  renderCached(*C, defaultOpts(), Rewarmed);
+  EXPECT_EQ(Rewarmed.stats().Hits, 3u);
+}
+
+TEST_F(CacheTest, TinyBudgetEvicts) {
+  auto C = compile(programFiles());
+  SummaryCache::Config Cfg = config();
+  Cfg.MaxBytes = 1; // Every store immediately exceeds the budget.
+  SummaryCache Cache(Cfg);
+  const std::string Report = renderCached(*C, defaultOpts(), Cache);
+  EXPECT_EQ(Report, renderMonolithic(*C, defaultOpts()));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_GE(S.Evictions, 1u);
+  EXPECT_LE(S.Bytes, 1u);
+}
+
+TEST_F(CacheTest, UnusableDirectoryDegradesToMisses) {
+  // A path that cannot be created (parent is a regular file) must not
+  // break the analysis: every lookup is a miss and stores are no-ops.
+  std::filesystem::create_directories(Dir);
+  std::ofstream(Dir / "blocker").put('x');
+  SummaryCache::Config Cfg;
+  Cfg.Dir = (Dir / "blocker" / "nested").string();
+  auto C = compile(programFiles());
+  SummaryCache Cache(Cfg);
+  const std::string Report = renderCached(*C, defaultOpts(), Cache);
+  EXPECT_EQ(Report, renderMonolithic(*C, defaultOpts()));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Misses, 3u);
+}
+
+} // namespace

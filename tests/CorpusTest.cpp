@@ -1,0 +1,193 @@
+//===-- tests/CorpusTest.cpp - Golden-corpus regression suite -------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden-corpus regression tests: every program under tests/corpus/
+/// has a checked-in expected JSON report, and the monolithic,
+/// summary-linked, cold-cache, and warm-cache pipelines must all
+/// reproduce it byte-for-byte. Regenerate goldens after an intentional
+/// report change with DMM_UPDATE_GOLDEN=1 (then review the diff).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadMemberAnalysis.h"
+#include "analysis/Report.h"
+#include "cache/IncrementalAnalysis.h"
+#include "cache/SummaryCache.h"
+#include "driver/Frontend.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dmm;
+
+namespace {
+
+struct CorpusFile {
+  const char *Name;
+  bool IsLibrary = false;
+};
+
+struct CorpusEntry {
+  const char *Name;
+  std::vector<CorpusFile> Files;
+};
+
+const CorpusEntry kCorpus[] = {
+    {"basics", {{"basics.mcc"}}},
+    {"inheritance", {{"inheritance.mcc"}}},
+    {"unions", {{"unions.mcc"}}},
+    {"casts", {{"casts.mcc"}}},
+    {"sizeof", {{"sizeof.mcc"}}},
+    {"ptrmember", {{"ptrmember.mcc"}}},
+    {"dealloc", {{"dealloc.mcc"}}},
+    {"volatile", {{"volatile.mcc"}}},
+    {"deadcode", {{"deadcode.mcc"}}},
+    {"overloads", {{"overloads.mcc"}}},
+    {"multifile", {{"multifile_lib.mcc"}, {"multifile_app.mcc"}}},
+    {"library", {{"library_vendor.mcc", /*IsLibrary=*/true},
+                 {"library_app.mcc"}}},
+};
+
+std::filesystem::path corpusDir() { return DMM_CORPUS_DIR; }
+
+std::string readFile(const std::filesystem::path &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot read " << Path;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+/// Compiles a corpus program. Buffer names are the bare file names so
+/// the goldens stay machine-independent.
+std::unique_ptr<Compilation> compileEntry(const CorpusEntry &Entry) {
+  std::vector<SourceFile> Files;
+  for (const CorpusFile &F : Entry.Files)
+    Files.push_back({F.Name, readFile(corpusDir() / F.Name), F.IsLibrary});
+  std::ostringstream Diag;
+  auto C = compileProgram(std::move(Files), &Diag);
+  EXPECT_TRUE(C->Success) << Entry.Name
+                          << " does not compile: " << Diag.str();
+  return C;
+}
+
+/// Renders the report exactly like the CLI's --json path (provenance
+/// recorded, locations resolved through the SourceManager).
+std::string renderMonolithic(Compilation &C) {
+  AnalysisOptions Opts;
+  Opts.RecordProvenance = true;
+  DeadMemberAnalysis A(C.context(), C.hierarchy(), Opts);
+  DeadMemberResult R = A.run(C.mainFunction());
+  std::ostringstream OS;
+  printJsonReport(OS, C.context(), R, &C.SM);
+  return OS.str();
+}
+
+std::string renderSummary(Compilation &C, SummaryCache *Cache) {
+  AnalysisOptions Opts;
+  Opts.RecordProvenance = true;
+  DeadMemberAnalysis A(C.context(), C.hierarchy(), Opts);
+  std::string Error;
+  std::optional<DeadMemberResult> R = runSummaryAnalysis(
+      C.context(), C.SM, A, C.mainFunction(), Opts, Cache, &Error);
+  EXPECT_TRUE(R.has_value()) << "summary link failed: " << Error;
+  if (!R)
+    return "";
+  std::ostringstream OS;
+  printJsonReport(OS, C.context(), *R, &C.SM);
+  return OS.str();
+}
+
+/// Locates the first differing line so a corpus failure reads like a
+/// diff rather than two walls of JSON.
+std::string firstDifference(const std::string &Expected,
+                            const std::string &Actual) {
+  std::istringstream E(Expected), A(Actual);
+  std::string EL, AL;
+  size_t Line = 1;
+  while (true) {
+    bool GotE = static_cast<bool>(std::getline(E, EL));
+    bool GotA = static_cast<bool>(std::getline(A, AL));
+    if (!GotE && !GotA)
+      return "(no textual difference found)";
+    if (GotE != GotA || EL != AL)
+      return "first difference at line " + std::to_string(Line) +
+             "\n  expected: " + (GotE ? EL : "<end of report>") +
+             "\n  actual:   " + (GotA ? AL : "<end of report>");
+    ++Line;
+  }
+}
+
+class CorpusTest : public ::testing::TestWithParam<CorpusEntry> {};
+
+TEST_P(CorpusTest, AllPipelinesMatchGolden) {
+  const CorpusEntry &Entry = GetParam();
+  auto C = compileEntry(Entry);
+  ASSERT_TRUE(C->Success);
+
+  const std::string Monolithic = renderMonolithic(*C);
+  const std::filesystem::path GoldenPath =
+      corpusDir() / (std::string(Entry.Name) + ".expected.json");
+
+  const char *Update = std::getenv("DMM_UPDATE_GOLDEN");
+  if (Update && *Update && std::string(Update) != "0") {
+    std::ofstream Out(GoldenPath, std::ios::binary);
+    ASSERT_TRUE(Out.good()) << "cannot write " << GoldenPath;
+    Out << Monolithic;
+  }
+
+  const std::string Golden = readFile(GoldenPath);
+  EXPECT_EQ(Golden, Monolithic)
+      << "monolithic report diverges from golden "
+      << GoldenPath.filename() << "\n"
+      << firstDifference(Golden, Monolithic);
+
+  const std::string Linked = renderSummary(*C, /*Cache=*/nullptr);
+  EXPECT_EQ(Golden, Linked) << "summary-linked report diverges from golden\n"
+                            << firstDifference(Golden, Linked);
+
+  const std::filesystem::path CacheDir =
+      std::filesystem::path(::testing::TempDir()) /
+      (std::string("dmm-corpus-cache-") + Entry.Name);
+  std::filesystem::remove_all(CacheDir);
+
+  const uint64_t NumFiles = Entry.Files.size();
+  {
+    SummaryCache Cache(SummaryCache::Config{CacheDir.string()});
+    const std::string Cold = renderSummary(*C, &Cache);
+    EXPECT_EQ(Golden, Cold) << "cold-cache report diverges from golden\n"
+                            << firstDifference(Golden, Cold);
+    SummaryCache::Stats S = Cache.stats();
+    EXPECT_EQ(S.Hits, 0u);
+    EXPECT_EQ(S.Misses, NumFiles);
+    EXPECT_EQ(S.Lookups, S.Hits + S.Misses);
+  }
+  {
+    SummaryCache Cache(SummaryCache::Config{CacheDir.string()});
+    const std::string Warm = renderSummary(*C, &Cache);
+    EXPECT_EQ(Golden, Warm) << "warm-cache report diverges from golden\n"
+                            << firstDifference(Golden, Warm);
+    SummaryCache::Stats S = Cache.stats();
+    EXPECT_EQ(S.Hits, NumFiles);
+    EXPECT_EQ(S.Misses, 0u);
+    EXPECT_EQ(S.Lookups, S.Hits + S.Misses);
+  }
+  std::filesystem::remove_all(CacheDir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, CorpusTest, ::testing::ValuesIn(kCorpus),
+                         [](const ::testing::TestParamInfo<CorpusEntry> &I) {
+                           return std::string(I.param.Name);
+                         });
+
+} // namespace
