@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchStats.h"
 #include "BenchUtil.h"
 #include "cache/IncrementalAnalysis.h"
 #include "cache/SummaryCache.h"
@@ -95,11 +96,14 @@ DeadMemberResult runSummaries(Compilation &C, SummaryCache *Cache) {
 
 void BM_Monolithic(benchmark::State &State, const std::string &Name) {
   IncrementalSetup &S = setupFor(Name);
+  Telemetry Tel;
   for (auto _ : State) {
+    TelemetryScope Scope(Tel);
     DeadMemberAnalysis A(S.Orig->context(), S.Orig->hierarchy(), {});
     DeadMemberResult R = A.run(S.Orig->mainFunction());
     benchmark::DoNotOptimize(R.classifiableMembers().size());
   }
+  foldBenchStats(Tel);
 }
 
 void BM_Summary(benchmark::State &State, const std::string &Name) {
@@ -113,6 +117,7 @@ void BM_Summary(benchmark::State &State, const std::string &Name) {
   for (const PhaseStat &P : Tel.phases())
     State.counters[P.Name + "_ms"] =
         benchmark::Counter(P.Nanos / 1e6 / State.iterations());
+  foldBenchStats(Tel);
 }
 
 void BM_SummaryCold(benchmark::State &State, const std::string &Name) {
@@ -154,6 +159,7 @@ void BM_SummaryWarm(benchmark::State &State, const std::string &Name) {
   for (const PhaseStat &P : Tel.phases())
     State.counters[P.Name + "_ms"] =
         benchmark::Counter(P.Nanos / 1e6 / State.iterations());
+  foldBenchStats(Tel);
   fs::remove_all(Dir);
 }
 
@@ -173,12 +179,14 @@ void BM_Warm1Dirty(benchmark::State &State, const std::string &Name) {
     Pristine.insert(E.path().filename().string());
 
   uint64_t Hits = 0, Misses = 0;
+  Telemetry Tel;
   for (auto _ : State) {
     State.PauseTiming();
     for (const fs::directory_entry &E : fs::directory_iterator(Dir))
       if (!Pristine.count(E.path().filename().string()))
         fs::remove(E.path());
     State.ResumeTiming();
+    TelemetryScope Scope(Tel);
     SummaryCache Cache(SummaryCache::Config{Dir.string()});
     DeadMemberResult R = runSummaries(*S.Dirty, &Cache);
     benchmark::DoNotOptimize(R.classifiableMembers().size());
@@ -189,6 +197,10 @@ void BM_Warm1Dirty(benchmark::State &State, const std::string &Name) {
       benchmark::Counter(double(Hits) / State.iterations());
   State.counters["misses"] =
       benchmark::Counter(double(Misses) / State.iterations());
+  for (const PhaseStat &P : Tel.phases())
+    State.counters[P.Name + "_ms"] =
+        benchmark::Counter(P.Nanos / 1e6 / State.iterations());
+  foldBenchStats(Tel);
   fs::remove_all(Dir);
 }
 
@@ -222,9 +234,10 @@ void registerAll() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsFile = stripStatsJsonArg(argc, argv);
   registerAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return writeBenchStats(StatsFile, "perf_incremental") ? 0 : 1;
 }

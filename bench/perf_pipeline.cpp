@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchStats.h"
 #include "BenchUtil.h"
 #include "telemetry/Telemetry.h"
 
@@ -77,6 +78,7 @@ void BM_Frontend(benchmark::State &State, const std::string &Name) {
   State.SetBytesProcessed(State.iterations() * Bytes);
   exportPhaseCounters(State, Tel);
   exportCounter(State, Tel, "lex.tokens", "tokens");
+  foldBenchStats(Tel);
 }
 
 void BM_CallGraph(benchmark::State &State, const std::string &Name,
@@ -93,6 +95,7 @@ void BM_CallGraph(benchmark::State &State, const std::string &Name,
   std::string Prefix = std::string("callgraph.") + callGraphKindName(Kind);
   exportCounter(State, Tel, (Prefix + ".edges").c_str(), "edges");
   exportCounter(State, Tel, (Prefix + ".reachable").c_str(), "reachable");
+  foldBenchStats(Tel);
 }
 
 void BM_Analysis(benchmark::State &State, const std::string &Name) {
@@ -110,6 +113,7 @@ void BM_Analysis(benchmark::State &State, const std::string &Name) {
   }
   exportPhaseCounters(State, Tel);
   exportCounter(State, Tel, "analysis.exprs_visited", "exprs");
+  foldBenchStats(Tel);
 }
 
 void BM_Interpret(benchmark::State &State, const std::string &Name) {
@@ -125,6 +129,7 @@ void BM_Interpret(benchmark::State &State, const std::string &Name) {
   }
   exportPhaseCounters(State, Tel);
   exportCounter(State, Tel, "interp.steps", "steps");
+  foldBenchStats(Tel);
 }
 
 void registerAll() {
@@ -161,9 +166,10 @@ void registerAll() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsFile = stripStatsJsonArg(argc, argv);
   registerAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return writeBenchStats(StatsFile, "perf_pipeline") ? 0 : 1;
 }

@@ -1,7 +1,10 @@
 #!/bin/sh
 # Runs a google-benchmark suite and writes a machine-readable baseline
 # JSON (repo root by default), for before/after comparison of pipeline
-# optimisations.
+# optimisations. The output composes google-benchmark's own JSON with
+# the harness's dmm-stats document (docs/OBSERVABILITY.md) under a
+# "dmm_stats" key, so one file carries both per-benchmark timings and
+# whole-run phase/counter aggregates.
 #
 # Usage: scripts/run_bench.sh [options] [out.json] [extra benchmark args...]
 #   --label <name>   write BENCH_<name>.json instead of BENCH_baseline.json
@@ -57,9 +60,26 @@ fi
 OUT_DIR=$(dirname "$OUT")
 [ -d "$OUT_DIR" ] || mkdir -p "$OUT_DIR"
 
+GB_TMP="${OUT}.gbench.tmp"
+STATS_TMP="${OUT}.stats.tmp"
+trap 'rm -f "$GB_TMP" "$STATS_TMP"' EXIT
+
 "build/bench/$SUITE" \
-  --benchmark_out="$OUT" \
+  --stats-json="$STATS_TMP" \
+  --benchmark_out="$GB_TMP" \
   --benchmark_out_format=json \
   "$@"
+
+python3 - "$GB_TMP" "$STATS_TMP" "$OUT" <<'EOF'
+import json, sys
+gb_path, stats_path, out_path = sys.argv[1:4]
+with open(gb_path) as f:
+    doc = json.load(f)
+with open(stats_path) as f:
+    doc["dmm_stats"] = json.load(f)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+EOF
 
 echo "wrote $OUT" >&2

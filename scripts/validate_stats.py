@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Validator for the deadmember observability outputs (docs/OBSERVABILITY.md).
+
+Subcommands:
+
+  validate-stats FILE       check a --stats-json file against the
+                            dmm-stats v1 schema (required fields, dense
+                            begin-ordered span ids, parents precede
+                            children, no orphan spans)
+  validate-trace FILE       check a --trace-json file (Chrome trace
+                            format; every duration event must carry its
+                            span id and parent link)
+  compare A B               check that two stats files agree on
+                            everything except the run-varying timing
+                            fields (jobs, start_ns, wall_ns, cpu_ns,
+                            mem_*_bytes) -- the cross---jobs
+                            determinism contract
+  check-warm-cache FILE     check that a warm --cache-dir run's stats
+                            show one summary.file span per source file,
+                            each marked cached=1 with a cache.lookup
+                            child span carrying hit=1
+
+Exits 0 on success, 1 with a diagnostic on the first violation.
+Only the standard library is used.
+"""
+
+import json
+import sys
+
+SCHEMA_NAME = "dmm-stats"
+SCHEMA_VERSION = 1
+
+SPAN_NUMERIC_FIELDS = (
+    "id", "parent", "depth", "start_ns", "wall_ns", "cpu_ns",
+    "mem_net_bytes", "mem_peak_bytes",
+)
+# Fields expected to differ between otherwise-identical runs (different
+# --jobs, different machine load). Everything else must be bit-equal.
+TIMING_FIELDS = frozenset(
+    ("start_ns", "wall_ns", "cpu_ns", "mem_net_bytes", "mem_peak_bytes"))
+
+
+def fail(msg):
+    print("error: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        fail("%s: %s" % (path, e))
+
+
+def check_stats_doc(doc, where):
+    if not isinstance(doc, dict):
+        fail("%s: top level is not an object" % where)
+    if doc.get("schema") != SCHEMA_NAME:
+        fail("%s: schema is %r, want %r" % (where, doc.get("schema"),
+                                            SCHEMA_NAME))
+    if doc.get("version") != SCHEMA_VERSION:
+        fail("%s: version is %r, want %d" % (where, doc.get("version"),
+                                             SCHEMA_VERSION))
+    if not isinstance(doc.get("tool"), str):
+        fail("%s: missing string \"tool\"" % where)
+    if not isinstance(doc.get("jobs"), int):
+        fail("%s: missing integer \"jobs\"" % where)
+    if not isinstance(doc.get("memory_accounting"), bool):
+        fail("%s: missing boolean \"memory_accounting\"" % where)
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list):
+        fail("%s: missing array \"phases\"" % where)
+    for i, p in enumerate(phases):
+        if not isinstance(p, dict) or not isinstance(p.get("name"), str):
+            fail("%s: phases[%d] lacks a string name" % (where, i))
+        for key in ("wall_ns", "calls"):
+            if not isinstance(p.get(key), int):
+                fail("%s: phases[%d] (%s) lacks integer %r"
+                     % (where, i, p["name"], key))
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail("%s: missing object \"counters\"" % where)
+    for name, value in counters.items():
+        if not isinstance(value, int):
+            fail("%s: counter %r is not an integer" % (where, name))
+
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        fail("%s: missing array \"spans\"" % where)
+    for i, s in enumerate(spans):
+        label = "%s: spans[%d]" % (where, i)
+        if not isinstance(s, dict) or not isinstance(s.get("name"), str):
+            fail(label + " lacks a string name")
+        for key in SPAN_NUMERIC_FIELDS:
+            if not isinstance(s.get(key), int):
+                fail("%s (%s) lacks integer %r" % (label, s["name"], key))
+        if s["id"] != i + 1:
+            fail("%s (%s): id %d is not dense (want %d)"
+                 % (label, s["name"], s["id"], i + 1))
+        if s["parent"] >= s["id"]:
+            fail("%s (%s): parent %d does not precede span %d"
+                 % (label, s["name"], s["parent"], s["id"]))
+        args = s.get("args", {})
+        if not isinstance(args, dict):
+            fail(label + ": \"args\" is not an object")
+        for k, v in args.items():
+            if not isinstance(v, (int, str)):
+                fail("%s: arg %r is neither integer nor string" % (label, k))
+    return doc
+
+
+def cmd_validate_stats(path):
+    doc = check_stats_doc(load(path), path)
+    print("%s: ok (%d phases, %d counters, %d spans)"
+          % (path, len(doc["phases"]), len(doc["counters"]),
+             len(doc["spans"])))
+
+
+def cmd_validate_trace(path):
+    doc = load(path)
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        fail("%s: missing array \"traceEvents\"" % path)
+    spans = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail("%s: traceEvents[%d] is not an object" % (path, i))
+        if e.get("ph") != "X":
+            continue
+        spans += 1
+        args = e.get("args")
+        if not isinstance(args, dict):
+            fail("%s: duration event %d lacks \"args\"" % (path, i))
+        for key in ("span_id", "parent", "mem_peak_bytes"):
+            if key not in args:
+                fail("%s: duration event %r lacks args.%s"
+                     % (path, e.get("name"), key))
+    if spans == 0:
+        fail("%s: no duration events" % path)
+    print("%s: ok (%d events, %d spans)" % (path, len(events), spans))
+
+
+def span_paths(doc):
+    """Order-independent span identities: the name path from the root
+    plus non-timing args. Span record order varies run to run when
+    workers interleave, so ids cannot be compared directly."""
+    by_id = {s["id"]: s for s in doc["spans"]}
+    paths = []
+    for s in doc["spans"]:
+        parts = []
+        cur = s
+        while cur is not None:
+            parts.append(cur["name"])
+            cur = by_id.get(cur["parent"])
+        args = tuple(sorted(s.get("args", {}).items()))
+        paths.append(("/".join(reversed(parts)), s["depth"], args))
+    return sorted(paths)
+
+
+def normalized(doc):
+    return {
+        "schema": doc["schema"],
+        "version": doc["version"],
+        "tool": doc["tool"],
+        "memory_accounting": doc["memory_accounting"],
+        "phases": [(p["name"], p["calls"]) for p in doc["phases"]],
+        "counters": sorted(doc["counters"].items()),
+        "spans": span_paths(doc),
+    }
+
+
+def cmd_compare(path_a, path_b):
+    a = check_stats_doc(load(path_a), path_a)
+    b = check_stats_doc(load(path_b), path_b)
+    na, nb = normalized(a), normalized(b)
+    for key in na:
+        if na[key] != nb[key]:
+            va, vb = na[key], nb[key]
+            if isinstance(va, list):
+                only_a = [x for x in va if x not in vb]
+                only_b = [x for x in vb if x not in va]
+                fail("%r differs beyond timing fields:\n  only in %s: %r\n"
+                     "  only in %s: %r"
+                     % (key, path_a, only_a[:5], path_b, only_b[:5]))
+            fail("%r differs beyond timing fields: %r vs %r" % (key, va, vb))
+    print("%s and %s agree modulo timing fields (jobs=%d vs jobs=%d)"
+          % (path_a, path_b, a["jobs"], b["jobs"]))
+
+
+def cmd_check_warm_cache(path):
+    doc = check_stats_doc(load(path), path)
+    spans = doc["spans"]
+    files = [s for s in spans if s["name"] == "summary.file"]
+    if not files:
+        fail("%s: no summary.file spans (was this a --cache-dir run?)"
+             % path)
+    for s in files:
+        name = s.get("args", {}).get("file", "<unknown>")
+        if s.get("args", {}).get("cached") != 1:
+            fail("%s: summary.file span for %s is not a cache hit"
+                 % (path, name))
+        lookups = [c for c in spans
+                   if c["parent"] == s["id"] and c["name"] == "cache.lookup"]
+        if not lookups:
+            fail("%s: summary.file span for %s has no cache.lookup child"
+                 % (path, name))
+        if any(c.get("args", {}).get("hit") != 1 for c in lookups):
+            fail("%s: cache.lookup under %s did not record hit=1"
+                 % (path, name))
+        if s["mem_peak_bytes"] < 0:
+            fail("%s: summary.file span for %s has negative peak memory"
+                 % (path, name))
+    print("%s: ok (%d cached summary.file spans with hit=1 lookups)"
+          % (path, len(files)))
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "validate-stats":
+        for path in argv[2:]:
+            cmd_validate_stats(path)
+    elif len(argv) >= 3 and argv[1] == "validate-trace":
+        for path in argv[2:]:
+            cmd_validate_trace(path)
+    elif len(argv) == 4 and argv[1] == "compare":
+        cmd_compare(argv[2], argv[3])
+    elif len(argv) >= 3 and argv[1] == "check-warm-cache":
+        for path in argv[2:]:
+            cmd_check_warm_cache(path)
+    else:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -102,34 +102,43 @@ void DeadMemberAnalysis::beginRun(const FunctionDecl *Main,
 }
 
 DeadMemberResult DeadMemberAnalysis::run(const FunctionDecl *Main) {
-  PhaseTimer Timer("analysis");
+  Span Timer("analysis");
   beginRun(Main);
 
   // Lines 6-8, scan side: walk the global initializers and every
   // statement of every reachable function, collecting mark events. The
   // per-function scans are independent pure reads, so they fan out
   // across the pool.
-  LivenessScanner GlobalScanner(Options);
-  for (const VarDecl *GV : Ctx.globals())
-    GlobalScanner.scanGlobal(GV);
-  ScanOutput GlobalScan = GlobalScanner.take();
+  ScanOutput GlobalScan;
+  std::vector<const FunctionDecl *> Fns;
+  std::vector<ScanOutput> Scans;
+  {
+    Span ScanSpan("analysis.scan");
+    LivenessScanner GlobalScanner(Options);
+    for (const VarDecl *GV : Ctx.globals())
+      GlobalScanner.scanGlobal(GV);
+    GlobalScan = GlobalScanner.take();
 
-  const std::vector<const FunctionDecl *> Fns =
-      UsedGraph->reachableFunctions();
-  std::vector<ScanOutput> Scans = globalThreadPool().parallelMap<ScanOutput>(
-      Fns.size(), [&](size_t I) {
-        LivenessScanner S(Options);
-        S.scanFunction(Fns[I]);
-        return S.take();
-      });
+    Fns = UsedGraph->reachableFunctions();
+    Scans = globalThreadPool().parallelMap<ScanOutput>(
+        Fns.size(), [&](size_t I) {
+          LivenessScanner S(Options);
+          S.scanFunction(Fns[I]);
+          return S.take();
+        });
+    ScanSpan.arg("functions", Fns.size());
+  }
 
   // Replay in deterministic order — globals first, then functions in
   // the (decl-ID sorted) reachable order — so first-cause-wins marks,
   // sweep dedup, and provenance are identical at any --jobs level.
-  applyScan(GlobalScan);
-  for (const ScanOutput &Scan : Scans) {
-    ++NumFunctionsProcessed;
-    applyScan(Scan);
+  {
+    Span ReplaySpan("analysis.replay");
+    applyScan(GlobalScan);
+    for (const ScanOutput &Scan : Scans) {
+      ++NumFunctionsProcessed;
+      applyScan(Scan);
+    }
   }
 
   return finishRun();
@@ -141,6 +150,7 @@ DeadMemberResult DeadMemberAnalysis::finishRun() {
   // otherwise change a live member's value unnoticed. Iterate to a fixed
   // point since closing one union may enliven members of another.
   if (Options.UnionClosure) {
+    Span ClosureSpan("analysis.closure");
     bool Changed = true;
     while (Changed) {
       Changed = false;

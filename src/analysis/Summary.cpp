@@ -325,7 +325,7 @@ public:
   SummaryLinker(
       const ASTContext &Ctx,
       const std::vector<std::pair<uint32_t, const FileSummary *>> &Summaries) {
-    PhaseTimer Timer("summary.link.maps");
+    Span Timer("summary.link.maps");
     for (const ClassDecl *CD : Ctx.classes())
       ClassByName.emplace(CD->name(), CD);
 
@@ -689,7 +689,7 @@ std::optional<DeadMemberResult> DeadMemberAnalysis::runWithSummaries(
     const FunctionDecl *Main,
     const std::vector<std::pair<uint32_t, const FileSummary *>> &Summaries,
     std::string *Error) {
-  PhaseTimer Timer("summary.link");
+  Span Timer("summary.link");
   auto Fail = [&](const std::string &Message) -> std::optional<DeadMemberResult> {
     if (Error)
       *Error = Message;

@@ -120,7 +120,7 @@ dmm::runSummaryAnalysis(const ASTContext &Ctx, const SourceManager &SM,
   const size_t NumFiles = SM.numBuffers();
   std::vector<FileSummary> Summaries;
   {
-    PhaseTimer Timer("summary.extract");
+    Span Timer("summary.extract");
     const uint64_t EnvHash = environmentHash(
         Ctx, Options,
         Cache ? Cache->formatVersion() : kSummaryFormatVersion);
@@ -129,6 +129,8 @@ dmm::runSummaryAnalysis(const ASTContext &Ctx, const SourceManager &SM,
     Summaries = globalThreadPool().parallelMap<FileSummary>(
         NumFiles, [&](size_t I) {
           const uint32_t FileID = static_cast<uint32_t>(I + 1);
+          Span FileSpan("summary.file");
+          FileSpan.arg("file", std::string(SM.bufferName(FileID)));
           if (Cache) {
             const uint64_t ContentHash = hashBytes(SM.bufferText(FileID));
             FileSummary Summary;
@@ -136,12 +138,15 @@ dmm::runSummaryAnalysis(const ASTContext &Ctx, const SourceManager &SM,
               // Content-identical file under a new name: the facts are
               // name-keyed and unaffected, only the label needs fixing.
               Summary.FileName = std::string(SM.bufferName(FileID));
+              FileSpan.arg("cached", uint64_t(1));
               return Summary;
             }
             Summary = extractFileSummary(Ctx, SM, FileID, Options);
             Cache->store(ContentHash, EnvHash, Summary);
+            FileSpan.arg("cached", uint64_t(0));
             return Summary;
           }
+          FileSpan.arg("cached", uint64_t(0));
           return extractFileSummary(Ctx, SM, FileID, Options);
         });
   }

@@ -112,9 +112,11 @@ std::string SummaryCache::entryPath(uint64_t ContentHash,
 
 bool SummaryCache::lookup(uint64_t ContentHash, uint64_t EnvHash,
                           FileSummary &Out) {
+  Span LookupSpan("cache.lookup");
   ++Lookups;
   auto Miss = [&] {
     ++Misses;
+    LookupSpan.arg("hit", uint64_t(0));
     return false;
   };
   if (!Usable)
@@ -151,6 +153,8 @@ bool SummaryCache::lookup(uint64_t ContentHash, uint64_t EnvHash,
   if (!decodeFileSummary(PayloadReader, Out))
     return Miss();
   ++Hits;
+  LookupSpan.arg("hit", uint64_t(1));
+  LookupSpan.arg("bytes", Data.size());
   return true;
 }
 
@@ -158,6 +162,7 @@ void SummaryCache::store(uint64_t ContentHash, uint64_t EnvHash,
                          const FileSummary &Summary) {
   if (!Usable)
     return;
+  Span StoreSpan("cache.store");
 
   ByteWriter PayloadWriter;
   encodeFileSummary(Summary, PayloadWriter);
@@ -200,12 +205,15 @@ void SummaryCache::store(uint64_t ContentHash, uint64_t EnvHash,
     fs::remove(TmpName, EC);
     return;
   }
+  ++Stores;
+  StoreSpan.arg("bytes", Entry.size());
   Bytes.fetch_add(Entry.size());
   if (Bytes.load() > Cfg.MaxBytes)
     evictIfOverBudget();
 }
 
 void SummaryCache::evictIfOverBudget() {
+  Span EvictSpan("cache.evict");
   std::lock_guard<std::mutex> Lock(EvictionMutex);
 
   struct EntryInfo {
@@ -239,6 +247,7 @@ void SummaryCache::evictIfOverBudget() {
             [](const EntryInfo &A, const EntryInfo &B) {
               return A.MTime < B.MTime;
             });
+  uint64_t Removed = 0;
   for (const EntryInfo &Info : Entries) {
     if (Total <= Cfg.MaxBytes)
       break;
@@ -246,8 +255,11 @@ void SummaryCache::evictIfOverBudget() {
     if (fs::remove(Info.Path, RemoveEC) && !RemoveEC) {
       Total -= Info.Size;
       ++Evictions;
+      ++Removed;
     }
   }
+  EvictSpan.arg("removed", Removed);
+  EvictSpan.arg("bytes", Total);
   Bytes.store(Total);
 }
 
@@ -256,6 +268,7 @@ SummaryCache::Stats SummaryCache::stats() const {
   S.Lookups = Lookups.load();
   S.Hits = Hits.load();
   S.Misses = Misses.load();
+  S.Stores = Stores.load();
   S.Evictions = Evictions.load();
   S.Bytes = Bytes.load();
   return S;
@@ -269,6 +282,7 @@ void SummaryCache::flushTelemetry() const {
   T->addCounter("cache.lookups", S.Lookups);
   T->addCounter("cache.hits", S.Hits);
   T->addCounter("cache.misses", S.Misses);
+  T->addCounter("cache.stores", S.Stores);
   T->addCounter("cache.evictions", S.Evictions);
   T->addCounter("cache.bytes", S.Bytes);
 }

@@ -58,6 +58,7 @@ public:
     uint64_t Lookups = 0;
     uint64_t Hits = 0;
     uint64_t Misses = 0;
+    uint64_t Stores = 0;
     uint64_t Evictions = 0;
     uint64_t Bytes = 0; ///< Directory size after the last operation.
   };
@@ -79,8 +80,10 @@ public:
 
   Stats stats() const;
 
-  /// Adds cache.{lookups,hits,misses,evictions,bytes} to the active
-  /// Telemetry, if any.
+  /// Adds cache.{lookups,hits,misses,stores,evictions,bytes} to the
+  /// active Telemetry, if any. Individual operations also record
+  /// cache.lookup / cache.store / cache.evict spans with hit and byte
+  /// attributes when telemetry is on.
   void flushTelemetry() const;
 
   const std::string &dir() const { return Cfg.Dir; }
@@ -95,6 +98,7 @@ private:
   std::atomic<uint64_t> Lookups{0};
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Stores{0};
   std::atomic<uint64_t> Evictions{0};
   std::atomic<uint64_t> Bytes{0};
   std::atomic<uint64_t> TmpCounter{0};

@@ -618,10 +618,10 @@ CallGraph dmm::buildCallGraph(const ASTContext &Ctx,
                               const ClassHierarchy &CH,
                               const FunctionDecl *Main,
                               CallGraphKind Kind) {
-  PhaseTimer Timer("callgraph");
+  Span Timer("callgraph");
   std::unique_ptr<PointsToAnalysis> PTA;
   if (Kind == CallGraphKind::PTA) {
-    PhaseTimer PointsToTimer("callgraph.points_to");
+    Span PointsToTimer("callgraph.points_to");
     PTA = std::make_unique<PointsToAnalysis>(Ctx, CH);
     PTA->run();
   }
@@ -634,7 +634,7 @@ CallGraph dmm::buildCallGraphFromFacts(const ASTContext &Ctx,
                                        const FunctionDecl *Main,
                                        CallGraphKind Kind,
                                        const CallGraphFactsFn &FactsFor) {
-  PhaseTimer Timer("callgraph");
+  Span Timer("callgraph");
   assert(Kind != CallGraphKind::PTA &&
          "facts carry no receiver expressions; PTA must walk the AST");
   CallGraphBuilder Builder(Ctx, CH, Kind, /*PTA=*/nullptr, &FactsFor);

@@ -576,6 +576,11 @@ void PointsToAnalysis::run() {
                   FunctionSets.numUniqueSets());
     T->addCounter("pointsto.function_sets.lookups", FunctionSets.lookups());
     T->addCounter("pointsto.function_sets.hits", FunctionSets.hits());
+    // Occupancy snapshots of the intern pools (approximate heap bytes;
+    // deterministic — the analysis runs sequentially).
+    T->addCounter("pointsto.class_sets.bytes", ClassSets.occupancyBytes());
+    T->addCounter("pointsto.function_sets.bytes",
+                  FunctionSets.occupancyBytes());
   }
 }
 

@@ -46,14 +46,18 @@ std::unique_ptr<Compilation> dmm::compileProgram(std::vector<SourceFile> Files,
   // vector; results merge in file order below.
   std::vector<LexedBuffer> Lexed;
   {
-    PhaseTimer Timer("lex");
+    Span Timer("lex");
     Lexed = globalThreadPool().parallelMap<LexedBuffer>(
         Buffers.size(), [&](size_t I) {
+          Span FileSpan("lex.file");
+          FileSpan.arg("file",
+                       std::string(C->SM.bufferName(Buffers[I].first)));
           LexedBuffer Out;
           DiagnosticsEngine WorkerDiags(C->SM, nullptr);
           Lexer Lex(C->SM, Buffers[I].first, WorkerDiags);
           Out.Tokens = Lex.lexAll();
           Out.Diags = WorkerDiags.diagnostics();
+          FileSpan.arg("tokens", Out.Tokens.size());
           return Out;
         });
   }
@@ -87,7 +91,7 @@ std::unique_ptr<Compilation> dmm::compileProgram(std::vector<SourceFile> Files,
   C->TheSema = std::make_unique<Sema>(*C->Ctx, C->Diags);
   bool SemaOK;
   {
-    PhaseTimer Timer("sema");
+    Span Timer("sema");
     SemaOK = C->TheSema->run();
   }
   Telemetry::count("sema.classes", C->Ctx->classes().size());

@@ -19,6 +19,8 @@
 #include "driver/Frontend.h"
 #include "interp/Interpreter.h"
 #include "support/ThreadPool.h"
+#include "telemetry/HtmlReport.h"
+#include "telemetry/Stats.h"
 #include "telemetry/Telemetry.h"
 #include "trace/DynamicMetrics.h"
 #include "transform/DeadMemberEliminator.h"
@@ -63,6 +65,10 @@ struct DriverOptions {
   std::string CacheDir;      ///< --cache-dir=<dir> / DMM_CACHE_DIR.
   std::string MetricsFile;   ///< --metrics=<file>; empty = stdout.
   std::string TraceJsonFile; ///< --trace-json=<file>; empty = off.
+  std::string StatsJsonFile; ///< --stats-json=<file>; empty = off.
+  std::string ReportFile;    ///< --report=<file.html>; empty = off.
+  std::string FromStatsFile; ///< --from-stats=<file>: render --report
+                             ///< from an existing stats file, no run.
   std::vector<std::string> Explain; ///< --explain=<Class::member>.
 };
 
@@ -124,6 +130,16 @@ int usage() {
          "  --trace-json=<file>      write a Chrome trace-event JSON\n"
          "                           timeline (chrome://tracing, "
          "Perfetto)\n"
+         "  --stats-json=<file>      write the versioned dmm-stats JSON\n"
+         "                           document (per-span wall/cpu time,\n"
+         "                           memory peaks, counters; see\n"
+         "                           docs/OBSERVABILITY.md)\n"
+         "  --report=<file.html>     render a self-contained HTML run\n"
+         "                           report (span waterfall, hot spans,\n"
+         "                           cache table)\n"
+         "  --from-stats=<file>      with --report: render from an\n"
+         "                           existing stats file instead of\n"
+         "                           running the pipeline\n"
          "  --version                print version information\n";
   return 2;
 }
@@ -234,6 +250,24 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
         std::cerr << "error: --trace-json requires a file name\n";
         return false;
       }
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      Opts.StatsJsonFile = Arg.substr(13);
+      if (Opts.StatsJsonFile.empty()) {
+        std::cerr << "error: --stats-json requires a file name\n";
+        return false;
+      }
+    } else if (Arg.rfind("--report=", 0) == 0) {
+      Opts.ReportFile = Arg.substr(9);
+      if (Opts.ReportFile.empty()) {
+        std::cerr << "error: --report requires a file name\n";
+        return false;
+      }
+    } else if (Arg.rfind("--from-stats=", 0) == 0) {
+      Opts.FromStatsFile = Arg.substr(13);
+      if (Opts.FromStatsFile.empty()) {
+        std::cerr << "error: --from-stats requires a file name\n";
+        return false;
+      }
     } else if (Arg.rfind("--explain=", 0) == 0) {
       std::string Query = Arg.substr(10);
       if (Query.find("::") == std::string::npos) {
@@ -262,7 +296,11 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       return false;
     }
   }
-  return Opts.Version || !Opts.Files.empty();
+  if (!Opts.FromStatsFile.empty() && Opts.ReportFile.empty()) {
+    std::cerr << "error: --from-stats requires --report=<file.html>\n";
+    return false;
+  }
+  return Opts.Version || !Opts.FromStatsFile.empty() || !Opts.Files.empty();
 }
 
 /// Emits the collected telemetry at scope exit (so early-error paths
@@ -296,8 +334,53 @@ struct TelemetryEmitter {
       else
         Tel.printChromeTrace(Out);
     }
+    if (Opts.StatsJsonFile.empty() && Opts.ReportFile.empty())
+      return;
+    stats::StatsDocument Doc = stats::buildStats(
+        Tel, std::string("deadmember ") + kToolVersion,
+        globalThreadPool().jobs());
+    if (!Opts.StatsJsonFile.empty()) {
+      std::ofstream Out(Opts.StatsJsonFile);
+      if (!Out)
+        std::cerr << "error: cannot write '" << Opts.StatsJsonFile
+                  << "'\n";
+      else
+        stats::printStats(Doc, Out);
+    }
+    if (!Opts.ReportFile.empty()) {
+      std::ofstream Out(Opts.ReportFile);
+      if (!Out)
+        std::cerr << "error: cannot write '" << Opts.ReportFile << "'\n";
+      else
+        stats::renderHtmlReport(Doc, Out);
+    }
   }
 };
+
+/// --report --from-stats=FILE: render the HTML report from a stats
+/// file written by an earlier run, without running the pipeline.
+int renderReportFromStats(const DriverOptions &Opts) {
+  std::ifstream In(Opts.FromStatsFile);
+  if (!In) {
+    std::cerr << "error: cannot open '" << Opts.FromStatsFile << "'\n";
+    return 1;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  stats::StatsDocument Doc;
+  std::string Error;
+  if (!stats::parseStats(SS.str(), Doc, Error)) {
+    std::cerr << "error: " << Opts.FromStatsFile << ": " << Error << "\n";
+    return 1;
+  }
+  std::ofstream Out(Opts.ReportFile);
+  if (!Out) {
+    std::cerr << "error: cannot write '" << Opts.ReportFile << "'\n";
+    return 1;
+  }
+  stats::renderHtmlReport(Doc, Out);
+  return 0;
+}
 
 /// Prints the per-class member access heat table for --measure.
 void printHeatReport(std::ostream &OS, const FieldHeat &Heat) {
@@ -335,18 +418,26 @@ int main(int Argc, char **Argv) {
     std::cout << VersionString;
     return 0;
   }
+  if (!Opts.FromStatsFile.empty())
+    return renderReportFromStats(Opts);
 
-  // Telemetry: --metrics/--trace-json, or the DMM_METRICS env hook
-  // (metrics to stderr; lets benches and scripts observe phase costs
-  // without flag plumbing).
+  // Telemetry: --metrics/--trace-json/--stats-json/--report, or the
+  // DMM_METRICS env hook (metrics to stderr; lets benches and scripts
+  // observe phase costs without flag plumbing).
   const char *MetricsEnv = std::getenv("DMM_METRICS");
   bool MetricsToStderr = MetricsEnv && *MetricsEnv &&
                          std::strcmp(MetricsEnv, "0") != 0 && !Opts.Metrics;
   Telemetry Tel;
   std::optional<TelemetryScope> TelScope;
-  if (Opts.Metrics || MetricsToStderr || !Opts.TraceJsonFile.empty())
+  if (Opts.Metrics || MetricsToStderr || !Opts.TraceJsonFile.empty() ||
+      !Opts.StatsJsonFile.empty() || !Opts.ReportFile.empty())
     TelScope.emplace(Tel);
   TelemetryEmitter Emitter{Tel, Opts, MetricsToStderr};
+  // The whole run is one root span; every phase nests under it. Closed
+  // by destruction just before the emitter writes the outputs.
+  std::optional<Span> RootSpan;
+  if (TelScope)
+    RootSpan.emplace("pipeline");
 
   // Provenance powers --explain and enriches --json.
   if (Opts.Json || !Opts.Explain.empty())

@@ -354,7 +354,7 @@ int main(int Argc, char **Argv) {
 
   uint64_t Failures = 0, Total = 0;
   {
-    PhaseTimer Timer("fuzz");
+    Span Timer("fuzz");
     if (!Opts.ReplayFile.empty()) {
       std::ifstream In(Opts.ReplayFile);
       if (!In) {

@@ -1448,7 +1448,7 @@ Storage *Interpreter::globalStorage(const VarDecl *GV) {
 }
 
 ExecResult Interpreter::run(const FunctionDecl *Main) {
-  PhaseTimer Timer("interp");
+  Span Timer("interp");
   ExecResult Result;
   std::vector<Storage *> GlobalObjects;
   try {

@@ -234,7 +234,7 @@ const Type *Parser::parseDeclarator(const Type *Ty, std::string &Name,
 bool Parser::parseBuffer(uint32_t FileID) {
   std::vector<Token> Lexed;
   {
-    PhaseTimer Timer("lex");
+    Span Timer("lex");
     Lexer Lex(SM, FileID, Diags);
     Lexed = Lex.lexAll();
   }
@@ -244,7 +244,7 @@ bool Parser::parseBuffer(uint32_t FileID) {
 }
 
 bool Parser::parseTokens(std::vector<Token> NewTokens) {
-  PhaseTimer Timer("parse");
+  Span Timer("parse");
   Tokens = std::move(NewTokens);
   Pos = 0;
   unsigned ErrorsBefore = Diags.errorCount();

@@ -95,6 +95,21 @@ public:
   uint64_t lookups() const { return Lookups; }
   /// Times the content already existed (shared instead of allocated).
   uint64_t hits() const { return Hits; }
+  /// Approximate heap bytes held by the pool: vector capacities plus a
+  /// node-based estimate for the two hash indexes. An occupancy
+  /// snapshot for telemetry, not an exact measure.
+  size_t occupancyBytes() const {
+    size_t B = Values.capacity() * sizeof(T) +
+               Sets.capacity() * sizeof(std::vector<uint32_t>);
+    for (const std::vector<uint32_t> &S : Sets)
+      B += S.capacity() * sizeof(uint32_t);
+    B += ValueIds.bucket_count() * sizeof(void *) +
+         ValueIds.size() * (sizeof(std::pair<T, uint32_t>) + sizeof(void *));
+    B += SetIndex.bucket_count() * sizeof(void *) +
+         SetIndex.size() *
+             (sizeof(std::pair<uint64_t, SetID>) + sizeof(void *));
+    return B;
+  }
   /// @}
 
 private:

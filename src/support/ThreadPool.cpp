@@ -15,7 +15,20 @@ using namespace dmm;
 
 namespace {
 thread_local bool InPoolWorker = false;
+
+// Context hooks (see PoolTaskContext in the header). Stored as three
+// atomics so registration can race with pool startup; a loop uses the
+// hooks only when all three were visible when it was published.
+std::atomic<uint64_t (*)()> CtxCapture{nullptr};
+std::atomic<uint64_t (*)(uint64_t)> CtxInstall{nullptr};
+std::atomic<void (*)(uint64_t)> CtxRestore{nullptr};
 } // namespace
+
+void dmm::setPoolTaskContext(const PoolTaskContext &Hooks) {
+  CtxCapture.store(Hooks.Capture, std::memory_order_relaxed);
+  CtxInstall.store(Hooks.Install, std::memory_order_relaxed);
+  CtxRestore.store(Hooks.Restore, std::memory_order_release);
+}
 
 /// One active parallelFor: an atomic index dispenser plus completion
 /// accounting. Workers and the calling thread all pull from Next until
@@ -26,6 +39,11 @@ struct ThreadPool::Loop {
 
   std::atomic<size_t> Next{0};
   std::atomic<unsigned> ActiveWorkers{0};
+
+  /// Context captured on the submitting thread (PoolTaskContext);
+  /// installed on workers while they execute this loop's body.
+  uint64_t Ctx = 0;
+  bool HasCtx = false;
 
   std::mutex ErrMu;
   size_t FirstErrorIndex = ~size_t(0);
@@ -91,7 +109,15 @@ void ThreadPool::workerMain() {
       Joined = L; // Never re-join a loop this worker already drained.
       L->ActiveWorkers.fetch_add(1, std::memory_order_relaxed);
     }
-    runLoop(*L);
+    if (L->HasCtx) {
+      // Inherit the submitting thread's context (innermost span) for
+      // the duration of this loop, then restore the worker's own.
+      uint64_t Saved = CtxInstall.load(std::memory_order_relaxed)(L->Ctx);
+      runLoop(*L);
+      CtxRestore.load(std::memory_order_relaxed)(Saved);
+    } else {
+      runLoop(*L);
+    }
     // Decrement under DoneMu: the caller owns the Loop on its stack and
     // may destroy it the moment it observes ActiveWorkers == 0, so the
     // zero-crossing store and the notify must be inside the lock.
@@ -118,6 +144,15 @@ void ThreadPool::parallelFor(size_t N,
   Loop L;
   L.N = N;
   L.Body = &Body;
+  if (auto *Restore = CtxRestore.load(std::memory_order_acquire)) {
+    (void)Restore;
+    auto *Capture = CtxCapture.load(std::memory_order_relaxed);
+    auto *Install = CtxInstall.load(std::memory_order_relaxed);
+    if (Capture && Install) {
+      L.Ctx = Capture();
+      L.HasCtx = true;
+    }
+  }
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Current = &L;

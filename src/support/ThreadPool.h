@@ -33,6 +33,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -40,6 +41,25 @@
 #include <vector>
 
 namespace dmm {
+
+/// Hooks that propagate a per-thread context value (the telemetry
+/// layer's current span id) from the thread submitting a parallelFor to
+/// the workers executing its body. The pool itself is context-agnostic:
+/// it calls Capture() on the submitting thread when a loop is
+/// published, Install(ctx) on each worker before it pulls indices
+/// (returning the worker's previous value), and Restore(saved) after
+/// the worker drains the loop. All three must be set or none; unset
+/// hooks cost nothing. Registered once, before the first parallelFor
+/// that should carry context (support/ cannot depend on telemetry/, so
+/// the telemetry layer registers these at startup).
+struct PoolTaskContext {
+  uint64_t (*Capture)() = nullptr;
+  uint64_t (*Install)(uint64_t Ctx) = nullptr;
+  void (*Restore)(uint64_t Saved) = nullptr;
+};
+
+/// Installs the process-wide context hooks (see PoolTaskContext).
+void setPoolTaskContext(const PoolTaskContext &Hooks);
 
 /// Fixed set of worker threads executing parallelFor loops.
 class ThreadPool {

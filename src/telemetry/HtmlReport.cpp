@@ -1,0 +1,249 @@
+//===-- telemetry/HtmlReport.cpp ------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/HtmlReport.h"
+
+#include "telemetry/Stats.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+using namespace dmm;
+using namespace dmm::stats;
+
+namespace {
+
+/// Rows rendered in the waterfall before truncating (keeps the page
+/// readable and small for span-heavy warm-cache runs).
+constexpr size_t kMaxWaterfallRows = 600;
+constexpr size_t kTopHotSpans = 10;
+
+void escape(std::ostream &OS, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '&':
+      OS << "&amp;";
+      break;
+    case '<':
+      OS << "&lt;";
+      break;
+    case '>':
+      OS << "&gt;";
+      break;
+    case '"':
+      OS << "&quot;";
+      break;
+    default:
+      OS << C;
+    }
+  }
+}
+
+std::string ms(uint64_t Nanos) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(3) << Nanos / 1e6;
+  return OS.str();
+}
+
+std::string bytes(int64_t B) {
+  std::ostringstream OS;
+  const char *Unit = "B";
+  double V = static_cast<double>(B);
+  double A = V < 0 ? -V : V;
+  if (A >= 1024.0 * 1024.0) {
+    V /= 1024.0 * 1024.0;
+    Unit = "MiB";
+  } else if (A >= 1024.0) {
+    V /= 1024.0;
+    Unit = "KiB";
+  }
+  OS << std::fixed << std::setprecision(A >= 1024.0 ? 1 : 0) << V << "&nbsp;"
+     << Unit;
+  return OS.str();
+}
+
+/// Self time = wall time minus the wall time of direct children.
+std::vector<uint64_t> selfTimes(const StatsDocument &D) {
+  std::vector<uint64_t> ChildNanos(D.Spans.size(), 0);
+  for (const SpanStat &S : D.Spans)
+    if (S.Parent)
+      ChildNanos[S.Parent - 1] += S.DurNanos;
+  std::vector<uint64_t> Self(D.Spans.size(), 0);
+  for (size_t I = 0; I != D.Spans.size(); ++I) {
+    uint64_t Dur = D.Spans[I].DurNanos;
+    Self[I] = Dur > ChildNanos[I] ? Dur - ChildNanos[I] : 0;
+  }
+  return Self;
+}
+
+uint64_t counterOrZero(const StatsDocument &D, std::string_view Name) {
+  for (const auto &[K, V] : D.Counters)
+    if (K == Name)
+      return V;
+  return 0;
+}
+
+bool hasCounterPrefix(const StatsDocument &D, std::string_view Prefix) {
+  for (const auto &[K, V] : D.Counters) {
+    (void)V;
+    if (K.size() > Prefix.size() && K.compare(0, Prefix.size(), Prefix) == 0)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+void stats::renderHtmlReport(const StatsDocument &D, std::ostream &OS) {
+  OS << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n<title>deadmember run report</title>\n"
+        "<style>\n"
+        "body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;"
+        "max-width:72em;padding:0 1em;color:#1c2430;}\n"
+        "h1{font-size:1.4em;} h2{font-size:1.1em;margin-top:2em;"
+        "border-bottom:1px solid #d4dae3;padding-bottom:.2em;}\n"
+        "table{border-collapse:collapse;min-width:30em;}\n"
+        "th,td{padding:.25em .8em;text-align:left;border-bottom:"
+        "1px solid #e4e8ee;} th{background:#f2f5f9;}\n"
+        "td.num,th.num{text-align:right;font-variant-numeric:"
+        "tabular-nums;}\n"
+        ".meta{color:#5a6675;}\n"
+        ".wf{position:relative;border-left:1px solid #d4dae3;}\n"
+        ".wfrow{position:relative;height:18px;}\n"
+        ".wfbar{position:absolute;top:2px;height:14px;background:#4c7fd0;"
+        "border-radius:2px;min-width:2px;opacity:.85;}\n"
+        ".wfbar.d1{background:#6aa36f;} .wfbar.d2{background:#c98a3d;}\n"
+        ".wfbar.d3{background:#a66bbf;} .wfbar.d4{background:#c05a5a;}\n"
+        ".wflabel{position:absolute;left:.4em;top:0;font-size:11px;"
+        "white-space:nowrap;pointer-events:none;color:#1c2430;}\n"
+        "</style>\n</head>\n<body>\n";
+
+  OS << "<h1>deadmember run report</h1>\n<p class=\"meta\">tool: ";
+  escape(OS, D.Tool);
+  OS << " &middot; jobs: " << D.Jobs << " &middot; memory accounting: "
+     << (D.MemAccounting ? "on" : "unavailable") << " &middot; spans: "
+     << D.Spans.size() << "</p>\n";
+
+  // --- Top hot spans -----------------------------------------------------
+  std::vector<uint64_t> Self = selfTimes(D);
+  std::vector<size_t> Order(D.Spans.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Self[A] > Self[B];
+  });
+  size_t TopN = std::min(kTopHotSpans, Order.size());
+
+  OS << "<h2>Top " << TopN << " hot spans (by self time)</h2>\n"
+        "<table>\n<tr><th>span</th><th class=\"num\">self ms</th>"
+        "<th class=\"num\">wall ms</th><th class=\"num\">cpu ms</th>"
+        "<th class=\"num\">peak mem</th><th>detail</th></tr>\n";
+  for (size_t I = 0; I != TopN; ++I) {
+    const SpanStat &S = D.Spans[Order[I]];
+    OS << "<tr><td>";
+    escape(OS, S.Name);
+    OS << "</td><td class=\"num\">" << ms(Self[Order[I]])
+       << "</td><td class=\"num\">" << ms(S.DurNanos)
+       << "</td><td class=\"num\">" << ms(S.CpuNanos)
+       << "</td><td class=\"num\">" << bytes(S.MemPeakBytes) << "</td><td>";
+    bool First = true;
+    for (const auto &[K, V] : S.StrArgs) {
+      OS << (First ? "" : ", ");
+      First = false;
+      escape(OS, K);
+      OS << "=";
+      escape(OS, V);
+    }
+    for (const auto &[K, V] : S.IntArgs) {
+      OS << (First ? "" : ", ");
+      First = false;
+      escape(OS, K);
+      OS << "=" << V;
+    }
+    OS << "</td></tr>\n";
+  }
+  OS << "</table>\n";
+
+  // --- Waterfall ---------------------------------------------------------
+  uint64_t End = 0;
+  for (const SpanStat &S : D.Spans)
+    End = std::max(End, S.StartNanos + S.DurNanos);
+  size_t Rows = std::min(kMaxWaterfallRows, D.Spans.size());
+  OS << "<h2>Span waterfall</h2>\n";
+  if (Rows < D.Spans.size())
+    OS << "<p class=\"meta\">showing the first " << Rows << " of "
+       << D.Spans.size() << " spans.</p>\n";
+  OS << "<div class=\"wf\">\n";
+  for (size_t I = 0; I != Rows; ++I) {
+    const SpanStat &S = D.Spans[I];
+    double Left = End ? 100.0 * S.StartNanos / End : 0;
+    double Width = End ? 100.0 * S.DurNanos / End : 0;
+    OS << "<div class=\"wfrow\"><div class=\"wfbar d"
+       << (S.Depth > 4 ? 4u : S.Depth) << "\" style=\"left:" << std::fixed
+       << std::setprecision(3) << Left << "%;width:" << Width
+       << "%\"></div><span class=\"wflabel\" style=\"padding-left:"
+       << S.Depth * 1.2 << "em\">";
+    escape(OS, S.Name);
+    OS << " &middot; " << ms(S.DurNanos) << " ms</span></div>\n";
+  }
+  OS << "</div>\n";
+
+  // --- Cache hit table ---------------------------------------------------
+  if (hasCounterPrefix(D, "cache.")) {
+    OS << "<h2>Summary cache</h2>\n<table>\n"
+          "<tr><th>metric</th><th class=\"num\">value</th></tr>\n";
+    for (const char *Key :
+         {"cache.lookups", "cache.hits", "cache.misses", "cache.stores",
+          "cache.evictions", "cache.bytes"})
+      OS << "<tr><td>" << Key << "</td><td class=\"num\">"
+         << counterOrZero(D, Key) << "</td></tr>\n";
+    OS << "</table>\n";
+
+    // Per-file rows from the summary.file spans, when present.
+    bool Header = false;
+    for (const SpanStat &S : D.Spans) {
+      if (S.Name != "summary.file")
+        continue;
+      if (!Header) {
+        OS << "<h2>Per-file summaries</h2>\n<table>\n"
+              "<tr><th>file</th><th>cache</th><th class=\"num\">wall ms"
+              "</th><th class=\"num\">peak mem</th></tr>\n";
+        Header = true;
+      }
+      OS << "<tr><td>";
+      escape(OS, S.strArg("file"));
+      OS << "</td><td>" << (S.intArg("cached") ? "hit" : "miss")
+         << "</td><td class=\"num\">" << ms(S.DurNanos)
+         << "</td><td class=\"num\">" << bytes(S.MemPeakBytes)
+         << "</td></tr>\n";
+    }
+    if (Header)
+      OS << "</table>\n";
+  }
+
+  // --- Phases and counters ----------------------------------------------
+  OS << "<h2>Phases</h2>\n<table>\n<tr><th>phase</th>"
+        "<th class=\"num\">wall ms</th><th class=\"num\">calls</th></tr>\n";
+  for (const PhaseRow &P : D.Phases) {
+    OS << "<tr><td>";
+    escape(OS, P.Name);
+    OS << "</td><td class=\"num\">" << ms(P.Nanos) << "</td><td class=\"num\">"
+       << P.Invocations << "</td></tr>\n";
+  }
+  OS << "</table>\n";
+
+  OS << "<h2>Counters</h2>\n<table>\n<tr><th>counter</th>"
+        "<th class=\"num\">value</th></tr>\n";
+  for (const auto &[K, V] : D.Counters) {
+    OS << "<tr><td>";
+    escape(OS, K);
+    OS << "</td><td class=\"num\">" << V << "</td></tr>\n";
+  }
+  OS << "</table>\n</body>\n</html>\n";
+}

@@ -1,0 +1,312 @@
+//===-- telemetry/Stats.cpp -----------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Stats.h"
+
+#include "telemetry/Json.h"
+#include "telemetry/MemoryAccounting.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+
+using namespace dmm;
+using namespace dmm::stats;
+
+uint64_t SpanStat::intArg(std::string_view Key, uint64_t Default) const {
+  for (const auto &[K, V] : IntArgs)
+    if (K == Key)
+      return V;
+  return Default;
+}
+
+std::string SpanStat::strArg(std::string_view Key) const {
+  for (const auto &[K, V] : StrArgs)
+    if (K == Key)
+      return V;
+  return std::string();
+}
+
+namespace {
+
+std::pair<std::string_view, std::string_view>
+splitNamespace(std::string_view Name) {
+  size_t Dot = Name.find('.');
+  if (Dot == std::string_view::npos)
+    return {Name, std::string_view()};
+  return {Name.substr(0, Dot), Name.substr(Dot + 1)};
+}
+
+bool namespaceKeyLess(std::string_view A, std::string_view B) {
+  auto [NsA, KeyA] = splitNamespace(A);
+  auto [NsB, KeyB] = splitNamespace(B);
+  if (NsA != NsB)
+    return NsA < NsB;
+  return KeyA < KeyB;
+}
+
+void printEscaped(std::ostream &OS, std::string_view S) {
+  static const char *Hex = "0123456789abcdef";
+  OS << '"';
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (U < 0x20)
+      OS << "\\u00" << Hex[U >> 4] << Hex[U & 0xf];
+    else
+      OS << C;
+  }
+  OS << '"';
+}
+
+} // namespace
+
+StatsDocument stats::buildStats(const Telemetry &T, std::string Tool,
+                                unsigned Jobs) {
+  StatsDocument D;
+  D.Tool = std::move(Tool);
+  D.Jobs = Jobs;
+  D.MemAccounting = memacct::available();
+
+  for (const PhaseStat &P : T.phases())
+    D.Phases.push_back({P.Name, P.Nanos, P.Invocations});
+  std::stable_sort(D.Phases.begin(), D.Phases.end(),
+                   [](const PhaseRow &A, const PhaseRow &B) {
+                     return namespaceKeyLess(A.Name, B.Name);
+                   });
+
+  for (const auto &[Name, Value] : T.counters())
+    D.Counters.emplace_back(Name, Value);
+  std::stable_sort(D.Counters.begin(), D.Counters.end(),
+                   [](const auto &A, const auto &B) {
+                     return namespaceKeyLess(A.first, B.first);
+                   });
+
+  D.Spans.reserve(T.spans().size());
+  for (const SpanRecord &R : T.spans()) {
+    SpanStat S;
+    S.Id = R.Id;
+    S.Parent = R.Parent;
+    S.Name = R.Name;
+    S.StartNanos = R.StartNanos;
+    S.DurNanos = R.DurNanos;
+    S.CpuNanos = R.CpuNanos;
+    S.MemNetBytes = R.MemNetBytes;
+    S.MemPeakBytes = R.MemPeakBytes;
+    S.Depth = R.Depth;
+    for (const SpanArg &A : R.Args) {
+      if (A.IsString)
+        S.StrArgs.emplace_back(A.Key, A.StrValue);
+      else
+        S.IntArgs.emplace_back(A.Key, A.IntValue);
+    }
+    D.Spans.push_back(std::move(S));
+  }
+  return D;
+}
+
+void stats::printStats(const StatsDocument &D, std::ostream &OS) {
+  OS << "{\n";
+  OS << "  \"schema\": \"" << kSchemaName << "\",\n";
+  OS << "  \"version\": " << kSchemaVersion << ",\n";
+  OS << "  \"tool\": ";
+  printEscaped(OS, D.Tool);
+  OS << ",\n";
+  OS << "  \"jobs\": " << D.Jobs << ",\n";
+  OS << "  \"memory_accounting\": " << (D.MemAccounting ? "true" : "false")
+     << ",\n";
+
+  OS << "  \"phases\": [";
+  for (size_t I = 0; I != D.Phases.size(); ++I) {
+    const PhaseRow &P = D.Phases[I];
+    OS << (I ? "," : "") << "\n    {\"name\": ";
+    printEscaped(OS, P.Name);
+    OS << ", \"wall_ns\": " << P.Nanos << ", \"calls\": " << P.Invocations
+       << "}";
+  }
+  OS << (D.Phases.empty() ? "" : "\n  ") << "],\n";
+
+  OS << "  \"counters\": {";
+  for (size_t I = 0; I != D.Counters.size(); ++I) {
+    OS << (I ? "," : "") << "\n    ";
+    printEscaped(OS, D.Counters[I].first);
+    OS << ": " << D.Counters[I].second;
+  }
+  OS << (D.Counters.empty() ? "" : "\n  ") << "},\n";
+
+  OS << "  \"spans\": [";
+  for (size_t I = 0; I != D.Spans.size(); ++I) {
+    const SpanStat &S = D.Spans[I];
+    OS << (I ? "," : "") << "\n    {\"id\": " << S.Id
+       << ", \"parent\": " << S.Parent << ", \"name\": ";
+    printEscaped(OS, S.Name);
+    OS << ", \"depth\": " << S.Depth << ", \"start_ns\": " << S.StartNanos
+       << ", \"wall_ns\": " << S.DurNanos << ", \"cpu_ns\": " << S.CpuNanos
+       << ", \"mem_net_bytes\": " << S.MemNetBytes
+       << ", \"mem_peak_bytes\": " << S.MemPeakBytes;
+    if (!S.IntArgs.empty() || !S.StrArgs.empty()) {
+      OS << ", \"args\": {";
+      bool First = true;
+      for (const auto &[K, V] : S.IntArgs) {
+        OS << (First ? "" : ", ");
+        First = false;
+        printEscaped(OS, K);
+        OS << ": " << V;
+      }
+      for (const auto &[K, V] : S.StrArgs) {
+        OS << (First ? "" : ", ");
+        First = false;
+        printEscaped(OS, K);
+        OS << ": ";
+        printEscaped(OS, V);
+      }
+      OS << "}";
+    }
+    OS << "}";
+  }
+  OS << (D.Spans.empty() ? "" : "\n  ") << "]\n";
+  OS << "}\n";
+}
+
+namespace {
+
+bool failParse(std::string &Error, const std::string &Msg) {
+  Error = Msg;
+  return false;
+}
+
+bool requireNumber(const json::Value &Obj, const char *Key,
+                   const std::string &Where, std::string &Error) {
+  const json::Value *V = Obj.get(Key);
+  if (!V || !V->isNumber())
+    return failParse(Error, Where + ": missing or non-numeric field \"" +
+                                Key + "\"");
+  return true;
+}
+
+} // namespace
+
+bool stats::parseStats(std::string_view Text, StatsDocument &Out,
+                       std::string &Error) {
+  json::Value Root;
+  if (!json::parse(Text, Root, Error)) {
+    Error = "invalid JSON: " + Error;
+    return false;
+  }
+  if (!Root.isObject())
+    return failParse(Error, "top-level value is not an object");
+
+  const json::Value *Schema = Root.get("schema");
+  if (!Schema || !Schema->isString() || Schema->str() != kSchemaName)
+    return failParse(Error, "missing or unexpected \"schema\" (want \"" +
+                                std::string(kSchemaName) + "\")");
+  const json::Value *Version = Root.get("version");
+  if (!Version || !Version->isNumber())
+    return failParse(Error, "missing numeric \"version\"");
+  if (Version->asInt() != kSchemaVersion)
+    return failParse(Error, "unsupported stats version " +
+                                std::to_string(Version->asInt()) +
+                                " (this tool reads version " +
+                                std::to_string(kSchemaVersion) + ")");
+  Out.Version = static_cast<int>(Version->asInt());
+
+  const json::Value *Tool = Root.get("tool");
+  if (!Tool || !Tool->isString())
+    return failParse(Error, "missing string \"tool\"");
+  Out.Tool = Tool->str();
+
+  if (!requireNumber(Root, "jobs", "top level", Error))
+    return false;
+  Out.Jobs = static_cast<unsigned>(Root.getNumber("jobs"));
+
+  const json::Value *MemAcct = Root.get("memory_accounting");
+  if (!MemAcct || !MemAcct->isBool())
+    return failParse(Error, "missing boolean \"memory_accounting\"");
+  Out.MemAccounting = MemAcct->boolean();
+
+  const json::Value *Phases = Root.get("phases");
+  if (!Phases || !Phases->isArray())
+    return failParse(Error, "missing array \"phases\"");
+  for (size_t I = 0; I != Phases->array().size(); ++I) {
+    const json::Value &P = Phases->array()[I];
+    std::string Where = "phases[" + std::to_string(I) + "]";
+    if (!P.isObject())
+      return failParse(Error, Where + ": not an object");
+    const json::Value *Name = P.get("name");
+    if (!Name || !Name->isString())
+      return failParse(Error, Where + ": missing string \"name\"");
+    if (!requireNumber(P, "wall_ns", Where, Error) ||
+        !requireNumber(P, "calls", Where, Error))
+      return false;
+    Out.Phases.push_back({Name->str(),
+                          static_cast<uint64_t>(P.getNumber("wall_ns")),
+                          static_cast<uint64_t>(P.getNumber("calls"))});
+  }
+
+  const json::Value *Counters = Root.get("counters");
+  if (!Counters || !Counters->isObject())
+    return failParse(Error, "missing object \"counters\"");
+  for (const auto &[Name, V] : Counters->members()) {
+    if (!V.isNumber())
+      return failParse(Error, "counter \"" + Name + "\" is not numeric");
+    Out.Counters.emplace_back(Name, V.asUInt());
+  }
+
+  const json::Value *Spans = Root.get("spans");
+  if (!Spans || !Spans->isArray())
+    return failParse(Error, "missing array \"spans\"");
+  for (size_t I = 0; I != Spans->array().size(); ++I) {
+    const json::Value &SV = Spans->array()[I];
+    std::string Where = "spans[" + std::to_string(I) + "]";
+    if (!SV.isObject())
+      return failParse(Error, Where + ": not an object");
+    const json::Value *Name = SV.get("name");
+    if (!Name || !Name->isString())
+      return failParse(Error, Where + ": missing string \"name\"");
+    for (const char *Key : {"id", "parent", "depth", "start_ns", "wall_ns",
+                            "cpu_ns", "mem_net_bytes", "mem_peak_bytes"})
+      if (!requireNumber(SV, Key, Where, Error))
+        return false;
+    SpanStat S;
+    S.Id = static_cast<uint64_t>(SV.getNumber("id"));
+    S.Parent = static_cast<uint64_t>(SV.getNumber("parent"));
+    S.Name = Name->str();
+    S.Depth = static_cast<unsigned>(SV.getNumber("depth"));
+    S.StartNanos = static_cast<uint64_t>(SV.getNumber("start_ns"));
+    S.DurNanos = static_cast<uint64_t>(SV.getNumber("wall_ns"));
+    S.CpuNanos = static_cast<uint64_t>(SV.getNumber("cpu_ns"));
+    S.MemNetBytes = static_cast<int64_t>(SV.getNumber("mem_net_bytes"));
+    S.MemPeakBytes = static_cast<int64_t>(SV.getNumber("mem_peak_bytes"));
+    if (const json::Value *Args = SV.get("args")) {
+      if (!Args->isObject())
+        return failParse(Error, Where + ": \"args\" is not an object");
+      for (const auto &[K, V] : Args->members()) {
+        if (V.isNumber())
+          S.IntArgs.emplace_back(K, V.asUInt());
+        else if (V.isString())
+          S.StrArgs.emplace_back(K, V.str());
+        else
+          return failParse(Error, Where + ": arg \"" + K +
+                                      "\" is neither number nor string");
+      }
+    }
+
+    // Structural invariants: ids are dense and begin-ordered, so a
+    // parent always precedes its children. No orphans.
+    if (S.Id != I + 1)
+      return failParse(Error, Where + ": id " + std::to_string(S.Id) +
+                                  " is not dense (want " +
+                                  std::to_string(I + 1) + ")");
+    if (S.Parent >= S.Id)
+      return failParse(Error, Where + ": parent " +
+                                  std::to_string(S.Parent) +
+                                  " does not precede span " +
+                                  std::to_string(S.Id));
+    Out.Spans.push_back(std::move(S));
+  }
+
+  return true;
+}

@@ -1,0 +1,104 @@
+//===-- telemetry/Stats.h - Versioned stats document ------------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tool's stable machine-readable performance output: a versioned
+/// document (schema "dmm-stats") holding per-span wall/cpu time and
+/// memory peaks, the flat phase aggregates, and every counter. Written
+/// by `--stats-json=FILE`, consumed by `scripts/run_bench.sh` (to
+/// compose BENCH_<label>.json), by `--report` (HTML rendering), and by
+/// the schema-validation tests.
+///
+/// Compatibility policy (see docs/OBSERVABILITY.md): within a major
+/// version, fields are only ever added, never removed or retyped;
+/// consumers must ignore unknown fields. A breaking change increments
+/// "version". Timing/memory fields (start_ns, wall_ns, cpu_ns,
+/// mem_net_bytes, mem_peak_bytes, and "jobs") vary run to run; all
+/// other fields are deterministic for a given input and cache state.
+///
+/// StatsDocument is deliberately decoupled from the live Telemetry
+/// registry: it can be built from a registry (buildStats) or parsed
+/// back from a file (parseStats), so `--report --from-stats=FILE`
+/// works without re-running the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_TELEMETRY_STATS_H
+#define DMM_TELEMETRY_STATS_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dmm {
+
+class Telemetry;
+
+namespace stats {
+
+inline constexpr const char kSchemaName[] = "dmm-stats";
+inline constexpr int kSchemaVersion = 1;
+
+/// One span in the document (self-contained mirror of SpanRecord).
+struct SpanStat {
+  uint64_t Id = 0;
+  uint64_t Parent = 0;
+  std::string Name;
+  uint64_t StartNanos = 0;
+  uint64_t DurNanos = 0;
+  uint64_t CpuNanos = 0;
+  int64_t MemNetBytes = 0;
+  int64_t MemPeakBytes = 0;
+  unsigned Depth = 0;
+  std::vector<std::pair<std::string, uint64_t>> IntArgs;
+  std::vector<std::pair<std::string, std::string>> StrArgs;
+
+  /// Integer arg lookup; \p Default when absent.
+  uint64_t intArg(std::string_view Key, uint64_t Default = 0) const;
+  /// String arg lookup; empty when absent.
+  std::string strArg(std::string_view Key) const;
+};
+
+/// One row of the flat phase aggregate.
+struct PhaseRow {
+  std::string Name;
+  uint64_t Nanos = 0;
+  uint64_t Invocations = 0;
+};
+
+/// The parsed/built document.
+struct StatsDocument {
+  int Version = kSchemaVersion;
+  std::string Tool; ///< e.g. "deadmember 0.3.0".
+  unsigned Jobs = 0;
+  bool MemAccounting = false; ///< Platform supports heap accounting.
+  std::vector<PhaseRow> Phases; ///< Sorted by (namespace, key).
+  std::vector<std::pair<std::string, uint64_t>> Counters; ///< Sorted.
+  std::vector<SpanStat> Spans; ///< In begin order; Spans[I].Id == I+1.
+};
+
+/// Snapshots \p T into a document. Call after parallel regions have
+/// completed.
+StatsDocument buildStats(const Telemetry &T, std::string Tool,
+                         unsigned Jobs);
+
+/// Writes the document as schema-versioned JSON.
+void printStats(const StatsDocument &D, std::ostream &OS);
+
+/// Parses and validates a stats JSON document: strict JSON, schema
+/// name/version, required fields with correct types, span parent ids
+/// resolving to earlier spans. On failure returns false and sets
+/// \p Error.
+bool parseStats(std::string_view Text, StatsDocument &Out,
+                std::string &Error);
+
+} // namespace stats
+} // namespace dmm
+
+#endif // DMM_TELEMETRY_STATS_H

@@ -1,4 +1,4 @@
-//===-- telemetry/Telemetry.h - Pipeline phase/counter registry -*- C++ -*-==//
+//===-- telemetry/Telemetry.h - Span registry and counters ------*- C++ -*-==//
 //
 // Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
 //
@@ -6,27 +6,42 @@
 ///
 /// \file
 /// Low-overhead observability for the deadmember pipeline: a registry of
-/// scoped phase timers (RAII, monotonic clock) and named counters, with
-/// two emitters — a human-readable phase/counter table and Chrome
-/// trace-event JSON (loadable in chrome://tracing or Perfetto).
+/// hierarchical spans (RAII, parent/child links, per-span wall/cpu time
+/// and memory accounting) and named counters, with emitters for a
+/// human-readable phase/counter table and Chrome trace-event JSON
+/// (loadable in chrome://tracing or Perfetto). The versioned stats
+/// schema and the HTML report renderer build on this registry — see
+/// telemetry/Stats.h and docs/OBSERVABILITY.md.
 ///
 /// Telemetry is off by default. Instrumentation sites test one global
 /// pointer (`Telemetry::Active`); when no registry is installed via
-/// TelemetryScope, a PhaseTimer or Telemetry::count() call costs a load
-/// and a branch.
+/// TelemetryScope, a Span or Telemetry::count() call costs a load and a
+/// branch.
 ///
-/// The registry is thread-safe: the pipeline's parallel stages (see
-/// support/ThreadPool.h) may time phases and bump counters from worker
-/// threads. Central state is mutex-guarded; hot worker loops should
-/// install a TelemetryShard, which batches counter increments in
-/// thread-local storage and folds them into the registry once when the
-/// shard scope ends — counter totals are sums, so sharded aggregation
-/// is deterministic. Phase nesting depth is tracked per thread.
+/// Spans form a tree. Each thread tracks its innermost open span; a new
+/// Span attaches to it as a child. The parent link survives
+/// ThreadPool::parallelFor/parallelMap fan-out: the pool captures the
+/// submitting thread's current span and installs it on workers for the
+/// duration of the loop (see support/ThreadPool.h), so spans opened
+/// inside worker tasks attach to the spawning span rather than
+/// floating as orphans. While a span is open, allocations on its thread
+/// are charged to it (telemetry/MemoryAccounting.h): completed spans
+/// report net and peak heap bytes, inclusive of child spans on the same
+/// thread.
 ///
-/// Phase names are part of the tool's observable interface (benches and
+/// The registry is thread-safe: the pipeline's parallel stages may open
+/// spans and bump counters from worker threads. Central state is
+/// mutex-guarded; hot worker loops should install a TelemetryShard,
+/// which batches counter increments in thread-local storage and folds
+/// them into the registry once when the shard scope ends — counter
+/// totals are sums, so sharded aggregation is deterministic.
+///
+/// Span names are part of the tool's observable interface (benches and
 /// tests grep for them): "lex", "parse", "sema", "callgraph",
-/// "analysis", "eliminate", "interp". Counter names are dotted,
-/// prefixed by their phase (e.g. "analysis.exprs").
+/// "analysis", "eliminate", "interp", and the dotted sub-spans
+/// ("analysis.scan", "summary.file", "cache.lookup", ...). Counter
+/// names are dotted, prefixed by their namespace (e.g.
+/// "analysis.exprs_visited").
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,25 +60,43 @@ namespace dmm {
 
 class TelemetryShard;
 
-/// Accumulated cost of one named pipeline phase.
+/// Accumulated cost of one span name (the flat per-phase view kept for
+/// the --metrics table and the benchmark counter exports).
 struct PhaseStat {
   std::string Name;
   uint64_t Nanos = 0;       ///< Total inclusive wall time.
-  uint64_t Invocations = 0; ///< Completed PhaseTimer activations.
-  unsigned Depth = 0;       ///< Minimum nesting depth observed.
+  uint64_t Invocations = 0; ///< Completed Span activations.
+  unsigned Depth = 0;       ///< Minimum tree depth observed.
 };
 
-/// One completed timed interval — a Chrome trace-event "complete"
-/// (ph:"X") event.
-struct TimelineEvent {
+/// One key/value attribute attached to a span. Values are either
+/// unsigned integers (counts, bytes, flags) or strings (file names).
+struct SpanArg {
+  std::string Key;
+  uint64_t IntValue = 0;
+  std::string StrValue;
+  bool IsString = false;
+};
+
+/// One span: a named interval in the pipeline's execution tree.
+/// Id 0 is reserved ("no span"); parents always have smaller ids than
+/// their children because a parent begins before any child.
+struct SpanRecord {
+  uint64_t Id = 0;
+  uint64_t Parent = 0; ///< 0 for roots.
   std::string Name;
   uint64_t StartNanos = 0; ///< Relative to the registry's epoch.
   uint64_t DurNanos = 0;
-  unsigned Depth = 0;
+  uint64_t CpuNanos = 0;     ///< Thread CPU time (0 where unsupported).
+  int64_t MemNetBytes = 0;   ///< Allocated minus freed while open.
+  int64_t MemPeakBytes = 0;  ///< Peak net heap growth while open.
+  unsigned Depth = 0;        ///< Tree depth (root = 0).
+  bool Closed = false;       ///< False only for spans still open.
+  std::vector<SpanArg> Args;
 };
 
-/// The phase/counter registry. Install with TelemetryScope; instrument
-/// with PhaseTimer and Telemetry::count().
+/// The span/counter registry. Install with TelemetryScope; instrument
+/// with Span and Telemetry::count().
 class Telemetry {
 public:
   Telemetry();
@@ -76,15 +109,42 @@ public:
   /// calling thread's TelemetryShard when one is installed.
   static void count(const char *Name, uint64_t Delta = 1);
 
+  /// The calling thread's innermost open span id (0 if none). Worker
+  /// threads inherit the submitting thread's span for the duration of a
+  /// parallelFor (support/ThreadPool.h).
+  static uint64_t currentSpanId();
+
   void addCounter(const std::string &Name, uint64_t Delta);
 
-  /// Folds one completed interval into the per-phase aggregate and
-  /// appends it to the event timeline. Thread-safe.
-  void recordInterval(const std::string &Name, uint64_t StartNanos,
-                      uint64_t DurNanos, unsigned Depth);
+  /// \name Span recording (used by the Span RAII class)
+  /// @{
+  /// Opens a span; returns its id, or 0 when the registry's span limit
+  /// was reached (aggregates still accumulate for dropped spans).
+  /// \p DepthOut receives the span's tree depth (parent depth + 1).
+  uint64_t beginSpan(const char *Name, uint64_t Parent, uint64_t StartNanos,
+                     unsigned &DepthOut);
+  /// Closes span \p Id with its measured costs and attributes, and
+  /// folds the interval into the per-name aggregate. \p Id may be 0
+  /// (dropped span): only the aggregate is updated then.
+  void endSpan(uint64_t Id, const char *Name, uint64_t StartNanos,
+               uint64_t DurNanos, uint64_t CpuNanos, int64_t MemNetBytes,
+               int64_t MemPeakBytes, unsigned Depth,
+               std::vector<SpanArg> Args);
+  /// @}
 
   /// Nanoseconds since this registry was created (monotonic clock).
   uint64_t nowNanos() const;
+
+  /// Caps the number of retained SpanRecords (aggregates and counters
+  /// are unaffected). Spans beyond the limit are counted in the
+  /// "telemetry.spans_dropped" counter. Default: 1<<18.
+  void setSpanLimit(size_t Limit);
+
+  /// Folds \p Other (which must be quiescent) into this registry:
+  /// counters and phase aggregates add; spans append with ids remapped
+  /// past this registry's, subject to the span limit. Used by the bench
+  /// harnesses to fold per-benchmark registries into a whole-run one.
+  void merge(const Telemetry &Other);
 
   /// \name Aggregate accessors
   /// Read the registry after parallel regions have completed (the
@@ -92,7 +152,7 @@ public:
   /// @{
   /// Phase aggregates in first-activation order.
   const std::vector<PhaseStat> &phases() const { return Phases; }
-  /// Null if no phase named \p Name ever completed.
+  /// Null if no span named \p Name ever began.
   const PhaseStat *phase(const std::string &Name) const;
 
   const std::map<std::string, uint64_t> &counters() const {
@@ -101,30 +161,33 @@ public:
   /// 0 if the counter was never touched.
   uint64_t counter(const std::string &Name) const;
 
-  const std::vector<TimelineEvent> &events() const { return Events; }
+  /// Completed (and still-open) spans, in begin order. Spans[I] has
+  /// Id == I + 1.
+  const std::vector<SpanRecord> &spans() const { return Spans; }
   /// @}
 
-  /// Writes the human-readable phase/counter table.
+  /// Writes the human-readable phase/counter table. Rows are sorted by
+  /// (namespace, key) — the namespace is the dotted prefix before the
+  /// first '.' — so output is deterministic at any --jobs level.
   void printMetrics(std::ostream &OS) const;
-  /// Writes Chrome trace-event JSON ({"traceEvents": [...]}).
+  /// Writes Chrome trace-event JSON ({"traceEvents": [...]}) with span
+  /// ids, parent links, and memory/attribute args.
   void printChromeTrace(std::ostream &OS) const;
 
 private:
   friend class TelemetryScope;
   friend class TelemetryShard;
-  friend class PhaseTimer;
+  friend class Span;
   static Telemetry *Active;
 
-  /// Per-thread PhaseTimer nesting depth (concurrent timers on
-  /// different workers each have their own stack).
-  static unsigned &nestingDepth();
-
   std::chrono::steady_clock::time_point Epoch;
-  mutable std::mutex Mu; ///< Guards Phases/PhaseIndex/Counters/Events.
+  mutable std::mutex Mu; ///< Guards all fields below.
   std::vector<PhaseStat> Phases;
   std::map<std::string, size_t> PhaseIndex;
   std::map<std::string, uint64_t> Counters;
-  std::vector<TimelineEvent> Events;
+  std::vector<SpanRecord> Spans;
+  size_t SpanLimit;
+  uint64_t SpansDropped = 0;
 };
 
 /// Installs a registry as the process-wide active sink for the current
@@ -165,40 +228,37 @@ private:
   std::map<std::string, uint64_t> Local;
 };
 
-/// RAII phase timer: accumulates the enclosed interval into the active
-/// registry under \p Name. \p Name must outlive the timer (string
-/// literals only).
-class PhaseTimer {
+/// RAII span: records the enclosed interval (wall and thread-cpu time,
+/// net/peak heap bytes) into the active registry under \p Name, as a
+/// child of the thread's current span. \p Name must outlive the span
+/// (string literals only). Attach attributes with arg() before the
+/// span closes.
+class Span {
 public:
-  explicit PhaseTimer(const char *Name)
-      : T(Telemetry::Active), Name(Name) {
-    if (T) {
-      Depth = Telemetry::nestingDepth()++;
-      Start = std::chrono::steady_clock::now();
-    }
-  }
-  ~PhaseTimer() {
-    if (!T)
-      return;
-    auto End = std::chrono::steady_clock::now();
-    --Telemetry::nestingDepth();
-    T->recordInterval(
-        Name,
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Start -
-                                                             T->Epoch)
-            .count(),
-        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
-            .count(),
-        Depth);
-  }
-  PhaseTimer(const PhaseTimer &) = delete;
-  PhaseTimer &operator=(const PhaseTimer &) = delete;
+  explicit Span(const char *Name);
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// This span's id (0 when telemetry is off or the span was dropped).
+  uint64_t id() const { return Id; }
+  bool active() const { return T != nullptr; }
+
+  /// Attaches a numeric attribute (count, bytes, 0/1 flag).
+  void arg(const char *Key, uint64_t Value);
+  /// Attaches a string attribute (file name, mode).
+  void arg(const char *Key, std::string Value);
 
 private:
   Telemetry *T;
   const char *Name;
+  uint64_t Id = 0;
+  uint64_t SavedParent = 0;
   unsigned Depth = 0;
-  std::chrono::steady_clock::time_point Start;
+  bool MemPushed = false;
+  uint64_t StartNanos = 0;
+  uint64_t CpuStart = 0;
+  std::vector<SpanArg> Args;
 };
 
 } // namespace dmm

@@ -302,7 +302,7 @@ EliminationResult dmm::eliminateDeadMembers(const ASTContext &Ctx,
                                             const DeadMemberResult &Result,
                                             const CallGraph &Graph,
                                             const EliminationFault &Fault) {
-  PhaseTimer Timer("eliminate");
+  Span Timer("eliminate");
   RemovalPlanner Planner(Ctx, Result, Graph, Fault);
   Planner.plan();
 

@@ -1,0 +1,268 @@
+//===-- tests/StatsSchemaTest.cpp - Stats schema & report tests -----------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the JSON parser, the versioned dmm-stats document
+/// (build → print → parse round trip, strict validation, parent-id
+/// resolution at every --jobs level), and the HTML report renderer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "support/ThreadPool.h"
+#include "telemetry/HtmlReport.h"
+#include "telemetry/Json.h"
+#include "telemetry/Stats.h"
+#include "telemetry/Telemetry.h"
+
+#include <sstream>
+
+using namespace dmm;
+using namespace dmm::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JSON parser
+//===----------------------------------------------------------------------===//
+
+json::Value parseJsonOK(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Text, V, Error)) << Error;
+  return V;
+}
+
+bool jsonParseFails(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  return !json::parse(Text, V, Error);
+}
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+  json::Value V = parseJsonOK(
+      R"({"a": 1, "b": -2.5e2, "c": "s\u0041\n", "d": [true, false, null]})");
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.getNumber("a"), 1.0);
+  EXPECT_EQ(V.getNumber("b"), -250.0);
+  EXPECT_EQ(V.getString("c"), "sA\n");
+  const json::Value *D = V.get("d");
+  ASSERT_NE(D, nullptr);
+  ASSERT_TRUE(D->isArray());
+  ASSERT_EQ(D->array().size(), 3u);
+  EXPECT_TRUE(D->array()[0].boolean());
+  EXPECT_FALSE(D->array()[1].boolean());
+  EXPECT_TRUE(D->array()[2].isNull());
+}
+
+TEST(Json, StrictnessRejectsMalformedInput) {
+  EXPECT_TRUE(jsonParseFails(""));
+  EXPECT_TRUE(jsonParseFails("{"));
+  EXPECT_TRUE(jsonParseFails("{} trailing"));
+  EXPECT_TRUE(jsonParseFails("{\"a\": 01}"));
+  EXPECT_TRUE(jsonParseFails("{\"a\": }"));
+  EXPECT_TRUE(jsonParseFails("[1, 2,]"));
+  EXPECT_TRUE(jsonParseFails("\"unterminated"));
+  EXPECT_TRUE(jsonParseFails("\"bad \\x escape\""));
+  EXPECT_TRUE(jsonParseFails("{\"a\" 1}"));
+  EXPECT_TRUE(jsonParseFails("nul"));
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  json::Value V = parseJsonOK("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(V.str(), "\xF0\x9F\x98\x80");
+  EXPECT_TRUE(jsonParseFails("\"\\ud83d\"")); // Unpaired high surrogate.
+}
+
+//===----------------------------------------------------------------------===//
+// Stats document
+//===----------------------------------------------------------------------===//
+
+/// Runs the pipeline under \p Tel with a root span, like the driver
+/// does.
+void runPipeline(Telemetry &Tel) {
+  TelemetryScope Scope(Tel);
+  Span Root("pipeline");
+  auto C = compileOK("class P { public: int x; int y; };\n"
+                     "int main() { P p; p.x = 1; return p.x; }\n");
+  analyze(*C);
+}
+
+std::string statsJsonForJobs(unsigned Jobs) {
+  const unsigned Prev = globalThreadPool().jobs();
+  setGlobalJobs(Jobs);
+  Telemetry Tel;
+  runPipeline(Tel);
+  setGlobalJobs(Prev);
+  stats::StatsDocument D = stats::buildStats(Tel, "deadmember test", Jobs);
+  std::ostringstream OS;
+  stats::printStats(D, OS);
+  return OS.str();
+}
+
+TEST(StatsSchema, RoundTripFromLivePipeline) {
+  std::string Text = statsJsonForJobs(2);
+
+  // Strict JSON first, then the schema-aware parse.
+  json::Value Raw;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Text, Raw, Error)) << Error;
+  EXPECT_EQ(Raw.getString("schema"), stats::kSchemaName);
+
+  stats::StatsDocument D;
+  ASSERT_TRUE(stats::parseStats(Text, D, Error)) << Error;
+  EXPECT_EQ(D.Version, stats::kSchemaVersion);
+  EXPECT_EQ(D.Tool, "deadmember test");
+  EXPECT_EQ(D.Jobs, 2u);
+  EXPECT_FALSE(D.Spans.empty());
+
+  // The driver-stable phase names survive the round trip.
+  for (const char *Name : {"pipeline", "lex", "parse", "sema", "callgraph",
+                           "analysis"}) {
+    bool Found = false;
+    for (const stats::PhaseRow &P : D.Phases)
+      Found = Found || P.Name == Name;
+    EXPECT_TRUE(Found) << "missing phase " << Name;
+  }
+
+  // The pipeline span is the root; pipeline children link to it.
+  ASSERT_EQ(D.Spans[0].Name, "pipeline");
+  EXPECT_EQ(D.Spans[0].Parent, 0u);
+  size_t Children = 0;
+  for (const stats::SpanStat &S : D.Spans)
+    if (S.Parent == D.Spans[0].Id)
+      ++Children;
+  EXPECT_GT(Children, 0u);
+}
+
+TEST(StatsSchema, NoOrphanSpansAtAnyJobsLevel) {
+  for (unsigned Jobs : {1u, 4u}) {
+    std::string Text = statsJsonForJobs(Jobs);
+    stats::StatsDocument D;
+    std::string Error;
+    // parseStats enforces dense begin-ordered ids and parent-precedes-
+    // child, so a successful parse proves every parent resolves.
+    ASSERT_TRUE(stats::parseStats(Text, D, Error))
+        << "jobs=" << Jobs << ": " << Error;
+    for (const stats::SpanStat &S : D.Spans) {
+      EXPECT_LT(S.Parent, S.Id) << "jobs=" << Jobs;
+      if (S.Name != "pipeline") {
+        EXPECT_NE(S.Parent, 0u)
+            << "orphan span '" << S.Name << "' at jobs=" << Jobs;
+      }
+    }
+  }
+}
+
+TEST(StatsSchema, ValidationRejectsSchemaViolations) {
+  std::string Good = statsJsonForJobs(1);
+  stats::StatsDocument D;
+  std::string Error;
+  ASSERT_TRUE(stats::parseStats(Good, D, Error)) << Error;
+
+  auto Replaced = [&](const std::string &From, const std::string &To) {
+    std::string S = Good;
+    size_t Pos = S.find(From);
+    EXPECT_NE(Pos, std::string::npos) << From;
+    S.replace(Pos, From.size(), To);
+    stats::StatsDocument Out;
+    std::string Err;
+    return !stats::parseStats(S, Out, Err);
+  };
+
+  EXPECT_TRUE(Replaced("\"dmm-stats\"", "\"other-schema\""));
+  EXPECT_TRUE(Replaced("\"version\": 1", "\"version\": 999"));
+  EXPECT_TRUE(Replaced("\"jobs\": 1", "\"jobs\": \"one\""));
+  EXPECT_TRUE(Replaced("\"memory_accounting\"", "\"renamed_field\""));
+  // First span id rewritten: ids are no longer dense.
+  EXPECT_TRUE(Replaced("{\"id\": 1,", "{\"id\": 7,"));
+  EXPECT_TRUE(jsonParseFails(Good + "x"));
+}
+
+TEST(StatsSchema, TraceJsonIsStrictlyParseable) {
+  Telemetry Tel;
+  runPipeline(Tel);
+  std::ostringstream OS;
+  Tel.printChromeTrace(OS);
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(OS.str(), V, Error)) << Error;
+  const json::Value *Events = V.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  EXPECT_FALSE(Events->array().empty());
+  // Every duration event carries its span id and parent link.
+  for (const json::Value &E : Events->array()) {
+    if (E.getString("ph") != "X")
+      continue;
+    const json::Value *Args = E.get("args");
+    ASSERT_NE(Args, nullptr);
+    EXPECT_NE(Args->get("span_id"), nullptr);
+    EXPECT_NE(Args->get("parent"), nullptr);
+    EXPECT_NE(Args->get("mem_peak_bytes"), nullptr);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// HTML report
+//===----------------------------------------------------------------------===//
+
+stats::StatsDocument syntheticDoc() {
+  stats::StatsDocument D;
+  D.Tool = "deadmember test";
+  D.Jobs = 2;
+  D.MemAccounting = true;
+  const char *Names[] = {"pipeline", "lex", "analysis", "summary.file",
+                         "cache.lookup"};
+  for (uint64_t I = 0; I != 5; ++I) {
+    stats::SpanStat S;
+    S.Id = I + 1;
+    S.Parent = I; // Chain: each span under the previous one.
+    S.Name = Names[I];
+    S.Depth = static_cast<unsigned>(I);
+    S.StartNanos = I * 1000;
+    S.DurNanos = (5 - I) * 1000000;
+    S.CpuNanos = S.DurNanos / 2;
+    S.MemPeakBytes = static_cast<int64_t>((I + 1) * 4096);
+    if (S.Name == std::string("summary.file")) {
+      S.StrArgs.emplace_back("file", "suite/a.mcc");
+      S.IntArgs.emplace_back("cached", 1);
+    }
+    D.Spans.push_back(std::move(S));
+  }
+  D.Phases.push_back({"analysis", 3000000, 1});
+  D.Counters.emplace_back("cache.hits", 1);
+  D.Counters.emplace_back("cache.lookups", 1);
+  return D;
+}
+
+TEST(HtmlReport, ContainsTopHotSpansWaterfallAndCacheTable) {
+  std::ostringstream OS;
+  stats::renderHtmlReport(syntheticDoc(), OS);
+  const std::string Html = OS.str();
+  EXPECT_NE(Html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(Html.find("Top 5 hot spans"), std::string::npos);
+  EXPECT_NE(Html.find("Span waterfall"), std::string::npos);
+  EXPECT_NE(Html.find("Summary cache"), std::string::npos);
+  EXPECT_NE(Html.find("cache.hits"), std::string::npos);
+  EXPECT_NE(Html.find("suite/a.mcc"), std::string::npos);
+  EXPECT_NE(Html.find("pipeline"), std::string::npos);
+  // Self-contained: no external references.
+  EXPECT_EQ(Html.find("src="), std::string::npos);
+  EXPECT_EQ(Html.find("href="), std::string::npos);
+}
+
+TEST(HtmlReport, EscapesUntrustedNames) {
+  stats::StatsDocument D = syntheticDoc();
+  D.Spans[3].StrArgs[0].second = "<script>alert(1)</script>";
+  std::ostringstream OS;
+  stats::renderHtmlReport(D, OS);
+  EXPECT_EQ(OS.str().find("<script>alert"), std::string::npos);
+  EXPECT_NE(OS.str().find("&lt;script&gt;"), std::string::npos);
+}
+
+} // namespace

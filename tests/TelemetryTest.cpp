@@ -5,19 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Covers the telemetry registry (phase timers, counters, scope
-/// install/restore, disabled-path no-op), the Chrome trace-event JSON
-/// emitter, and liveness provenance: direct marks carry a source
-/// location, propagated marks carry the propagation edge, and the
-/// --explain report renders the full cause chain.
+/// Covers the telemetry registry (spans, counters, scope
+/// install/restore, disabled-path no-op), the span tree across
+/// ThreadPool fan-out, per-span memory accounting, the Chrome
+/// trace-event JSON emitter, and liveness provenance: direct marks
+/// carry a source location, propagated marks carry the propagation
+/// edge, and the --explain report renders the full cause chain.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
 
 #include "analysis/Report.h"
+#include "support/ThreadPool.h"
+#include "telemetry/MemoryAccounting.h"
 #include "telemetry/Telemetry.h"
 
+#include <atomic>
 #include <vector>
 
 using namespace dmm;
@@ -40,14 +44,14 @@ TEST(Telemetry, CountersAccumulateAndReadBackZeroWhenAbsent) {
   EXPECT_EQ(Tel.counter("never.touched"), 0u);
 }
 
-TEST(Telemetry, PhaseTimersAggregateInvocationsInActivationOrder) {
+TEST(Telemetry, SpansAggregateInvocationsInActivationOrder) {
   Telemetry Tel;
   {
     TelemetryScope Scope(Tel);
     for (int I = 0; I < 3; ++I) {
-      PhaseTimer Timer("alpha");
+      Span Timer("alpha");
     }
-    PhaseTimer Timer("beta");
+    Span Timer("beta");
   }
   ASSERT_EQ(Tel.phases().size(), 2u);
   EXPECT_EQ(Tel.phases()[0].Name, "alpha");
@@ -56,31 +60,178 @@ TEST(Telemetry, PhaseTimersAggregateInvocationsInActivationOrder) {
   ASSERT_NE(Alpha, nullptr);
   EXPECT_EQ(Alpha->Invocations, 3u);
   EXPECT_EQ(Tel.phase("gamma"), nullptr);
-  EXPECT_EQ(Tel.events().size(), 4u);
+  EXPECT_EQ(Tel.spans().size(), 4u);
 }
 
-TEST(Telemetry, NestedPhasesRecordDepth) {
+TEST(Telemetry, NestedSpansRecordDepthAndParentLinks) {
   Telemetry Tel;
   {
     TelemetryScope Scope(Tel);
-    PhaseTimer Outer("outer");
+    Span Outer("outer");
     {
-      PhaseTimer Inner("inner");
+      Span Inner("inner");
+      EXPECT_EQ(Inner.id(), Telemetry::currentSpanId());
     }
+    EXPECT_EQ(Outer.id(), Telemetry::currentSpanId());
   }
+  EXPECT_EQ(Telemetry::currentSpanId(), 0u);
   const PhaseStat *Outer = Tel.phase("outer");
   const PhaseStat *Inner = Tel.phase("inner");
   ASSERT_NE(Outer, nullptr);
   ASSERT_NE(Inner, nullptr);
   EXPECT_EQ(Outer->Depth, 0u);
   EXPECT_EQ(Inner->Depth, 1u);
+
+  // Span records: ids are dense begin-ordered, parents precede
+  // children, both spans closed.
+  ASSERT_EQ(Tel.spans().size(), 2u);
+  const SpanRecord &OuterRec = Tel.spans()[0];
+  const SpanRecord &InnerRec = Tel.spans()[1];
+  EXPECT_EQ(OuterRec.Id, 1u);
+  EXPECT_EQ(OuterRec.Parent, 0u);
+  EXPECT_EQ(InnerRec.Parent, OuterRec.Id);
+  EXPECT_TRUE(OuterRec.Closed);
+  EXPECT_TRUE(InnerRec.Closed);
+  EXPECT_GE(OuterRec.DurNanos, InnerRec.DurNanos);
+}
+
+TEST(Telemetry, SpanArgsAreRecorded) {
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    Span S("tagged");
+    S.arg("file", std::string("a.mcc"));
+    S.arg("bytes", uint64_t(123));
+  }
+  ASSERT_EQ(Tel.spans().size(), 1u);
+  const SpanRecord &R = Tel.spans()[0];
+  ASSERT_EQ(R.Args.size(), 2u);
+  EXPECT_EQ(R.Args[0].Key, "file");
+  EXPECT_TRUE(R.Args[0].IsString);
+  EXPECT_EQ(R.Args[0].StrValue, "a.mcc");
+  EXPECT_EQ(R.Args[1].Key, "bytes");
+  EXPECT_FALSE(R.Args[1].IsString);
+  EXPECT_EQ(R.Args[1].IntValue, 123u);
+}
+
+TEST(Telemetry, SpanIdsSurviveParallelForFanOut) {
+  Telemetry Tel;
+  uint64_t OuterId = 0;
+  {
+    TelemetryScope Scope(Tel);
+    ThreadPool Pool(4);
+    Span Outer("fanout");
+    OuterId = Outer.id();
+    Pool.parallelFor(16, [&](size_t) {
+      Span Task("task");
+      (void)Task;
+    });
+  }
+  ASSERT_NE(OuterId, 0u);
+  size_t Tasks = 0;
+  for (const SpanRecord &R : Tel.spans()) {
+    if (R.Name != "task")
+      continue;
+    ++Tasks;
+    // Every worker task attaches to the spawning span, at depth 1 —
+    // no orphans, regardless of which pool thread ran it.
+    EXPECT_EQ(R.Parent, OuterId);
+    EXPECT_EQ(R.Depth, 1u);
+  }
+  EXPECT_EQ(Tasks, 16u);
+  const PhaseStat *Task = Tel.phase("task");
+  ASSERT_NE(Task, nullptr);
+  EXPECT_EQ(Task->Invocations, 16u);
+}
+
+TEST(Telemetry, WorkerContextIsRestoredAfterLoop) {
+  Telemetry Tel;
+  TelemetryScope Scope(Tel);
+  ThreadPool Pool(2);
+  {
+    Span Outer("first");
+    Pool.parallelFor(4, [&](size_t) { Span Task("one"); });
+  }
+  // No span open now; tasks of a second loop must be roots, not
+  // children of a stale context left installed on the workers.
+  Pool.parallelFor(4, [&](size_t) { Span Task("two"); });
+  for (const SpanRecord &R : Tel.spans()) {
+    if (R.Name == "two") {
+      EXPECT_EQ(R.Parent, 0u);
+    }
+  }
+}
+
+TEST(Telemetry, SpanLimitDropsRecordsButKeepsAggregates) {
+  Telemetry Tel;
+  Tel.setSpanLimit(2);
+  {
+    TelemetryScope Scope(Tel);
+    for (int I = 0; I < 5; ++I) {
+      Span S("capped");
+    }
+  }
+  EXPECT_EQ(Tel.spans().size(), 2u);
+  EXPECT_EQ(Tel.counter("telemetry.spans_dropped"), 3u);
+  const PhaseStat *P = Tel.phase("capped");
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->Invocations, 5u);
+}
+
+TEST(Telemetry, MergeFoldsCountersPhasesAndRemapsSpanIds) {
+  Telemetry A;
+  {
+    TelemetryScope Scope(A);
+    Span S("shared");
+    Telemetry::count("c.x", 1);
+  }
+  Telemetry B;
+  {
+    TelemetryScope Scope(B);
+    Span Outer("shared");
+    Span Inner("extra");
+    Telemetry::count("c.x", 2);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.counter("c.x"), 3u);
+  const PhaseStat *Shared = A.phase("shared");
+  ASSERT_NE(Shared, nullptr);
+  EXPECT_EQ(Shared->Invocations, 2u);
+  ASSERT_EQ(A.spans().size(), 3u);
+  // Merged spans keep dense ids and intra-registry parent links.
+  EXPECT_EQ(A.spans()[1].Id, 2u);
+  EXPECT_EQ(A.spans()[1].Parent, 0u);
+  EXPECT_EQ(A.spans()[2].Id, 3u);
+  EXPECT_EQ(A.spans()[2].Parent, 2u);
+}
+
+TEST(Telemetry, MemoryAccountingReportsAllocationPeak) {
+  if (!memacct::available())
+    GTEST_SKIP() << "usable-size accounting unavailable on this platform";
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    Span S("alloc_heavy");
+    std::vector<std::string> Hog;
+    for (int I = 0; I < 256; ++I)
+      Hog.emplace_back(1024, 'x');
+  }
+  ASSERT_EQ(Tel.spans().size(), 1u);
+  const SpanRecord &R = Tel.spans()[0];
+  // 256 KiB of strings were live inside the span; the peak must see
+  // at least that much, and the hog was freed before the span closed,
+  // so net is below peak.
+  EXPECT_GE(R.MemPeakBytes, 256 * 1024);
+  EXPECT_LT(R.MemNetBytes, R.MemPeakBytes);
 }
 
 TEST(Telemetry, ScopeRestoresPreviousSinkAndInactiveIsNoOp) {
   EXPECT_EQ(Telemetry::active(), nullptr);
   Telemetry::count("dropped"); // No sink installed: must not crash.
   {
-    PhaseTimer Timer("dropped_phase");
+    Span Timer("dropped_phase");
+    EXPECT_FALSE(Timer.active());
+    EXPECT_EQ(Timer.id(), 0u);
   }
   Telemetry OuterTel;
   {
@@ -103,7 +254,7 @@ TEST(Telemetry, MetricsTableListsPhasesAndCounters) {
   Telemetry Tel;
   {
     TelemetryScope Scope(Tel);
-    PhaseTimer Timer("demo");
+    Span Timer("demo");
     Telemetry::count("demo.items", 42);
   }
   std::ostringstream OS;
@@ -111,6 +262,26 @@ TEST(Telemetry, MetricsTableListsPhasesAndCounters) {
   EXPECT_NE(OS.str().find("demo"), std::string::npos);
   EXPECT_NE(OS.str().find("demo.items"), std::string::npos);
   EXPECT_NE(OS.str().find("42"), std::string::npos);
+}
+
+TEST(Telemetry, MetricsRowsSortedByNamespaceThenKey) {
+  Telemetry Tel;
+  {
+    TelemetryScope Scope(Tel);
+    // Activation order deliberately differs from sorted order.
+    Span Z("zeta");
+    Span A("alpha.late");
+    Telemetry::count("z.first", 1);
+    Telemetry::count("a.second", 2);
+  }
+  std::ostringstream OS;
+  Tel.printMetrics(OS);
+  const std::string Out = OS.str();
+  EXPECT_LT(Out.find("alpha.late"), Out.find("zeta"));
+  EXPECT_LT(Out.find("a.second"), Out.find("z.first"));
+  // phases() itself stays in activation order for programmatic use.
+  ASSERT_EQ(Tel.phases().size(), 2u);
+  EXPECT_EQ(Tel.phases()[0].Name, "zeta");
 }
 
 //===----------------------------------------------------------------------===//
@@ -160,9 +331,9 @@ TEST(Telemetry, ChromeTraceIsWellFormed) {
   Telemetry Tel;
   {
     TelemetryScope Scope(Tel);
-    PhaseTimer Outer("outer");
+    Span Outer("outer");
     {
-      PhaseTimer Inner("inner");
+      Span Inner("inner");
     }
     Telemetry::count("outer.things", 3);
   }
