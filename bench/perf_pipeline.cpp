@@ -15,6 +15,7 @@
 
 #include "BenchStats.h"
 #include "BenchUtil.h"
+#include "profiler/ShadowProfiler.h"
 #include "telemetry/Telemetry.h"
 
 #include "benchmark/benchmark.h"
@@ -132,6 +133,38 @@ void BM_Interpret(benchmark::State &State, const std::string &Name) {
   foldBenchStats(Tel);
 }
 
+/// The same execution as BM_Interpret with the shadow profiler
+/// attached: the interpret/ vs interp_profile/ delta is the profiler's
+/// allocation-proportional overhead (finalize included — site folding
+/// is part of the cost a --profile user pays).
+void BM_InterpretProfiled(benchmark::State &State, const std::string &Name) {
+  auto &C = compiledFor(Name);
+  CallGraph G = buildCallGraph(C->context(), C->hierarchy(),
+                               C->mainFunction(), CallGraphKind::RTA);
+  DeadMemberAnalysis A(C->context(), C->hierarchy(), {});
+  A.setCallGraph(&G);
+  DeadMemberResult R = A.run(C->mainFunction());
+  Telemetry Tel;
+  for (auto _ : State) {
+    TelemetryScope Scope(Tel);
+    ShadowProfiler Prof(C->hierarchy(), R.deadSet());
+    InterpOptions IO;
+    IO.Profiler = &Prof;
+    Interpreter I(C->context(), C->hierarchy(), IO);
+    ExecResult E = I.run(C->mainFunction());
+    if (!E.Completed)
+      std::abort();
+    const ProfileSummary &P = Prof.finalize(nullptr);
+    Prof.emitCounters(); // profiler.* counters land in the stats doc.
+    benchmark::DoNotOptimize(P.Metrics.HighWaterMark);
+  }
+  exportPhaseCounters(State, Tel);
+  exportCounter(State, Tel, "interp.steps", "steps");
+  exportCounter(State, Tel, "profiler.allocs", "allocs");
+  exportCounter(State, Tel, "profiler.never_read_bytes", "never_read_bytes");
+  foldBenchStats(Tel);
+}
+
 void registerAll() {
   for (const char *Name : {"richards", "deltablue", "sched", "lcom",
                            "jikes"}) {
@@ -159,6 +192,10 @@ void registerAll() {
     benchmark::RegisterBenchmark(("interpret/" + N).c_str(),
                                  [N](benchmark::State &S) {
                                    BM_Interpret(S, N);
+                                 });
+    benchmark::RegisterBenchmark(("interp_profile/" + N).c_str(),
+                                 [N](benchmark::State &S) {
+                                   BM_InterpretProfiled(S, N);
                                  });
   }
 }

@@ -4,9 +4,12 @@
 Subcommands:
 
   validate-stats FILE       check a --stats-json file against the
-                            dmm-stats v1 schema (required fields, dense
-                            begin-ordered span ids, parents precede
-                            children, no orphan spans)
+                            dmm-stats schema, v1 or v2 (required fields,
+                            dense begin-ordered span ids, parents precede
+                            children, no orphan spans; for v2 documents
+                            with a "profiler" section: per-field types,
+                            strictly increasing snapshot events, live
+                            bytes bounded by the high-water mark)
   validate-trace FILE       check a --trace-json file (Chrome trace
                             format; every duration event must carry its
                             span id and parent link)
@@ -28,7 +31,24 @@ import json
 import sys
 
 SCHEMA_NAME = "dmm-stats"
-SCHEMA_VERSION = 1
+# Accepted schema versions; the "profiler" section needs v2+.
+SCHEMA_MIN_VERSION = 1
+SCHEMA_MAX_VERSION = 2
+
+PROFILER_SUMMARY_FIELDS = (
+    "object_space", "dead_member_space", "high_water_mark",
+    "high_water_mark_no_dead", "num_objects", "alloc_events",
+    "free_events", "leaked_objects", "peak_alloc_event",
+    "snapshot_stride",
+)
+PROFILER_SNAPSHOT_FIELDS = (
+    "event", "live_bytes", "live_bytes_no_dead", "live_objects",
+)
+PROFILER_SITE_STR_FIELDS = ("file", "class", "member")
+PROFILER_SITE_INT_FIELDS = (
+    "line", "objects", "alloc_bytes", "written_bytes", "read_bytes",
+    "addr_taken_bytes", "never_read_bytes",
+)
 
 SPAN_NUMERIC_FIELDS = (
     "id", "parent", "depth", "start_ns", "wall_ns", "cpu_ns",
@@ -59,9 +79,11 @@ def check_stats_doc(doc, where):
     if doc.get("schema") != SCHEMA_NAME:
         fail("%s: schema is %r, want %r" % (where, doc.get("schema"),
                                             SCHEMA_NAME))
-    if doc.get("version") != SCHEMA_VERSION:
-        fail("%s: version is %r, want %d" % (where, doc.get("version"),
-                                             SCHEMA_VERSION))
+    version = doc.get("version")
+    if (not isinstance(version, int)
+            or not SCHEMA_MIN_VERSION <= version <= SCHEMA_MAX_VERSION):
+        fail("%s: version is %r, want %d..%d"
+             % (where, version, SCHEMA_MIN_VERSION, SCHEMA_MAX_VERSION))
     if not isinstance(doc.get("tool"), str):
         fail("%s: missing string \"tool\"" % where)
     if not isinstance(doc.get("jobs"), int):
@@ -86,6 +108,9 @@ def check_stats_doc(doc, where):
     for name, value in counters.items():
         if not isinstance(value, int):
             fail("%s: counter %r is not an integer" % (where, name))
+
+    if "profiler" in doc:
+        check_profiler(doc, where)
 
     spans = doc.get("spans")
     if not isinstance(spans, list):
@@ -112,11 +137,76 @@ def check_stats_doc(doc, where):
     return doc
 
 
+def check_profiler(doc, where):
+    """Validates the v2 "profiler" section: field presence and types,
+    strictly increasing snapshot events, and the live-byte invariants
+    (live <= high-water mark, live-without-dead <= live)."""
+    if doc["version"] < 2:
+        fail("%s: \"profiler\" section requires version >= 2, got %d"
+             % (where, doc["version"]))
+    prof = doc["profiler"]
+    if not isinstance(prof, dict):
+        fail("%s: \"profiler\" is not an object" % where)
+    for key in PROFILER_SUMMARY_FIELDS:
+        if not isinstance(prof.get(key), int):
+            fail("%s: profiler lacks integer %r" % (where, key))
+    if prof["snapshot_stride"] < 1:
+        fail("%s: profiler snapshot_stride must be >= 1" % where)
+    hwm = prof["high_water_mark"]
+    if prof["high_water_mark_no_dead"] > hwm:
+        fail("%s: profiler high_water_mark_no_dead exceeds "
+             "high_water_mark" % where)
+
+    snapshots = prof.get("snapshots")
+    if not isinstance(snapshots, list):
+        fail("%s: profiler lacks array \"snapshots\"" % where)
+    prev_event = 0
+    for i, s in enumerate(snapshots):
+        label = "%s: profiler.snapshots[%d]" % (where, i)
+        if not isinstance(s, dict):
+            fail(label + " is not an object")
+        for key in PROFILER_SNAPSHOT_FIELDS:
+            if not isinstance(s.get(key), int):
+                fail("%s lacks integer %r" % (label, key))
+        if s["event"] <= prev_event:
+            fail("%s: event %d does not increase (previous %d)"
+                 % (label, s["event"], prev_event))
+        prev_event = s["event"]
+        if s["live_bytes"] > hwm:
+            fail("%s: live_bytes %d exceeds the high water mark %d"
+                 % (label, s["live_bytes"], hwm))
+        if s["live_bytes_no_dead"] > s["live_bytes"]:
+            fail("%s: live_bytes_no_dead exceeds live_bytes" % label)
+
+    sites = prof.get("sites")
+    if not isinstance(sites, list):
+        fail("%s: profiler lacks array \"sites\"" % where)
+    for i, s in enumerate(sites):
+        label = "%s: profiler.sites[%d]" % (where, i)
+        if not isinstance(s, dict):
+            fail(label + " is not an object")
+        for key in PROFILER_SITE_STR_FIELDS:
+            if not isinstance(s.get(key), str):
+                fail("%s lacks string %r" % (label, key))
+        for key in PROFILER_SITE_INT_FIELDS:
+            if not isinstance(s.get(key), int):
+                fail("%s lacks integer %r" % (label, key))
+        if not isinstance(s.get("static_dead"), bool):
+            fail("%s lacks boolean \"static_dead\"" % label)
+        if s["never_read_bytes"] > s["alloc_bytes"]:
+            fail("%s: never_read_bytes exceeds alloc_bytes" % label)
+
+
 def cmd_validate_stats(path):
     doc = check_stats_doc(load(path), path)
-    print("%s: ok (%d phases, %d counters, %d spans)"
-          % (path, len(doc["phases"]), len(doc["counters"]),
-             len(doc["spans"])))
+    profiler = ""
+    if "profiler" in doc:
+        profiler = (", profiler: %d snapshots, %d sites"
+                    % (len(doc["profiler"]["snapshots"]),
+                       len(doc["profiler"]["sites"])))
+    print("%s: ok (v%d, %d phases, %d counters, %d spans%s)"
+          % (path, doc["version"], len(doc["phases"]),
+             len(doc["counters"]), len(doc["spans"]), profiler))
 
 
 def cmd_validate_trace(path):
@@ -168,6 +258,9 @@ def normalized(doc):
         "memory_accounting": doc["memory_accounting"],
         "phases": [(p["name"], p["calls"]) for p in doc["phases"]],
         "counters": sorted(doc["counters"].items()),
+        # The whole profiler section is deterministic (counts and byte
+        # totals, no timing), so it must be bit-equal across --jobs.
+        "profiler": doc.get("profiler"),
         "spans": span_paths(doc),
     }
 

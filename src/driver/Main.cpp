@@ -18,6 +18,7 @@
 #include "cache/SummaryCache.h"
 #include "driver/Frontend.h"
 #include "interp/Interpreter.h"
+#include "profiler/ShadowProfiler.h"
 #include "support/ThreadPool.h"
 #include "telemetry/HtmlReport.h"
 #include "telemetry/Stats.h"
@@ -53,6 +54,7 @@ struct DriverOptions {
   bool ShowStats = false;
   bool RunProgram = false;
   bool Measure = false;
+  bool Profile = false; ///< --profile / DMM_PROFILE env.
   bool DumpCallGraph = false;
   bool Eliminate = false;
   bool Json = false;
@@ -100,6 +102,13 @@ int usage() {
          "  --measure                interpret and print the dynamic\n"
          "                           measurements (Table 2 columns) plus\n"
          "                           per-class member access heat\n"
+         "  --profile                interpret under the shadow-memory\n"
+         "                           profiler: per-byte dead-data\n"
+         "                           attribution per allocation site and\n"
+         "                           high-water-mark snapshots (also:\n"
+         "                           DMM_PROFILE=1 env var). With\n"
+         "                           --measure, cross-checks the profiler\n"
+         "                           against the allocation-trace replay\n"
          "  --dump-callgraph         list reachable functions\n"
          "  --eliminate              print the transformed program with\n"
          "                           dead members and unreachable code\n"
@@ -217,6 +226,8 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       Opts.RunProgram = true;
     } else if (Arg == "--measure") {
       Opts.Measure = true;
+    } else if (Arg == "--profile") {
+      Opts.Profile = true;
     } else if (Arg == "--dump-callgraph") {
       Opts.DumpCallGraph = true;
     } else if (Arg == "--eliminate") {
@@ -309,6 +320,10 @@ struct TelemetryEmitter {
   const Telemetry &Tel;
   const DriverOptions &Opts;
   bool ToStderr; ///< DMM_METRICS env mode.
+  /// Filled by the --profile run (Present stays false otherwise);
+  /// spliced into the stats document so --stats-json/--report carry
+  /// the profiler section.
+  const stats::ProfilerSection *Profiler = nullptr;
 
   ~TelemetryEmitter() {
     if (Opts.Metrics) {
@@ -339,6 +354,8 @@ struct TelemetryEmitter {
     stats::StatsDocument Doc = stats::buildStats(
         Tel, std::string("deadmember ") + kToolVersion,
         globalThreadPool().jobs());
+    if (Profiler && Profiler->Present)
+      Doc.Profiler = *Profiler;
     if (!Opts.StatsJsonFile.empty()) {
       std::ofstream Out(Opts.StatsJsonFile);
       if (!Out)
@@ -408,6 +425,56 @@ void printHeatReport(std::ostream &OS, const FieldHeat &Heat) {
        << " writes\n";
 }
 
+/// Prints the shadow-profiler summary and the dead-byte heat table
+/// (allocation sites ranked by never-read member bytes).
+void printProfileReport(std::ostream &OS, const ProfileSummary &P) {
+  const DynamicMetrics &M = P.Metrics;
+  OS << "\nshadow profiler:\n"
+     << "  object space:           " << M.ObjectSpace << " bytes ("
+     << M.NumObjects << " objects, " << P.AllocEvents
+     << " allocation events)\n"
+     << "  dead data member space: " << M.DeadMemberSpace << " bytes ("
+     << M.deadSpacePercent() << "%)\n"
+     << "  high water mark:        " << M.HighWaterMark
+     << " bytes (first hit at allocation event " << P.PeakAllocEvent
+     << ")\n"
+     << "  high water mark w/o dead members: " << M.HighWaterMarkNoDead
+     << " bytes (" << M.highWaterMarkReductionPercent()
+     << "% reduction)\n"
+     << "  frees: " << P.FreeEvents << " events, leaked objects: "
+     << P.LeakedObjects << "\n"
+     << "  member bytes: " << P.WrittenBytes << " written, "
+     << P.ReadBytes << " read, " << P.AddrTakenBytes
+     << " address-taken, " << P.NeverReadBytes << " never read\n"
+     << "  snapshots: " << P.Snapshots.size() << " (stride "
+     << P.SnapshotStride << ")\n";
+
+  std::vector<const ProfileSiteRow *> Hot;
+  for (const ProfileSiteRow &Row : P.Sites)
+    if (Row.NeverReadBytes)
+      Hot.push_back(&Row);
+  if (Hot.empty())
+    return;
+  std::stable_sort(Hot.begin(), Hot.end(),
+                   [](const ProfileSiteRow *A, const ProfileSiteRow *B) {
+                     return A->NeverReadBytes > B->NeverReadBytes;
+                   });
+  constexpr size_t kMaxRows = 12;
+  OS << "\ndead-byte heat (allocation sites by never-read member "
+        "bytes):\n";
+  for (size_t I = 0; I != Hot.size() && I != kMaxRows; ++I) {
+    const ProfileSiteRow &Row = *Hot[I];
+    OS << "  " << Row.File << ":" << Row.Line << " " << Row.Class
+       << " " << Row.Member << ": " << Row.NeverReadBytes << "/"
+       << Row.AllocBytes << " bytes never read";
+    if (Row.StaticDead)
+      OS << " [dead]";
+    OS << "\n";
+  }
+  if (Hot.size() > kMaxRows)
+    OS << "  ... (" << (Hot.size() - kMaxRows) << " more sites)\n";
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -427,12 +494,20 @@ int main(int Argc, char **Argv) {
   const char *MetricsEnv = std::getenv("DMM_METRICS");
   bool MetricsToStderr = MetricsEnv && *MetricsEnv &&
                          std::strcmp(MetricsEnv, "0") != 0 && !Opts.Metrics;
+  // --profile also answers to the DMM_PROFILE env hook (same contract
+  // as DMM_METRICS: set and not "0" enables it), so scripts and benches
+  // can profile without flag plumbing.
+  const char *ProfileEnv = std::getenv("DMM_PROFILE");
+  if (ProfileEnv && *ProfileEnv && std::strcmp(ProfileEnv, "0") != 0)
+    Opts.Profile = true;
   Telemetry Tel;
   std::optional<TelemetryScope> TelScope;
   if (Opts.Metrics || MetricsToStderr || !Opts.TraceJsonFile.empty() ||
       !Opts.StatsJsonFile.empty() || !Opts.ReportFile.empty())
     TelScope.emplace(Tel);
-  TelemetryEmitter Emitter{Tel, Opts, MetricsToStderr};
+  // Outlives the emitter: filled after the profiled run finalizes.
+  stats::ProfilerSection ProfSection;
+  TelemetryEmitter Emitter{Tel, Opts, MetricsToStderr, &ProfSection};
   // The whole run is one root span; every phase nests under it. Closed
   // by destruction just before the emitter writes the outputs.
   std::optional<Span> RootSpan;
@@ -533,16 +608,21 @@ int main(int Argc, char **Argv) {
   // All execution modes share one interpreter run: --check collects the
   // dynamic read set, --measure the allocation trace and access heat,
   // --run the program output — from the same execution.
-  if (Opts.Check || Opts.RunProgram || Opts.Measure) {
+  if (Opts.Check || Opts.RunProgram || Opts.Measure || Opts.Profile) {
     std::set<const FieldDecl *> Reads;
     AllocationTrace Trace;
     FieldHeat Heat;
+    std::optional<ShadowProfiler> Prof;
     InterpOptions IO;
     if (Opts.Check)
       IO.ReadSet = &Reads;
     if (Opts.Measure) {
       IO.Trace = &Trace;
       IO.Heat = &Heat;
+    }
+    if (Opts.Profile) {
+      Prof.emplace(C->hierarchy(), Result.deadSet());
+      IO.Profiler = &*Prof;
     }
     Interpreter Interp(C->context(), C->hierarchy(), IO);
     ExecResult Exec = Interp.run(C->mainFunction());
@@ -573,10 +653,11 @@ int main(int Argc, char **Argv) {
                 << " ---\n";
     }
 
+    std::optional<DynamicMetrics> TraceMetrics;
     if (Opts.Measure) {
       LayoutEngine Layout(C->hierarchy());
-      DynamicMetrics M =
-          computeDynamicMetrics(Trace, Layout, Result.deadSet());
+      TraceMetrics = computeDynamicMetrics(Trace, Layout, Result.deadSet());
+      const DynamicMetrics &M = *TraceMetrics;
       std::cout << "\ndynamic measurements:\n"
                 << "  object space:           " << M.ObjectSpace
                 << " bytes (" << M.NumObjects << " objects)\n"
@@ -588,6 +669,36 @@ int main(int Argc, char **Argv) {
                 << M.HighWaterMarkNoDead << " bytes ("
                 << M.highWaterMarkReductionPercent() << "% reduction)\n";
       printHeatReport(std::cout, Heat);
+    }
+
+    if (Opts.Profile) {
+      const ProfileSummary &P = Prof->finalize(&C->SM);
+      Prof->emitCounters();
+      printProfileReport(std::cout, P);
+      ProfSection = toProfilerSection(P);
+      // Differential check: the online shadow accounting must equal the
+      // trace replay exactly on every execution (they implement the
+      // same event arithmetic over the same layout).
+      if (TraceMetrics) {
+        if (P.Metrics != *TraceMetrics) {
+          const DynamicMetrics &T = *TraceMetrics;
+          const DynamicMetrics &S = P.Metrics;
+          std::cerr << "error: shadow profiler diverges from the "
+                       "allocation-trace replay\n"
+                    << "  trace:    object_space=" << T.ObjectSpace
+                    << " dead=" << T.DeadMemberSpace
+                    << " hwm=" << T.HighWaterMark
+                    << " hwm_no_dead=" << T.HighWaterMarkNoDead
+                    << " objects=" << T.NumObjects << "\n"
+                    << "  profiler: object_space=" << S.ObjectSpace
+                    << " dead=" << S.DeadMemberSpace
+                    << " hwm=" << S.HighWaterMark
+                    << " hwm_no_dead=" << S.HighWaterMarkNoDead
+                    << " objects=" << S.NumObjects << "\n";
+          return 1;
+        }
+        std::cout << "\nprofiler agreement with trace metrics: OK\n";
+      }
     }
 
     // --run mirrors a real execution: the interpreted program's exit

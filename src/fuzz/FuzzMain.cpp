@@ -56,16 +56,17 @@ int usage() {
       << "usage: dmm-fuzz [options]\n"
          "\n"
          "Differential fuzzing for the dead-member pipeline: random\n"
-         "MiniC++ programs are run through three oracles (differential\n"
+         "MiniC++ programs are run through five oracles (differential\n"
          "semantics of the eliminated program, dynamic soundness of the\n"
          "analysis, configuration invariance across --jobs levels and\n"
-         "call-graph precision). Failures are shrunk to minimal\n"
-         "reproducers. Everything is deterministic in the seed.\n"
+         "call-graph precision, cache equivalence, and shadow-profiler\n"
+         "agreement with the trace replay). Failures are shrunk to\n"
+         "minimal reproducers. Everything is deterministic in the seed.\n"
          "\n"
          "options:\n"
          "  --seeds <N>|<A>..<B>     seed range, inclusive (default "
          "1..100)\n"
-         "  --oracle <all|semantics|soundness|invariance|cache>\n"
+         "  --oracle <all|semantics|soundness|invariance|cache|profiler>\n"
          "                           which oracle family to run "
          "(default all)\n"
          "  --artifacts <dir>        where reproducers and JSON failure\n"
@@ -139,11 +140,13 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &Opts) {
       Opts.Oracles.Soundness = Kind == "all" || Kind == "soundness";
       Opts.Oracles.Invariance = Kind == "all" || Kind == "invariance";
       Opts.Oracles.Cache = Kind == "all" || Kind == "cache";
+      Opts.Oracles.Profiler = Kind == "all" || Kind == "profiler";
       if (!Opts.Oracles.Semantics && !Opts.Oracles.Soundness &&
-          !Opts.Oracles.Invariance && !Opts.Oracles.Cache) {
+          !Opts.Oracles.Invariance && !Opts.Oracles.Cache &&
+          !Opts.Oracles.Profiler) {
         std::cerr << "error: invalid --oracle value '" << Kind
                   << "' (valid choices: all, semantics, soundness, "
-                     "invariance, cache)\n";
+                     "invariance, cache, profiler)\n";
         return false;
       }
     } else if (Arg == "--artifacts") {

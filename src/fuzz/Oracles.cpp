@@ -11,11 +11,14 @@
 #include "cache/SummaryCache.h"
 #include "driver/Frontend.h"
 #include "interp/Interpreter.h"
+#include "profiler/ShadowProfiler.h"
 #include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
+#include "trace/DynamicMetrics.h"
 
 #include <atomic>
 #include <filesystem>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -130,14 +133,48 @@ OracleOutcome fuzz::runOracles(const std::string &Source,
 
   std::set<const FieldDecl *> Reads;
   std::vector<const FieldDecl *> ReadOrder;
+  AllocationTrace Trace;
+  std::optional<ShadowProfiler> Prof;
   InterpOptions IO;
   IO.ReadSet = &Reads;
   IO.ReadTrace = &ReadOrder;
   IO.CountDeallocationReads = Config.CountDeallocationReads;
+  if (Config.Profiler) {
+    // The profiler oracle rides the same execution: trace and shadow
+    // profiler observe the identical event stream.
+    Prof.emplace(C->hierarchy(), Result.deadSet());
+    IO.Trace = &Trace;
+    IO.Profiler = &*Prof;
+  }
   Interpreter Interp(C->context(), C->hierarchy(), IO);
   ExecResult Original = Interp.run(C->mainFunction());
   if (!Original.Completed)
     return fail("runtime", "original program aborted: " + Original.Error);
+
+  // Oracle 5: profiler agreement. The shadow profiler's online
+  // accounting and the trace replay compute the paper's dynamic
+  // measurements by independent mechanisms; any divergence is a bug in
+  // one of them.
+  if (Config.Profiler) {
+    Prof->finalize(&C->SM);
+    LayoutEngine Layout(C->hierarchy());
+    const DynamicMetrics Replayed =
+        computeDynamicMetrics(Trace, Layout, Result.deadSet());
+    const DynamicMetrics &Shadow = Prof->metrics();
+    if (Shadow != Replayed) {
+      std::ostringstream OS;
+      OS << "shadow profiler diverges from the trace replay: "
+         << "object_space " << Shadow.ObjectSpace << " vs "
+         << Replayed.ObjectSpace << ", dead_member_space "
+         << Shadow.DeadMemberSpace << " vs " << Replayed.DeadMemberSpace
+         << ", high_water_mark " << Shadow.HighWaterMark << " vs "
+         << Replayed.HighWaterMark << ", high_water_mark_no_dead "
+         << Shadow.HighWaterMarkNoDead << " vs "
+         << Replayed.HighWaterMarkNoDead << ", num_objects "
+         << Shadow.NumObjects << " vs " << Replayed.NumObjects;
+      return fail("profiler", OS.str());
+    }
+  }
 
   // Oracle 2: dynamic soundness. Checked in first-read order so the
   // detail names the earliest offending read.

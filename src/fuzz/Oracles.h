@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The four correctness oracles the fuzzing harness runs every
+/// The five correctness oracles the fuzzing harness runs every
 /// generated (or replayed) program through:
 ///
 ///  1. *Differential semantics* — the dead-member-eliminated program
@@ -24,6 +24,11 @@
 ///     on-disk cache, and a warm on-disk cache (cache/SummaryCache.h)
 ///     must each reproduce the monolithic JSON report byte-for-byte,
 ///     and the warm run must actually hit the cache (docs/CACHING.md).
+///  5. *Profiler agreement* — the shadow-memory profiler's online
+///     dynamic measurements (profiler/ShadowProfiler.h) must equal the
+///     allocation-trace replay (trace/DynamicMetrics.h) exactly on the
+///     same execution; the two compute the paper's Table 2 numbers by
+///     independent mechanisms.
 ///
 /// An oracle failure carries a machine-readable kind plus a
 /// human-readable detail; the harness (FuzzMain.cpp) feeds failures to
@@ -49,6 +54,7 @@ struct OracleConfig {
   bool Soundness = true;
   bool Invariance = true;
   bool Cache = true;
+  bool Profiler = true;
 
   /// Base analysis configuration (defaults reproduce the paper's:
   /// RTA call graph, deallocation exemption, union closure).
@@ -75,7 +81,7 @@ struct OracleOutcome {
   bool Passed = true;
   /// Empty when Passed; otherwise one of "frontend", "runtime",
   /// "semantics", "soundness", "invariance-jobs",
-  /// "invariance-monotonic", "cache".
+  /// "invariance-monotonic", "cache", "profiler".
   std::string FailedOracle;
   /// Human-readable failure description (first violation wins).
   std::string Detail;

@@ -16,8 +16,10 @@
 
 #include "ast/Expr.h"
 #include "ast/Stmt.h"
+#include "profiler/ShadowProfiler.h"
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cinttypes>
 #include <cstdio>
@@ -113,6 +115,7 @@ Storage *Interpreter::allocateFieldStorage(const FieldDecl *F,
       } else {
         Storage *S = Arena.createScalar(F);
         S->V = zeroValue(AT->element());
+        S->ObjectID = ObjectID;
         Arr->Elems.push_back(S);
       }
     }
@@ -352,6 +355,8 @@ void Interpreter::destroyCompleteObject(Storage *Obj) {
         destroy(*It, Elem, /*MostDerived=*/true);
   }
   traceFree(Obj);
+  if (Options.Profiler)
+    Options.Profiler->recordFree(Obj->ObjectID);
   markDeadRecursive(Obj);
 }
 
@@ -402,6 +407,8 @@ Value Interpreter::callBuiltin(const FunctionDecl *FD,
       return Value::unit();
     Storage *S = P.Array ? P.Array : P.Pointee;
     traceFree(S);
+    if (Options.Profiler)
+      Options.Profiler->recordFree(S->ObjectID);
     markDeadRecursive(S); // No destructors run, as with C free().
     return Value::unit();
   }
@@ -499,9 +506,14 @@ void Interpreter::execVarDecl(const VarDecl *V,
   if (const ClassDecl *CD = Ty->asClassDecl()) {
     uint64_t ID = NextObjectID++;
     Storage *Obj = allocateObject(CD, nullptr, ID);
-    if (Options.TraceStackObjects)
+    if (Options.TraceStackObjects) {
+      if (Options.Profiler)
+        Options.Profiler->registerObjects(CD, 1, ID, V->location());
       if (uint64_t TID = traceAlloc(CD, 1))
         TraceIDs[Obj] = TID;
+      if (Options.Profiler)
+        Options.Profiler->recordAllocEvent(ID);
+    }
     F.Locals[V] = Obj;
     if (V->init()) {
       // Copy-initialization: memberwise copy from the source object.
@@ -512,6 +524,9 @@ void Interpreter::execVarDecl(const VarDecl *V,
           void copy(Storage *Dst, Storage *SrcS) {
             if (Dst->Kind == Storage::SK::Scalar &&
                 SrcS->Kind == Storage::SK::Scalar) {
+              if (Dst->OwnerField && I.Options.Profiler)
+                I.Options.Profiler->recordWrite(Dst->ObjectID,
+                                                Dst->OwnerField);
               Dst->V = I.loadScalar(SrcS);
               return;
             }
@@ -546,12 +561,17 @@ void Interpreter::execVarDecl(const VarDecl *V,
 
   if (const auto *AT = dyn_cast<ArrayType>(Ty)) {
     Storage *Arr = Arena.createArray(AT->element(), nullptr);
-    uint64_t ID = NextObjectID++;
+    // Each array element is a complete object of its own: reserve one
+    // ID per element so the shadow profiler can track them separately.
+    uint64_t ID = NextObjectID;
+    NextObjectID += std::max<uint64_t>(AT->size(), 1);
     Arr->ObjectID = ID;
     const ClassDecl *Elem = AT->element()->asClassDecl();
+    if (Elem && Options.TraceStackObjects && Options.Profiler)
+      Options.Profiler->registerObjects(Elem, AT->size(), ID, V->location());
     for (uint64_t I = 0; I != AT->size(); ++I) {
       if (Elem) {
-        Storage *ES = allocateObject(Elem, nullptr, ID);
+        Storage *ES = allocateObject(Elem, nullptr, ID + I);
         construct(ES, Elem, arityCtor(Elem, 0), {}, true);
         Arr->Elems.push_back(ES);
       } else {
@@ -560,9 +580,12 @@ void Interpreter::execVarDecl(const VarDecl *V,
         Arr->Elems.push_back(ES);
       }
     }
-    if (Elem && Options.TraceStackObjects)
+    if (Elem && Options.TraceStackObjects) {
       if (uint64_t TID = traceAlloc(Elem, AT->size()))
         TraceIDs[Arr] = TID;
+      if (Options.Profiler)
+        Options.Profiler->recordAllocEvent(ID);
+    }
     F.Locals[V] = Arr;
     if (Elem)
       BlockObjects.push_back(Arr);
@@ -678,6 +701,8 @@ Value Interpreter::loadScalar(Storage *S) {
       Options.ReadTrace->push_back(S->OwnerField);
     if (Options.Heat)
       ++Options.Heat->Reads[S->OwnerField];
+    if (Options.Profiler)
+      Options.Profiler->recordRead(S->ObjectID, S->OwnerField);
   }
   return S->V;
 }
@@ -693,6 +718,8 @@ void Interpreter::storeScalar(Storage *S, const Value &V,
       Options.WriteSet->insert(S->OwnerField);
     if (Options.Heat)
       ++Options.Heat->Writes[S->OwnerField];
+    if (Options.Profiler)
+      Options.Profiler->recordWrite(S->ObjectID, S->OwnerField);
   }
   S->V = convertForStore(V, DeclaredTy);
 }
@@ -1009,9 +1036,15 @@ Value Interpreter::evalUnary(const UnaryExpr *E) {
                    static_cast<size_t>(Index) < P.Array->Elems.size())
                       ? P.Array->Elems[static_cast<size_t>(Index)]
                       : nullptr;
+      if (Options.Profiler && P.Array->OwnerField)
+        Options.Profiler->recordAddrTaken(P.Array->ObjectID,
+                                          P.Array->OwnerField);
       return Value::ofPtr(P);
     }
-    return Value::ofPtr({evalLValue(Sub)});
+    Storage *S = evalLValue(Sub);
+    if (Options.Profiler && S->OwnerField)
+      Options.Profiler->recordAddrTaken(S->ObjectID, S->OwnerField);
+    return Value::ofPtr({S});
   }
   case UnaryOpKind::PreInc:
   case UnaryOpKind::PreDec:
@@ -1178,6 +1211,9 @@ Value Interpreter::evalAssign(const AssignExpr *E) {
               I.Options.WriteSet->insert(DstS->OwnerField);
             if (I.Options.Heat)
               ++I.Options.Heat->Writes[DstS->OwnerField];
+            if (I.Options.Profiler)
+              I.Options.Profiler->recordWrite(DstS->ObjectID,
+                                              DstS->OwnerField);
           }
           DstS->V = I.loadScalar(SrcS);
           return;
@@ -1321,15 +1357,24 @@ Value Interpreter::evalNew(const NewExpr *N) {
     if (Count < 0)
       fail("negative array-new extent");
     Storage *Arr = Arena.createArray(Ty, nullptr);
-    uint64_t ID = NextObjectID++;
+    // One ID per element (see execVarDecl's array case).
+    uint64_t ID = NextObjectID;
+    NextObjectID += std::max<uint64_t>(static_cast<uint64_t>(Count), 1);
     Arr->ObjectID = ID;
     const ClassDecl *Elem = Ty->asClassDecl();
-    if (Elem)
+    if (Elem) {
+      if (Options.Profiler)
+        Options.Profiler->registerObjects(
+            Elem, static_cast<uint64_t>(Count), ID, N->location());
       if (uint64_t TID = traceAlloc(Elem, static_cast<uint64_t>(Count)))
         TraceIDs[Arr] = TID;
+      if (Options.Profiler)
+        Options.Profiler->recordAllocEvent(ID);
+    }
     for (long long I = 0; I != Count; ++I) {
       if (Elem) {
-        Storage *ES = allocateObject(Elem, nullptr, ID);
+        Storage *ES =
+            allocateObject(Elem, nullptr, ID + static_cast<uint64_t>(I));
         construct(ES, Elem, arityCtor(Elem, 0), {}, true);
         Arr->Elems.push_back(ES);
       } else {
@@ -1348,8 +1393,12 @@ Value Interpreter::evalNew(const NewExpr *N) {
   if (const ClassDecl *CD = Ty->asClassDecl()) {
     uint64_t ID = NextObjectID++;
     Storage *Obj = allocateObject(CD, nullptr, ID);
+    if (Options.Profiler)
+      Options.Profiler->registerObjects(CD, 1, ID, N->location());
     if (uint64_t TID = traceAlloc(CD, 1))
       TraceIDs[Obj] = TID;
+    if (Options.Profiler)
+      Options.Profiler->recordAllocEvent(ID);
     const ConstructorDecl *Ctor = N->constructor();
     std::vector<Value> Args;
     for (size_t I = 0; I != N->ctorArgs().size(); ++I) {

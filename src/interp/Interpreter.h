@@ -44,6 +44,8 @@
 
 namespace dmm {
 
+class ShadowProfiler;
+
 /// Per-member dynamic access counts, keyed by FieldDecl. Feeds the
 /// --measure "heat" report (how often each member is actually read and
 /// written at run time, aggregated per class by the driver).
@@ -81,6 +83,12 @@ struct InterpOptions {
   /// When set, receives per-member dynamic read/write counts. Reads
   /// feeding only delete/free follow the same exemption as ReadSet.
   FieldHeat *Heat = nullptr;
+  /// When set, the shadow-memory profiler is driven on every object
+  /// allocation/deallocation, member read/write, and address-take
+  /// (profiler/ShadowProfiler.h). Allocation events follow the same
+  /// TraceStackObjects gate as Trace so the profiler and the trace see
+  /// identical event streams. Null costs one branch per event.
+  ShadowProfiler *Profiler = nullptr;
 };
 
 /// The outcome of an execution.

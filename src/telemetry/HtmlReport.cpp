@@ -23,6 +23,8 @@ namespace {
 /// readable and small for span-heavy warm-cache runs).
 constexpr size_t kMaxWaterfallRows = 600;
 constexpr size_t kTopHotSpans = 10;
+/// Dead-byte heat rows rendered before truncating.
+constexpr size_t kMaxHeatRows = 50;
 
 void escape(std::ostream &OS, std::string_view S) {
   for (char C : S) {
@@ -225,6 +227,98 @@ void stats::renderHtmlReport(const StatsDocument &D, std::ostream &OS) {
     }
     if (Header)
       OS << "</table>\n";
+  }
+
+  // --- Shadow profiler ---------------------------------------------------
+  if (D.Profiler.Present) {
+    const ProfilerSection &P = D.Profiler;
+    OS << "<h2>Shadow profiler</h2>\n<table>\n"
+          "<tr><th>metric</th><th class=\"num\">value</th></tr>\n"
+          "<tr><td>object space</td><td class=\"num\">" << P.ObjectSpace
+       << "</td></tr>\n<tr><td>dead data member space</td>"
+          "<td class=\"num\">" << P.DeadMemberSpace
+       << "</td></tr>\n<tr><td>high water mark</td><td class=\"num\">"
+       << P.HighWaterMark
+       << "</td></tr>\n<tr><td>high water mark w/o dead members</td>"
+          "<td class=\"num\">" << P.HighWaterMarkNoDead
+       << "</td></tr>\n<tr><td>objects</td><td class=\"num\">"
+       << P.NumObjects
+       << "</td></tr>\n<tr><td>allocation events</td><td class=\"num\">"
+       << P.AllocEvents
+       << "</td></tr>\n<tr><td>free events</td><td class=\"num\">"
+       << P.FreeEvents
+       << "</td></tr>\n<tr><td>leaked objects</td><td class=\"num\">"
+       << P.LeakedObjects
+       << "</td></tr>\n<tr><td>peak at allocation event</td>"
+          "<td class=\"num\">" << P.PeakAllocEvent
+       << "</td></tr>\n<tr><td>snapshot stride</td><td class=\"num\">"
+       << P.SnapshotStride << "</td></tr>\n</table>\n";
+
+    // High-water-mark timeline: one bar per snapshot, full bar = live
+    // bytes, darker inner bar = live bytes without dead members. The
+    // gap between the two is the recoverable dead-member space at that
+    // point of the execution.
+    if (!P.Snapshots.empty()) {
+      uint64_t MaxLive = 1;
+      for (const ProfilerSnapshotRow &S : P.Snapshots)
+        MaxLive = std::max(MaxLive, S.LiveBytes);
+      OS << "<h2>High-water-mark timeline</h2>\n<p class=\"meta\">"
+         << P.Snapshots.size()
+         << " snapshots (allocation-count stride " << P.SnapshotStride
+         << "); light bar: live bytes, dark bar: live bytes without "
+            "dead members.</p>\n<div class=\"wf\">\n";
+      for (const ProfilerSnapshotRow &S : P.Snapshots) {
+        double Full = 100.0 * static_cast<double>(S.LiveBytes) /
+                      static_cast<double>(MaxLive);
+        double NoDead = 100.0 * static_cast<double>(S.LiveBytesNoDead) /
+                        static_cast<double>(MaxLive);
+        OS << "<div class=\"wfrow\"><div class=\"wfbar d2\" style=\""
+              "left:0;width:" << std::fixed << std::setprecision(3)
+           << Full << "%\"></div><div class=\"wfbar\" style=\"left:0;"
+              "width:" << NoDead
+           << "%\"></div><span class=\"wflabel\">event " << S.Event
+           << " &middot; " << S.LiveBytes << " B live &middot; "
+           << S.LiveBytesNoDead << " B w/o dead &middot; "
+           << S.LiveObjects << " objects</span></div>\n";
+      }
+      OS << "</div>\n";
+    }
+
+    // Dead-byte heat: allocation sites ranked by never-read bytes.
+    std::vector<const ProfilerSiteRow *> Heat;
+    for (const ProfilerSiteRow &S : P.Sites)
+      Heat.push_back(&S);
+    std::stable_sort(Heat.begin(), Heat.end(),
+                     [](const ProfilerSiteRow *A, const ProfilerSiteRow *B) {
+                       return A->NeverReadBytes > B->NeverReadBytes;
+                     });
+    size_t HeatRows = std::min(kMaxHeatRows, Heat.size());
+    OS << "<h2>Dead-byte heat (by allocation site)</h2>\n";
+    if (HeatRows < Heat.size())
+      OS << "<p class=\"meta\">showing the top " << HeatRows << " of "
+         << Heat.size() << " site cells.</p>\n";
+    OS << "<table>\n<tr><th>site</th><th>class</th><th>member</th>"
+          "<th class=\"num\">objects</th><th class=\"num\">alloc B</th>"
+          "<th class=\"num\">written B</th><th class=\"num\">read B</th>"
+          "<th class=\"num\">addr-taken B</th>"
+          "<th class=\"num\">never-read B</th><th>dead?</th></tr>\n";
+    for (size_t I = 0; I != HeatRows; ++I) {
+      const ProfilerSiteRow &S = *Heat[I];
+      OS << "<tr><td>";
+      escape(OS, S.File);
+      OS << ":" << S.Line << "</td><td>";
+      escape(OS, S.Class);
+      OS << "</td><td>";
+      escape(OS, S.Member);
+      OS << "</td><td class=\"num\">" << S.Objects
+         << "</td><td class=\"num\">" << S.AllocBytes
+         << "</td><td class=\"num\">" << S.WrittenBytes
+         << "</td><td class=\"num\">" << S.ReadBytes
+         << "</td><td class=\"num\">" << S.AddrTakenBytes
+         << "</td><td class=\"num\">" << S.NeverReadBytes << "</td><td>"
+         << (S.StaticDead ? "dead" : "") << "</td></tr>\n";
+    }
+    OS << "</table>\n";
   }
 
   // --- Phases and counters ----------------------------------------------

@@ -111,13 +111,58 @@ StatsDocument stats::buildStats(const Telemetry &T, std::string Tool,
 void stats::printStats(const StatsDocument &D, std::ostream &OS) {
   OS << "{\n";
   OS << "  \"schema\": \"" << kSchemaName << "\",\n";
-  OS << "  \"version\": " << kSchemaVersion << ",\n";
+  OS << "  \"version\": " << D.Version << ",\n";
   OS << "  \"tool\": ";
   printEscaped(OS, D.Tool);
   OS << ",\n";
   OS << "  \"jobs\": " << D.Jobs << ",\n";
   OS << "  \"memory_accounting\": " << (D.MemAccounting ? "true" : "false")
      << ",\n";
+
+  if (D.Profiler.Present) {
+    const ProfilerSection &P = D.Profiler;
+    OS << "  \"profiler\": {\n";
+    OS << "    \"object_space\": " << P.ObjectSpace << ",\n";
+    OS << "    \"dead_member_space\": " << P.DeadMemberSpace << ",\n";
+    OS << "    \"high_water_mark\": " << P.HighWaterMark << ",\n";
+    OS << "    \"high_water_mark_no_dead\": " << P.HighWaterMarkNoDead
+       << ",\n";
+    OS << "    \"num_objects\": " << P.NumObjects << ",\n";
+    OS << "    \"alloc_events\": " << P.AllocEvents << ",\n";
+    OS << "    \"free_events\": " << P.FreeEvents << ",\n";
+    OS << "    \"leaked_objects\": " << P.LeakedObjects << ",\n";
+    OS << "    \"peak_alloc_event\": " << P.PeakAllocEvent << ",\n";
+    OS << "    \"snapshot_stride\": " << P.SnapshotStride << ",\n";
+    OS << "    \"snapshots\": [";
+    for (size_t I = 0; I != P.Snapshots.size(); ++I) {
+      const ProfilerSnapshotRow &S = P.Snapshots[I];
+      OS << (I ? "," : "") << "\n      {\"event\": " << S.Event
+         << ", \"live_bytes\": " << S.LiveBytes
+         << ", \"live_bytes_no_dead\": " << S.LiveBytesNoDead
+         << ", \"live_objects\": " << S.LiveObjects << "}";
+    }
+    OS << (P.Snapshots.empty() ? "" : "\n    ") << "],\n";
+    OS << "    \"sites\": [";
+    for (size_t I = 0; I != P.Sites.size(); ++I) {
+      const ProfilerSiteRow &S = P.Sites[I];
+      OS << (I ? "," : "") << "\n      {\"file\": ";
+      printEscaped(OS, S.File);
+      OS << ", \"line\": " << S.Line << ", \"class\": ";
+      printEscaped(OS, S.Class);
+      OS << ", \"member\": ";
+      printEscaped(OS, S.Member);
+      OS << ", \"objects\": " << S.Objects
+         << ", \"alloc_bytes\": " << S.AllocBytes
+         << ", \"written_bytes\": " << S.WrittenBytes
+         << ", \"read_bytes\": " << S.ReadBytes
+         << ", \"addr_taken_bytes\": " << S.AddrTakenBytes
+         << ", \"never_read_bytes\": " << S.NeverReadBytes
+         << ", \"static_dead\": " << (S.StaticDead ? "true" : "false")
+         << "}";
+    }
+    OS << (P.Sites.empty() ? "" : "\n    ") << "]\n";
+    OS << "  },\n";
+  }
 
   OS << "  \"phases\": [";
   for (size_t I = 0; I != D.Phases.size(); ++I) {
@@ -206,10 +251,12 @@ bool stats::parseStats(std::string_view Text, StatsDocument &Out,
   const json::Value *Version = Root.get("version");
   if (!Version || !Version->isNumber())
     return failParse(Error, "missing numeric \"version\"");
-  if (Version->asInt() != kSchemaVersion)
+  if (Version->asInt() < kMinSchemaVersion ||
+      Version->asInt() > kSchemaVersion)
     return failParse(Error, "unsupported stats version " +
                                 std::to_string(Version->asInt()) +
-                                " (this tool reads version " +
+                                " (this tool reads versions " +
+                                std::to_string(kMinSchemaVersion) + ".." +
                                 std::to_string(kSchemaVersion) + ")");
   Out.Version = static_cast<int>(Version->asInt());
 
@@ -226,6 +273,113 @@ bool stats::parseStats(std::string_view Text, StatsDocument &Out,
   if (!MemAcct || !MemAcct->isBool())
     return failParse(Error, "missing boolean \"memory_accounting\"");
   Out.MemAccounting = MemAcct->boolean();
+
+  if (const json::Value *Prof = Root.get("profiler")) {
+    if (Out.Version < 2)
+      return failParse(Error,
+                       "\"profiler\" section requires stats version >= 2");
+    if (!Prof->isObject())
+      return failParse(Error, "\"profiler\" is not an object");
+    ProfilerSection &P = Out.Profiler;
+    P.Present = true;
+    for (const char *Key :
+         {"object_space", "dead_member_space", "high_water_mark",
+          "high_water_mark_no_dead", "num_objects", "alloc_events",
+          "free_events", "leaked_objects", "peak_alloc_event",
+          "snapshot_stride"})
+      if (!requireNumber(*Prof, Key, "profiler", Error))
+        return false;
+    P.ObjectSpace = static_cast<uint64_t>(Prof->getNumber("object_space"));
+    P.DeadMemberSpace =
+        static_cast<uint64_t>(Prof->getNumber("dead_member_space"));
+    P.HighWaterMark =
+        static_cast<uint64_t>(Prof->getNumber("high_water_mark"));
+    P.HighWaterMarkNoDead =
+        static_cast<uint64_t>(Prof->getNumber("high_water_mark_no_dead"));
+    P.NumObjects = static_cast<uint64_t>(Prof->getNumber("num_objects"));
+    P.AllocEvents = static_cast<uint64_t>(Prof->getNumber("alloc_events"));
+    P.FreeEvents = static_cast<uint64_t>(Prof->getNumber("free_events"));
+    P.LeakedObjects =
+        static_cast<uint64_t>(Prof->getNumber("leaked_objects"));
+    P.PeakAllocEvent =
+        static_cast<uint64_t>(Prof->getNumber("peak_alloc_event"));
+    P.SnapshotStride =
+        static_cast<uint64_t>(Prof->getNumber("snapshot_stride"));
+
+    const json::Value *Snaps = Prof->get("snapshots");
+    if (!Snaps || !Snaps->isArray())
+      return failParse(Error, "profiler: missing array \"snapshots\"");
+    for (size_t I = 0; I != Snaps->array().size(); ++I) {
+      const json::Value &SV = Snaps->array()[I];
+      std::string Where = "profiler.snapshots[" + std::to_string(I) + "]";
+      if (!SV.isObject())
+        return failParse(Error, Where + ": not an object");
+      for (const char *Key :
+           {"event", "live_bytes", "live_bytes_no_dead", "live_objects"})
+        if (!requireNumber(SV, Key, Where, Error))
+          return false;
+      ProfilerSnapshotRow Row;
+      Row.Event = static_cast<uint64_t>(SV.getNumber("event"));
+      Row.LiveBytes = static_cast<uint64_t>(SV.getNumber("live_bytes"));
+      Row.LiveBytesNoDead =
+          static_cast<uint64_t>(SV.getNumber("live_bytes_no_dead"));
+      Row.LiveObjects =
+          static_cast<uint64_t>(SV.getNumber("live_objects"));
+      // The snapshot schedule is monotone in allocation events, and
+      // allocation events are numbered from 1.
+      if (Row.Event == 0)
+        return failParse(Error, Where + ": event must be >= 1");
+      if (!P.Snapshots.empty() && Row.Event <= P.Snapshots.back().Event)
+        return failParse(Error, Where + ": event " +
+                                    std::to_string(Row.Event) +
+                                    " does not increase");
+      if (Row.LiveBytes > P.HighWaterMark)
+        return failParse(Error,
+                         Where + ": live_bytes exceeds high_water_mark");
+      P.Snapshots.push_back(Row);
+    }
+
+    const json::Value *Sites = Prof->get("sites");
+    if (!Sites || !Sites->isArray())
+      return failParse(Error, "profiler: missing array \"sites\"");
+    for (size_t I = 0; I != Sites->array().size(); ++I) {
+      const json::Value &SV = Sites->array()[I];
+      std::string Where = "profiler.sites[" + std::to_string(I) + "]";
+      if (!SV.isObject())
+        return failParse(Error, Where + ": not an object");
+      ProfilerSiteRow Row;
+      for (const char *Key : {"file", "class", "member"}) {
+        const json::Value *V = SV.get(Key);
+        if (!V || !V->isString())
+          return failParse(Error, Where + ": missing string \"" +
+                                      std::string(Key) + "\"");
+      }
+      for (const char *Key :
+           {"line", "objects", "alloc_bytes", "written_bytes",
+            "read_bytes", "addr_taken_bytes", "never_read_bytes"})
+        if (!requireNumber(SV, Key, Where, Error))
+          return false;
+      const json::Value *Dead = SV.get("static_dead");
+      if (!Dead || !Dead->isBool())
+        return failParse(Error,
+                         Where + ": missing boolean \"static_dead\"");
+      Row.File = SV.get("file")->str();
+      Row.Line = static_cast<uint64_t>(SV.getNumber("line"));
+      Row.Class = SV.get("class")->str();
+      Row.Member = SV.get("member")->str();
+      Row.Objects = static_cast<uint64_t>(SV.getNumber("objects"));
+      Row.AllocBytes = static_cast<uint64_t>(SV.getNumber("alloc_bytes"));
+      Row.WrittenBytes =
+          static_cast<uint64_t>(SV.getNumber("written_bytes"));
+      Row.ReadBytes = static_cast<uint64_t>(SV.getNumber("read_bytes"));
+      Row.AddrTakenBytes =
+          static_cast<uint64_t>(SV.getNumber("addr_taken_bytes"));
+      Row.NeverReadBytes =
+          static_cast<uint64_t>(SV.getNumber("never_read_bytes"));
+      Row.StaticDead = Dead->boolean();
+      P.Sites.push_back(std::move(Row));
+    }
+  }
 
   const json::Value *Phases = Root.get("phases");
   if (!Phases || !Phases->isArray())

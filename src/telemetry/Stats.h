@@ -43,7 +43,13 @@ class Telemetry;
 namespace stats {
 
 inline constexpr const char kSchemaName[] = "dmm-stats";
-inline constexpr int kSchemaVersion = 1;
+/// Version history: 1 — phases/counters/spans (PR-5); 2 — adds the
+/// optional "profiler" section (shadow-memory profiler summary,
+/// snapshots, and per-site byte attribution). Documents without a
+/// profiler section are valid at either version; parseStats accepts
+/// every version in [kMinSchemaVersion, kSchemaVersion].
+inline constexpr int kSchemaVersion = 2;
+inline constexpr int kMinSchemaVersion = 1;
 
 /// One span in the document (self-contained mirror of SpanRecord).
 struct SpanStat {
@@ -72,12 +78,55 @@ struct PhaseRow {
   uint64_t Invocations = 0;
 };
 
+/// One point of the shadow profiler's high-water-mark timeline (v2).
+struct ProfilerSnapshotRow {
+  uint64_t Event = 0; ///< 1-based allocation-event index.
+  uint64_t LiveBytes = 0;
+  uint64_t LiveBytesNoDead = 0;
+  uint64_t LiveObjects = 0;
+};
+
+/// One (allocation site, class, leaf member) attribution cell (v2).
+struct ProfilerSiteRow {
+  std::string File;
+  uint64_t Line = 0;
+  std::string Class;
+  std::string Member;
+  uint64_t Objects = 0;
+  uint64_t AllocBytes = 0;
+  uint64_t WrittenBytes = 0;
+  uint64_t ReadBytes = 0;
+  uint64_t AddrTakenBytes = 0;
+  uint64_t NeverReadBytes = 0;
+  bool StaticDead = false;
+};
+
+/// The optional "profiler" object introduced in schema version 2. All
+/// fields are deterministic for a given program (no timing), so whole
+/// sections compare equal across --jobs levels.
+struct ProfilerSection {
+  bool Present = false; ///< Section exists in the document.
+  uint64_t ObjectSpace = 0;
+  uint64_t DeadMemberSpace = 0;
+  uint64_t HighWaterMark = 0;
+  uint64_t HighWaterMarkNoDead = 0;
+  uint64_t NumObjects = 0;
+  uint64_t AllocEvents = 0;
+  uint64_t FreeEvents = 0;
+  uint64_t LeakedObjects = 0;
+  uint64_t PeakAllocEvent = 0;
+  uint64_t SnapshotStride = 1;
+  std::vector<ProfilerSnapshotRow> Snapshots; ///< Event ascending.
+  std::vector<ProfilerSiteRow> Sites; ///< (File, Line, Class, Member).
+};
+
 /// The parsed/built document.
 struct StatsDocument {
   int Version = kSchemaVersion;
   std::string Tool; ///< e.g. "deadmember 0.3.0".
   unsigned Jobs = 0;
   bool MemAccounting = false; ///< Platform supports heap accounting.
+  ProfilerSection Profiler; ///< Present only when --profile ran (v2).
   std::vector<PhaseRow> Phases; ///< Sorted by (namespace, key).
   std::vector<std::pair<std::string, uint64_t>> Counters; ///< Sorted.
   std::vector<SpanStat> Spans; ///< In begin order; Spans[I].Id == I+1.

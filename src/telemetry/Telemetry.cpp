@@ -67,6 +67,10 @@ bool namespaceKeyLess(std::string_view A, std::string_view B) {
 
 Telemetry::Telemetry()
     : Epoch(std::chrono::steady_clock::now()), SpanLimit(size_t(1) << 18) {
+  // A 0/1 gauge, present in every registry, so consumers can tell
+  // "memory accounting reported zero" from "platform cannot measure".
+  // merge() treats it as a gauge (max), not a sum.
+  Counters["telemetry.memacct.enabled"] = memacct::available() ? 1 : 0;
   // Register the span-context propagation hooks with the thread pool
   // once per process: workers inherit the submitting thread's current
   // span for the duration of a parallel loop, so spans opened inside
@@ -186,8 +190,14 @@ void Telemetry::merge(const Telemetry &Other) {
       R.Parent += Offset;
     Spans.push_back(std::move(R));
   }
-  for (const auto &[Name, Value] : Other.Counters)
-    Counters[Name] += Value;
+  for (const auto &[Name, Value] : Other.Counters) {
+    // Gauges (currently only the memacct capability flag) take the max
+    // instead of summing, so folding N registries stays 0/1.
+    if (Name == "telemetry.memacct.enabled")
+      Counters[Name] = std::max(Counters[Name], Value);
+    else
+      Counters[Name] += Value;
+  }
   for (const PhaseStat &OP : Other.Phases) {
     auto [It, Inserted] = PhaseIndex.try_emplace(OP.Name, Phases.size());
     if (Inserted) {

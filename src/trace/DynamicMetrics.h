@@ -50,6 +50,21 @@ struct DynamicMetrics {
                      static_cast<double>(HighWaterMark)
                : 0.0;
   }
+
+  /// Exact equality across all measurements. The shadow profiler
+  /// (profiler/ShadowProfiler.h) must reproduce the trace-replay
+  /// numbers byte-for-byte; this is the comparison the driver, the
+  /// corpus tests, and the fuzzing oracle use.
+  friend bool operator==(const DynamicMetrics &A, const DynamicMetrics &B) {
+    return A.ObjectSpace == B.ObjectSpace &&
+           A.DeadMemberSpace == B.DeadMemberSpace &&
+           A.HighWaterMark == B.HighWaterMark &&
+           A.HighWaterMarkNoDead == B.HighWaterMarkNoDead &&
+           A.NumObjects == B.NumObjects;
+  }
+  friend bool operator!=(const DynamicMetrics &A, const DynamicMetrics &B) {
+    return !(A == B);
+  }
 };
 
 /// Replays \p Trace against \p Layout and \p Dead.

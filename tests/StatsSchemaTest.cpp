@@ -175,12 +175,108 @@ TEST(StatsSchema, ValidationRejectsSchemaViolations) {
   };
 
   EXPECT_TRUE(Replaced("\"dmm-stats\"", "\"other-schema\""));
-  EXPECT_TRUE(Replaced("\"version\": 1", "\"version\": 999"));
+  EXPECT_TRUE(Replaced("\"version\": 2", "\"version\": 999"));
   EXPECT_TRUE(Replaced("\"jobs\": 1", "\"jobs\": \"one\""));
   EXPECT_TRUE(Replaced("\"memory_accounting\"", "\"renamed_field\""));
   // First span id rewritten: ids are no longer dense.
   EXPECT_TRUE(Replaced("{\"id\": 1,", "{\"id\": 7,"));
   EXPECT_TRUE(jsonParseFails(Good + "x"));
+}
+
+TEST(StatsSchema, AcceptsVersion1Documents) {
+  // v1 documents (no profiler section) written by older builds still
+  // parse; the version floor only rises when a field is removed.
+  std::string Text = statsJsonForJobs(1);
+  size_t Pos = Text.find("\"version\": 2");
+  ASSERT_NE(Pos, std::string::npos);
+  Text.replace(Pos, 12, "\"version\": 1");
+  stats::StatsDocument D;
+  std::string Error;
+  ASSERT_TRUE(stats::parseStats(Text, D, Error)) << Error;
+  EXPECT_EQ(D.Version, 1);
+  EXPECT_FALSE(D.Profiler.Present);
+}
+
+stats::ProfilerSection syntheticProfiler() {
+  stats::ProfilerSection P;
+  P.Present = true;
+  P.ObjectSpace = 48;
+  P.DeadMemberSpace = 16;
+  P.HighWaterMark = 32;
+  P.HighWaterMarkNoDead = 20;
+  P.NumObjects = 3;
+  P.AllocEvents = 3;
+  P.FreeEvents = 2;
+  P.LeakedObjects = 1;
+  P.PeakAllocEvent = 2;
+  P.SnapshotStride = 2;
+  P.Snapshots.push_back({2, 32, 20, 2});
+  P.Sites.push_back({"suite/a.mcc", 4, "P", "P::dead_one", 3, 12, 12, 0,
+                     0, 12, true});
+  P.Sites.push_back({"suite/a.mcc", 4, "P", "P::x", 3, 12, 12, 12, 4, 0,
+                     false});
+  return P;
+}
+
+TEST(StatsSchema, ProfilerSectionRoundTrips) {
+  Telemetry Tel;
+  runPipeline(Tel);
+  stats::StatsDocument D = stats::buildStats(Tel, "deadmember test", 1);
+  D.Profiler = syntheticProfiler();
+  std::ostringstream OS;
+  stats::printStats(D, OS);
+
+  stats::StatsDocument Back;
+  std::string Error;
+  ASSERT_TRUE(stats::parseStats(OS.str(), Back, Error)) << Error;
+  ASSERT_TRUE(Back.Profiler.Present);
+  EXPECT_EQ(Back.Profiler.ObjectSpace, 48u);
+  EXPECT_EQ(Back.Profiler.DeadMemberSpace, 16u);
+  EXPECT_EQ(Back.Profiler.HighWaterMark, 32u);
+  EXPECT_EQ(Back.Profiler.HighWaterMarkNoDead, 20u);
+  EXPECT_EQ(Back.Profiler.NumObjects, 3u);
+  EXPECT_EQ(Back.Profiler.LeakedObjects, 1u);
+  EXPECT_EQ(Back.Profiler.PeakAllocEvent, 2u);
+  EXPECT_EQ(Back.Profiler.SnapshotStride, 2u);
+  ASSERT_EQ(Back.Profiler.Snapshots.size(), 1u);
+  EXPECT_EQ(Back.Profiler.Snapshots[0].Event, 2u);
+  EXPECT_EQ(Back.Profiler.Snapshots[0].LiveBytesNoDead, 20u);
+  ASSERT_EQ(Back.Profiler.Sites.size(), 2u);
+  EXPECT_EQ(Back.Profiler.Sites[0].Member, "P::dead_one");
+  EXPECT_EQ(Back.Profiler.Sites[0].NeverReadBytes, 12u);
+  EXPECT_TRUE(Back.Profiler.Sites[0].StaticDead);
+  EXPECT_FALSE(Back.Profiler.Sites[1].StaticDead);
+}
+
+TEST(StatsSchema, ProfilerSectionRejectsInvalidDocuments) {
+  Telemetry Tel;
+  runPipeline(Tel);
+  stats::StatsDocument D = stats::buildStats(Tel, "deadmember test", 1);
+  D.Profiler = syntheticProfiler();
+  std::ostringstream OS;
+  stats::printStats(D, OS);
+  const std::string Good = OS.str();
+
+  auto Replaced = [&](const std::string &From, const std::string &To) {
+    std::string S = Good;
+    size_t Pos = S.find(From);
+    EXPECT_NE(Pos, std::string::npos) << From;
+    S.replace(Pos, From.size(), To);
+    stats::StatsDocument Out;
+    std::string Err;
+    return !stats::parseStats(S, Out, Err);
+  };
+
+  // The profiler section was introduced in v2; a v1 document carrying
+  // one is malformed.
+  EXPECT_TRUE(Replaced("\"version\": 2", "\"version\": 1"));
+  // Snapshot events must be positive and the live bytes bounded by the
+  // high-water mark.
+  EXPECT_TRUE(Replaced("\"event\": 2", "\"event\": 0"));
+  EXPECT_TRUE(Replaced("\"live_bytes\": 32", "\"live_bytes\": 9999"));
+  // Summary fields are all required.
+  EXPECT_TRUE(Replaced("\"peak_alloc_event\"", "\"renamed_field\""));
+  EXPECT_TRUE(Replaced("\"static_dead\": true", "\"static_dead\": 1"));
 }
 
 TEST(StatsSchema, TraceJsonIsStrictlyParseable) {
@@ -254,6 +350,27 @@ TEST(HtmlReport, ContainsTopHotSpansWaterfallAndCacheTable) {
   // Self-contained: no external references.
   EXPECT_EQ(Html.find("src="), std::string::npos);
   EXPECT_EQ(Html.find("href="), std::string::npos);
+}
+
+TEST(HtmlReport, RendersProfilerSections) {
+  stats::StatsDocument D = syntheticDoc();
+  D.Profiler = syntheticProfiler();
+  std::ostringstream OS;
+  stats::renderHtmlReport(D, OS);
+  const std::string Html = OS.str();
+  EXPECT_NE(Html.find("Shadow profiler"), std::string::npos);
+  EXPECT_NE(Html.find("High-water-mark timeline"), std::string::npos);
+  EXPECT_NE(Html.find("Dead-byte heat"), std::string::npos);
+  // The dead member ranks first (12 never-read bytes vs 0).
+  size_t DeadPos = Html.find("P::dead_one");
+  size_t LivePos = Html.find("P::x");
+  ASSERT_NE(DeadPos, std::string::npos);
+  ASSERT_NE(LivePos, std::string::npos);
+  EXPECT_LT(DeadPos, LivePos);
+  // Without a profiler section the report omits all three headings.
+  std::ostringstream Plain;
+  stats::renderHtmlReport(syntheticDoc(), Plain);
+  EXPECT_EQ(Plain.str().find("Shadow profiler"), std::string::npos);
 }
 
 TEST(HtmlReport, EscapesUntrustedNames) {
