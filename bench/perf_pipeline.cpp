@@ -17,6 +17,7 @@
 #include "BenchUtil.h"
 #include "profiler/ShadowProfiler.h"
 #include "telemetry/Telemetry.h"
+#include "vm/VM.h"
 
 #include "benchmark/benchmark.h"
 
@@ -51,6 +52,54 @@ GeneratedBenchmark &programFor(const std::string &Name) {
     std::fprintf(stderr, " %s", G.Spec.Name.c_str());
   std::fprintf(stderr, "\n");
   std::abort();
+}
+
+/// Compute-bound kernel: tight integer loops over a handful of members,
+/// no allocation inside the hot region. The interpret/kernel vs
+/// interpret_vm/kernel ratio isolates dispatch cost, which the
+/// allocation-heavy suite programs dilute behind the (shared,
+/// semantics-mandated) object-lifecycle and attribution hooks.
+constexpr const char *KernelSource = R"(
+class Acc {
+ public:
+  int lo;
+  int hi;
+  int fold(int x) {
+    lo = lo + x;
+    if (lo > 1000000) { hi = hi + 1; lo = lo - 1000000; }
+    return lo;
+  }
+};
+int main() {
+  Acc a;
+  a.lo = 0;
+  a.hi = 0;
+  int checksum = 0;
+  for (int outer = 0; outer < 200; outer = outer + 1) {
+    int x = outer;
+    for (int i = 0; i < 2000; i = i + 1) {
+      x = x * 1103515245 + 12345;
+      int v = x;
+      if (v < 0) { v = 0 - v; }
+      checksum = checksum + a.fold(v % 9973);
+    }
+  }
+  print_int(checksum % 100000);
+  print_int(a.hi);
+  return 0;
+}
+)";
+
+std::unique_ptr<Compilation> &compiledKernel() {
+  static std::unique_ptr<Compilation> C = [] {
+    std::vector<SourceFile> Files;
+    Files.push_back({"kernel.mcc", KernelSource, /*IsLibrary=*/false});
+    auto R = compileProgram(std::move(Files), nullptr);
+    if (!R->Success)
+      std::abort();
+    return R;
+  }();
+  return C;
 }
 
 std::unique_ptr<Compilation> &compiledFor(const std::string &Name) {
@@ -117,13 +166,31 @@ void BM_Analysis(benchmark::State &State, const std::string &Name) {
   foldBenchStats(Tel);
 }
 
-void BM_Interpret(benchmark::State &State, const std::string &Name) {
-  auto &C = compiledFor(Name);
+void BM_Interpret(benchmark::State &State, Compilation &C) {
   Telemetry Tel;
   for (auto _ : State) {
     TelemetryScope Scope(Tel);
-    Interpreter I(C->context(), C->hierarchy(), {});
-    ExecResult E = I.run(C->mainFunction());
+    Interpreter I(C.context(), C.hierarchy(), {});
+    ExecResult E = I.run(C.mainFunction());
+    if (!E.Completed)
+      std::abort();
+    benchmark::DoNotOptimize(E.ExitCode);
+  }
+  exportPhaseCounters(State, Tel);
+  exportCounter(State, Tel, "interp.steps", "steps");
+  foldBenchStats(Tel);
+}
+
+/// The same programs through the bytecode VM (vm/VM.h): the
+/// interpret/ vs interpret_vm/ ratio is the engine speedup the VM PR
+/// claims (>=10x). Bytecode compilation happens inside the timed
+/// region, as every driver --run pays it too.
+void BM_InterpretVm(benchmark::State &State, Compilation &C) {
+  Telemetry Tel;
+  for (auto _ : State) {
+    TelemetryScope Scope(Tel);
+    vm::VM M(C.context(), C.hierarchy(), {});
+    ExecResult E = M.run(C.mainFunction());
     if (!E.Completed)
       std::abort();
     benchmark::DoNotOptimize(E.ExitCode);
@@ -191,13 +258,25 @@ void registerAll() {
                                  });
     benchmark::RegisterBenchmark(("interpret/" + N).c_str(),
                                  [N](benchmark::State &S) {
-                                   BM_Interpret(S, N);
+                                   BM_Interpret(S, *compiledFor(N));
+                                 });
+    benchmark::RegisterBenchmark(("interpret_vm/" + N).c_str(),
+                                 [N](benchmark::State &S) {
+                                   BM_InterpretVm(S, *compiledFor(N));
                                  });
     benchmark::RegisterBenchmark(("interp_profile/" + N).c_str(),
                                  [N](benchmark::State &S) {
                                    BM_InterpretProfiled(S, N);
                                  });
   }
+  benchmark::RegisterBenchmark("interpret/kernel",
+                               [](benchmark::State &S) {
+                                 BM_Interpret(S, *compiledKernel());
+                               });
+  benchmark::RegisterBenchmark("interpret_vm/kernel",
+                               [](benchmark::State &S) {
+                                 BM_InterpretVm(S, *compiledKernel());
+                               });
 }
 
 } // namespace

@@ -19,6 +19,7 @@
 #include "driver/Frontend.h"
 #include "interp/Interpreter.h"
 #include "profiler/ShadowProfiler.h"
+#include "vm/VM.h"
 #include "support/ThreadPool.h"
 #include "telemetry/HtmlReport.h"
 #include "telemetry/Stats.h"
@@ -63,6 +64,10 @@ struct DriverOptions {
   bool DeadFunctions = false;
   bool Version = false;
   bool Metrics = false;
+  /// --engine=<vm|tree>: which execution engine --run/--check/
+  /// --measure/--profile use. Empty until resolved (flag beats the
+  /// DMM_ENGINE env var beats the "vm" default).
+  std::string Engine;
   bool Summary = false;      ///< --summary: in-memory summary pipeline.
   std::string CacheDir;      ///< --cache-dir=<dir> / DMM_CACHE_DIR.
   std::string MetricsFile;   ///< --metrics=<file>; empty = stdout.
@@ -109,6 +114,13 @@ int usage() {
          "                           DMM_PROFILE=1 env var). With\n"
          "                           --measure, cross-checks the profiler\n"
          "                           against the allocation-trace replay\n"
+         "  --engine=<vm|tree>       execution engine for --run/--check/\n"
+         "                           --measure/--profile: the bytecode VM\n"
+         "                           (default) or the tree-walking\n"
+         "                           interpreter (also: DMM_ENGINE env\n"
+         "                           var; see docs/VM.md). Both produce\n"
+         "                           identical output, traces, and\n"
+         "                           measurements\n"
          "  --dump-callgraph         list reachable functions\n"
          "  --eliminate              print the transformed program with\n"
          "                           dead members and unreachable code\n"
@@ -228,6 +240,14 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       Opts.Measure = true;
     } else if (Arg == "--profile") {
       Opts.Profile = true;
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      std::string Kind = Arg.substr(9);
+      if (Kind != "vm" && Kind != "tree") {
+        std::cerr << "error: invalid --engine value '" << Kind
+                  << "' (valid choices: vm, tree)\n";
+        return false;
+      }
+      Opts.Engine = Kind;
     } else if (Arg == "--dump-callgraph") {
       Opts.DumpCallGraph = true;
     } else if (Arg == "--eliminate") {
@@ -500,6 +520,20 @@ int main(int Argc, char **Argv) {
   const char *ProfileEnv = std::getenv("DMM_PROFILE");
   if (ProfileEnv && *ProfileEnv && std::strcmp(ProfileEnv, "0") != 0)
     Opts.Profile = true;
+  // Engine selection: --engine flag, then DMM_ENGINE, then the VM.
+  if (Opts.Engine.empty())
+    if (const char *EngineEnv = std::getenv("DMM_ENGINE");
+        EngineEnv && *EngineEnv) {
+      if (std::strcmp(EngineEnv, "vm") != 0 &&
+          std::strcmp(EngineEnv, "tree") != 0) {
+        std::cerr << "error: invalid DMM_ENGINE value '" << EngineEnv
+                  << "' (valid choices: vm, tree)\n";
+        return 2;
+      }
+      Opts.Engine = EngineEnv;
+    }
+  if (Opts.Engine.empty())
+    Opts.Engine = "vm";
   Telemetry Tel;
   std::optional<TelemetryScope> TelScope;
   if (Opts.Metrics || MetricsToStderr || !Opts.TraceJsonFile.empty() ||
@@ -624,8 +658,14 @@ int main(int Argc, char **Argv) {
       Prof.emplace(C->hierarchy(), Result.deadSet());
       IO.Profiler = &*Prof;
     }
-    Interpreter Interp(C->context(), C->hierarchy(), IO);
-    ExecResult Exec = Interp.run(C->mainFunction());
+    ExecResult Exec;
+    if (Opts.Engine == "vm") {
+      vm::VM Machine(C->context(), C->hierarchy(), IO);
+      Exec = Machine.run(C->mainFunction());
+    } else {
+      Interpreter Interp(C->context(), C->hierarchy(), IO);
+      Exec = Interp.run(C->mainFunction());
+    }
     if (!Exec.Completed) {
       std::cerr << "runtime error: " << Exec.Error << "\n";
       return 1;

@@ -56,17 +56,19 @@ int usage() {
       << "usage: dmm-fuzz [options]\n"
          "\n"
          "Differential fuzzing for the dead-member pipeline: random\n"
-         "MiniC++ programs are run through five oracles (differential\n"
+         "MiniC++ programs are run through six oracles (differential\n"
          "semantics of the eliminated program, dynamic soundness of the\n"
          "analysis, configuration invariance across --jobs levels and\n"
-         "call-graph precision, cache equivalence, and shadow-profiler\n"
-         "agreement with the trace replay). Failures are shrunk to\n"
+         "call-graph precision, cache equivalence, shadow-profiler\n"
+         "agreement with the trace replay, and bytecode-VM equivalence\n"
+         "with the tree-walking interpreter). Failures are shrunk to\n"
          "minimal reproducers. Everything is deterministic in the seed.\n"
          "\n"
          "options:\n"
          "  --seeds <N>|<A>..<B>     seed range, inclusive (default "
          "1..100)\n"
-         "  --oracle <all|semantics|soundness|invariance|cache|profiler>\n"
+         "  --oracle <all|semantics|soundness|invariance|cache|profiler"
+         "|engine>\n"
          "                           which oracle family to run "
          "(default all)\n"
          "  --artifacts <dir>        where reproducers and JSON failure\n"
@@ -78,10 +80,12 @@ int usage() {
          "  --no-shrink              keep failing programs unminimized\n"
          "  --max-shrink-attempts=<N>  shrinker predicate budget "
          "(default 4000)\n"
-         "  --inject-fault=<drop-live-stores|count-dealloc-reads>\n"
+         "  --inject-fault=<drop-live-stores|count-dealloc-reads"
+         "|vm-miscompile>\n"
          "                           deliberately break the eliminator /\n"
-         "                           the read exemption to validate that\n"
-         "                           the oracles catch it\n"
+         "                           the read exemption / the bytecode\n"
+         "                           compiler to validate that the\n"
+         "                           oracles catch it\n"
          "  --jobs=<N>               base worker threads (the invariance\n"
          "                           oracle still sweeps its own levels)\n"
          "  --metrics                print the fuzz counter table at "
@@ -141,12 +145,13 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &Opts) {
       Opts.Oracles.Invariance = Kind == "all" || Kind == "invariance";
       Opts.Oracles.Cache = Kind == "all" || Kind == "cache";
       Opts.Oracles.Profiler = Kind == "all" || Kind == "profiler";
+      Opts.Oracles.Engine = Kind == "all" || Kind == "engine";
       if (!Opts.Oracles.Semantics && !Opts.Oracles.Soundness &&
           !Opts.Oracles.Invariance && !Opts.Oracles.Cache &&
-          !Opts.Oracles.Profiler) {
+          !Opts.Oracles.Profiler && !Opts.Oracles.Engine) {
         std::cerr << "error: invalid --oracle value '" << Kind
                   << "' (valid choices: all, semantics, soundness, "
-                     "invariance, cache, profiler)\n";
+                     "invariance, cache, profiler, engine)\n";
         return false;
       }
     } else if (Arg == "--artifacts") {
@@ -177,10 +182,12 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &Opts) {
         Opts.Oracles.Fault.DropLiveMemberStores = true;
       else if (Fault == "count-dealloc-reads")
         Opts.Oracles.CountDeallocationReads = true;
+      else if (Fault == "vm-miscompile")
+        Opts.Oracles.VmMiscompile = true;
       else {
         std::cerr << "error: invalid --inject-fault value '" << Fault
                   << "' (valid choices: drop-live-stores, "
-                     "count-dealloc-reads)\n";
+                     "count-dealloc-reads, vm-miscompile)\n";
         return false;
       }
     } else if (Arg.rfind("--jobs=", 0) == 0) {
@@ -283,7 +290,9 @@ writeArtifacts(const FuzzOptions &Opts, const std::string &Stem,
     << "  \"injected_faults\": {\"drop_live_stores\": "
     << (Opts.Oracles.Fault.DropLiveMemberStores ? "true" : "false")
     << ", \"count_dealloc_reads\": "
-    << (Opts.Oracles.CountDeallocationReads ? "true" : "false") << "},\n"
+    << (Opts.Oracles.CountDeallocationReads ? "true" : "false")
+    << ", \"vm_miscompile\": "
+    << (Opts.Oracles.VmMiscompile ? "true" : "false") << "},\n"
     << "  \"shrink\": {\"lines_before\": " << Shrink.LinesBefore
     << ", \"lines_after\": " << Shrink.LinesAfter
     << ", \"attempts\": " << Shrink.Attempts

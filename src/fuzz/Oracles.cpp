@@ -15,6 +15,7 @@
 #include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 #include "trace/DynamicMetrics.h"
+#include "vm/VM.h"
 
 #include <atomic>
 #include <filesystem>
@@ -107,6 +108,159 @@ bool renderSummaryReport(const std::string &Source,
   return true;
 }
 
+/// Everything one engine exposes through the InterpOptions hook surface
+/// on one execution — the comparison unit of the engine oracle.
+/// ExecResult::Steps is deliberately absent: the engines count
+/// different units (bytecode instructions vs AST visits).
+struct EngineObservation {
+  ExecResult R;
+  std::set<const FieldDecl *> Reads;
+  std::vector<const FieldDecl *> ReadOrder;
+  std::set<const FieldDecl *> Writes;
+  FieldHeat Heat;
+  std::vector<TraceEvent> Events;
+  ProfileSummary Prof;
+};
+
+/// Runs the program on one engine with the full hook surface armed.
+EngineObservation runOnEngine(Compilation &C, bool UseVm,
+                              const FieldSet &Dead,
+                              const OracleConfig &Config) {
+  EngineObservation Obs;
+  AllocationTrace Trace;
+  ShadowProfiler Prof(C.hierarchy(), Dead);
+  InterpOptions IO;
+  IO.ReadSet = &Obs.Reads;
+  IO.ReadTrace = &Obs.ReadOrder;
+  IO.WriteSet = &Obs.Writes;
+  IO.Heat = &Obs.Heat;
+  IO.Trace = &Trace;
+  IO.TraceStackObjects = true;
+  IO.Profiler = &Prof;
+  IO.CountDeallocationReads = Config.CountDeallocationReads;
+  if (UseVm) {
+    vm::CompilerConfig CC;
+    CC.FaultAddOffByOne = Config.VmMiscompile;
+    vm::VM Machine(C.context(), C.hierarchy(), IO, CC);
+    Obs.R = Machine.run(C.mainFunction());
+  } else {
+    Interpreter Interp(C.context(), C.hierarchy(), IO);
+    Obs.R = Interp.run(C.mainFunction());
+  }
+  Obs.Events = Trace.events();
+  Obs.Prof = Prof.finalize(&C.SM);
+  return Obs;
+}
+
+/// First divergence between the tree-walker's and the VM's observations,
+/// or std::nullopt when they agree byte for byte.
+std::optional<std::string> firstEngineDivergence(const EngineObservation &T,
+                                                 const EngineObservation &V) {
+  auto Mismatch = [](const std::string &What, const std::string &Tree,
+                     const std::string &Vm) {
+    return What + ": tree " + Tree + " vs vm " + Vm;
+  };
+  if (T.R.Completed != V.R.Completed)
+    return Mismatch("completion", T.R.Completed ? "completed" : "aborted",
+                    V.R.Completed ? "completed" : "aborted");
+  if (T.R.Error != V.R.Error)
+    return Mismatch("error message", "\"" + T.R.Error + "\"",
+                    "\"" + V.R.Error + "\"");
+  if (T.R.Output != V.R.Output)
+    return Mismatch("output", "\"" + excerpt(T.R.Output) + "\"",
+                    "\"" + excerpt(V.R.Output) + "\"");
+  if (T.R.ExitCode != V.R.ExitCode)
+    return Mismatch("exit code", std::to_string(T.R.ExitCode),
+                    std::to_string(V.R.ExitCode));
+  if (T.ReadOrder.size() != V.ReadOrder.size())
+    return Mismatch("first-read count", std::to_string(T.ReadOrder.size()),
+                    std::to_string(V.ReadOrder.size()));
+  for (size_t I = 0; I != T.ReadOrder.size(); ++I)
+    if (T.ReadOrder[I] != V.ReadOrder[I])
+      return Mismatch("first-read #" + std::string(std::to_string(I + 1)),
+                      T.ReadOrder[I]->qualifiedName(),
+                      V.ReadOrder[I]->qualifiedName());
+  if (T.Reads != V.Reads)
+    return Mismatch("read set size", std::to_string(T.Reads.size()),
+                    std::to_string(V.Reads.size()));
+  if (T.Writes != V.Writes)
+    return Mismatch("write set size", std::to_string(T.Writes.size()),
+                    std::to_string(V.Writes.size()));
+  for (const auto &[F, N] : T.Heat.Reads) {
+    auto It = V.Heat.Reads.find(F);
+    uint64_t VN = It == V.Heat.Reads.end() ? 0 : It->second;
+    if (VN != N)
+      return Mismatch("read heat of " + F->qualifiedName(),
+                      std::to_string(N), std::to_string(VN));
+  }
+  if (T.Heat.Reads.size() != V.Heat.Reads.size())
+    return Mismatch("read-heat entries", std::to_string(T.Heat.Reads.size()),
+                    std::to_string(V.Heat.Reads.size()));
+  for (const auto &[F, N] : T.Heat.Writes) {
+    auto It = V.Heat.Writes.find(F);
+    uint64_t VN = It == V.Heat.Writes.end() ? 0 : It->second;
+    if (VN != N)
+      return Mismatch("write heat of " + F->qualifiedName(),
+                      std::to_string(N), std::to_string(VN));
+  }
+  if (T.Heat.Writes.size() != V.Heat.Writes.size())
+    return Mismatch("write-heat entries",
+                    std::to_string(T.Heat.Writes.size()),
+                    std::to_string(V.Heat.Writes.size()));
+  if (T.Events.size() != V.Events.size())
+    return Mismatch("trace length", std::to_string(T.Events.size()),
+                    std::to_string(V.Events.size()));
+  for (size_t I = 0; I != T.Events.size(); ++I) {
+    const TraceEvent &A = T.Events[I], &B = V.Events[I];
+    if (A.Kind != B.Kind || A.ObjectID != B.ObjectID ||
+        A.Class != B.Class || A.Count != B.Count || A.Bytes != B.Bytes ||
+        A.Time != B.Time)
+      return "trace event #" + std::to_string(I + 1) + " differs";
+  }
+  const ProfileSummary &TP = T.Prof, &VP = V.Prof;
+  if (TP.Metrics != VP.Metrics)
+    return std::string("profiler metrics differ (high_water_mark ") +
+           std::to_string(TP.Metrics.HighWaterMark) + " vs " +
+           std::to_string(VP.Metrics.HighWaterMark) + ")";
+  if (TP.AllocEvents != VP.AllocEvents || TP.FreeEvents != VP.FreeEvents ||
+      TP.LeakedObjects != VP.LeakedObjects ||
+      TP.PeakAllocEvent != VP.PeakAllocEvent ||
+      TP.SnapshotStride != VP.SnapshotStride ||
+      TP.ReadBytes != VP.ReadBytes || TP.WrittenBytes != VP.WrittenBytes ||
+      TP.AddrTakenBytes != VP.AddrTakenBytes ||
+      TP.NeverReadBytes != VP.NeverReadBytes)
+    return std::string("profiler byte accounting differs (read ") +
+           std::to_string(TP.ReadBytes) + " vs " +
+           std::to_string(VP.ReadBytes) + ", written " +
+           std::to_string(TP.WrittenBytes) + " vs " +
+           std::to_string(VP.WrittenBytes) + ")";
+  if (TP.Snapshots.size() != VP.Snapshots.size())
+    return Mismatch("snapshot count", std::to_string(TP.Snapshots.size()),
+                    std::to_string(VP.Snapshots.size()));
+  for (size_t I = 0; I != TP.Snapshots.size(); ++I) {
+    const ProfileSnapshot &A = TP.Snapshots[I], &B = VP.Snapshots[I];
+    if (A.AllocEvent != B.AllocEvent || A.LiveBytes != B.LiveBytes ||
+        A.LiveBytesNoDead != B.LiveBytesNoDead ||
+        A.LiveObjects != B.LiveObjects)
+      return "profiler snapshot #" + std::to_string(I + 1) + " differs";
+  }
+  if (TP.Sites.size() != VP.Sites.size())
+    return Mismatch("site-table rows", std::to_string(TP.Sites.size()),
+                    std::to_string(VP.Sites.size()));
+  for (size_t I = 0; I != TP.Sites.size(); ++I) {
+    const ProfileSiteRow &A = TP.Sites[I], &B = VP.Sites[I];
+    if (A.File != B.File || A.Line != B.Line || A.Class != B.Class ||
+        A.Member != B.Member || A.Objects != B.Objects ||
+        A.AllocBytes != B.AllocBytes || A.WrittenBytes != B.WrittenBytes ||
+        A.ReadBytes != B.ReadBytes || A.AddrTakenBytes != B.AddrTakenBytes ||
+        A.NeverReadBytes != B.NeverReadBytes ||
+        A.StaticDead != B.StaticDead)
+      return "profiler site row " + A.File + ":" + std::to_string(A.Line) +
+             " " + A.Class + "::" + A.Member + " differs";
+  }
+  return std::nullopt;
+}
+
 /// A fresh scratch directory for one cache-oracle trip; unique across
 /// processes (pid) and within one (counter).
 std::filesystem::path freshCacheDir() {
@@ -173,6 +327,34 @@ OracleOutcome fuzz::runOracles(const std::string &Source,
          << Replayed.HighWaterMarkNoDead << ", num_objects "
          << Shadow.NumObjects << " vs " << Replayed.NumObjects;
       return fail("profiler", OS.str());
+    }
+  }
+
+  // Oracle 6: engine equivalence. The bytecode VM must reproduce the
+  // tree-walker's full observable surface — output, exit code, error,
+  // first-read order, read/write sets, heat, allocation trace, and
+  // shadow-profiler summary — byte for byte. Steps is exempt (the
+  // engines count different units), so a step-limit abort is compared
+  // by error kind alone: the limit trips at engine-specific points.
+  if (Config.Engine) {
+    EngineObservation Tree =
+        runOnEngine(*C, /*UseVm=*/false, Result.deadSet(), Config);
+    EngineObservation Vm =
+        runOnEngine(*C, /*UseVm=*/true, Result.deadSet(), Config);
+    bool TreeLimited =
+        Tree.R.Error.find("step limit exceeded") != std::string::npos;
+    bool VmLimited =
+        Vm.R.Error.find("step limit exceeded") != std::string::npos;
+    if (TreeLimited || VmLimited) {
+      if (TreeLimited != VmLimited)
+        return fail("engine",
+                    std::string("step limit hit on ") +
+                        (TreeLimited ? "tree" : "vm") +
+                        " only: tree \"" + Tree.R.Error + "\" vs vm \"" +
+                        Vm.R.Error + "\"");
+    } else if (std::optional<std::string> Div =
+                   firstEngineDivergence(Tree, Vm)) {
+      return fail("engine", "vm diverges from tree-walker: " + *Div);
     }
   }
 

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The five correctness oracles the fuzzing harness runs every
+/// The six correctness oracles the fuzzing harness runs every
 /// generated (or replayed) program through:
 ///
 ///  1. *Differential semantics* — the dead-member-eliminated program
@@ -29,6 +29,13 @@
 ///     allocation-trace replay (trace/DynamicMetrics.h) exactly on the
 ///     same execution; the two compute the paper's Table 2 numbers by
 ///     independent mechanisms.
+///  6. *Engine equivalence* — the bytecode VM (vm/VM.h) must reproduce
+///     the tree-walking interpreter exactly on the same program:
+///     byte-identical output, exit code, error message, ReadTrace
+///     first-read order, read/write sets, heat counts, allocation
+///     trace, and shadow-profiler summary. Only ExecResult::Steps is
+///     exempt (the engines count different units); step-limit aborts
+///     are therefore compared by error kind alone.
 ///
 /// An oracle failure carries a machine-readable kind plus a
 /// human-readable detail; the harness (FuzzMain.cpp) feeds failures to
@@ -55,6 +62,7 @@ struct OracleConfig {
   bool Invariance = true;
   bool Cache = true;
   bool Profiler = true;
+  bool Engine = true;
 
   /// Base analysis configuration (defaults reproduce the paper's:
   /// RTA call graph, deallocation exemption, union closure).
@@ -73,6 +81,10 @@ struct OracleConfig {
   /// breaking the two-sided deallocation exemption the soundness
   /// oracle relies on.
   bool CountDeallocationReads = false;
+  /// Bytecode-compiler fault: integer additions compile to an
+  /// off-by-one AddII, a deliberate miscompile the engine oracle must
+  /// catch (vm/BytecodeCompiler.h, CompilerConfig::FaultAddOffByOne).
+  bool VmMiscompile = false;
   /// @}
 };
 
@@ -81,7 +93,7 @@ struct OracleOutcome {
   bool Passed = true;
   /// Empty when Passed; otherwise one of "frontend", "runtime",
   /// "semantics", "soundness", "invariance-jobs",
-  /// "invariance-monotonic", "cache", "profiler".
+  /// "invariance-monotonic", "cache", "profiler", "engine".
   std::string FailedOracle;
   /// Human-readable failure description (first violation wins).
   std::string Detail;

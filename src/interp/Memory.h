@@ -42,6 +42,13 @@ struct Storage {
   /// Object payload.
   const ClassDecl *Class = nullptr;
   std::unordered_map<const FieldDecl *, Storage *> Fields;
+  /// Dense field-slot vector used by the bytecode VM (src/vm): indexed
+  /// by the module-wide slot color of a FieldDecl, holes null. The
+  /// tree-walking interpreter populates Fields instead; the VM fills
+  /// Slots eagerly and materializes Fields lazily only for memberwise
+  /// copies (where hash-map iteration order is part of the observable
+  /// event order both engines must share).
+  std::vector<Storage *> Slots;
   /// Identity of the complete object this node belongs to (for trace
   /// attribution); 0 when not part of a traced object.
   uint64_t ObjectID = 0;

@@ -8,6 +8,12 @@
 // during destruction, global object lifetime, and other C++ semantics
 // the paper's measurements implicitly depend on.
 //
+// Every case runs on BOTH execution engines — the tree-walking
+// Interpreter and the bytecode VM (docs/VM.md) — via the EngineKind
+// test parameter: the expected output, exit code, and (for the
+// runtime-error cases) the output prefix written before the abort are
+// engine-independent contracts.
+//
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
@@ -17,12 +23,32 @@ using namespace dmm::test;
 
 namespace {
 
-std::string outputOf(const std::string &Source) {
-  auto C = compileOK(Source);
-  return runOK(*C).Output;
-}
+class InterpSemantics : public ::testing::TestWithParam<EngineKind> {
+protected:
+  std::string outputOf(const std::string &Source) {
+    auto C = compileOK(Source);
+    return runWithOK(*C, GetParam()).Output;
+  }
 
-TEST(InterpSemantics, ConstructionOrderBasesThenMembersThenBody) {
+  /// Runs a program expected to abort; checks the error message and the
+  /// output prefix written before the engine stopped. Both are
+  /// engine-independent: the VM must fail at the same event index as
+  /// the tree-walker, having produced the same partial output.
+  void expectRuntimeError(const std::string &Source,
+                          const std::string &ErrorNeedle,
+                          const std::string &OutputPrefix) {
+    auto C = compileOK(Source);
+    ExecResult R = runWith(*C, GetParam());
+    EXPECT_FALSE(R.Completed)
+        << engineName(GetParam()) << " unexpectedly completed with exit "
+        << R.ExitCode;
+    EXPECT_NE(R.Error.find(ErrorNeedle), std::string::npos)
+        << engineName(GetParam()) << " error was: " << R.Error;
+    EXPECT_EQ(R.Output, OutputPrefix) << engineName(GetParam());
+  }
+};
+
+TEST_P(InterpSemantics, ConstructionOrderBasesThenMembersThenBody) {
   EXPECT_EQ(outputOf(R"(
     class Base { public: int b; Base() { print_int(1); } };
     class Member { public: int m; Member() { print_int(2); } };
@@ -36,7 +62,7 @@ TEST(InterpSemantics, ConstructionOrderBasesThenMembersThenBody) {
             "1\n2\n3\n");
 }
 
-TEST(InterpSemantics, VirtualBaseConstructedOnceAndFirst) {
+TEST_P(InterpSemantics, VirtualBaseConstructedOnceAndFirst) {
   EXPECT_EQ(outputOf(R"(
     class Top { public: int t; Top() { print_int(0); } };
     class L : public virtual Top { public: int l; L() { print_int(1); } };
@@ -51,7 +77,7 @@ TEST(InterpSemantics, VirtualBaseConstructedOnceAndFirst) {
             "0\n1\n2\n3\n"); // Top once, most-derived first.
 }
 
-TEST(InterpSemantics, DestructionIsReverseOfConstruction) {
+TEST_P(InterpSemantics, DestructionIsReverseOfConstruction) {
   EXPECT_EQ(outputOf(R"(
     class Base { public: int b; Base() { print_int(1); } ~Base() { print_int(-1); } };
     class Member { public: int m; Member() { print_int(2); } ~Member() { print_int(-2); } };
@@ -66,7 +92,7 @@ TEST(InterpSemantics, DestructionIsReverseOfConstruction) {
             "1\n2\n3\n-3\n-2\n-1\n");
 }
 
-TEST(InterpSemantics, DispatchDuringDestructionUsesStaticType) {
+TEST_P(InterpSemantics, DispatchDuringDestructionUsesStaticType) {
   EXPECT_EQ(outputOf(R"(
     class B {
     public:
@@ -88,7 +114,7 @@ TEST(InterpSemantics, DispatchDuringDestructionUsesStaticType) {
             "2\n1\n"); // D's dtor sees D::tag, B's dtor sees B::tag.
 }
 
-TEST(InterpSemantics, GlobalObjectsConstructedBeforeMainDestroyedAfter) {
+TEST_P(InterpSemantics, GlobalObjectsConstructedBeforeMainDestroyedAfter) {
   EXPECT_EQ(outputOf(R"(
     class G {
     public:
@@ -103,7 +129,7 @@ TEST(InterpSemantics, GlobalObjectsConstructedBeforeMainDestroyedAfter) {
             "1\n2\n0\n-2\n-1\n");
 }
 
-TEST(InterpSemantics, MemberArrayElementsConstructedInOrder) {
+TEST_P(InterpSemantics, MemberArrayElementsConstructedInOrder) {
   EXPECT_EQ(outputOf(R"(
     int nextId = 0;
     class Elem {
@@ -122,7 +148,7 @@ TEST(InterpSemantics, MemberArrayElementsConstructedInOrder) {
             "1\n3\n");
 }
 
-TEST(InterpSemantics, BlockScopedObjectsDestroyedAtBlockExit) {
+TEST_P(InterpSemantics, BlockScopedObjectsDestroyedAtBlockExit) {
   EXPECT_EQ(outputOf(R"(
     class Noisy {
     public:
@@ -142,7 +168,7 @@ TEST(InterpSemantics, BlockScopedObjectsDestroyedAtBlockExit) {
             "2\n0\n1\n");
 }
 
-TEST(InterpSemantics, LoopBodyObjectsDestroyedEachIteration) {
+TEST_P(InterpSemantics, LoopBodyObjectsDestroyedEachIteration) {
   EXPECT_EQ(outputOf(R"(
     class Tick {
     public:
@@ -160,7 +186,7 @@ TEST(InterpSemantics, LoopBodyObjectsDestroyedEachIteration) {
             "0\n1\n");
 }
 
-TEST(InterpSemantics, EarlyReturnStillDestroysLocals) {
+TEST_P(InterpSemantics, EarlyReturnStillDestroysLocals) {
   EXPECT_EQ(outputOf(R"(
     class Noisy {
     public:
@@ -181,7 +207,7 @@ TEST(InterpSemantics, EarlyReturnStillDestroysLocals) {
             "2\n1\n10\n");
 }
 
-TEST(InterpSemantics, CtorInitializerOrderFollowsDeclarationOrder) {
+TEST_P(InterpSemantics, CtorInitializerOrderFollowsDeclarationOrder) {
   // As in C++: member initialization order is declaration order, not
   // initializer-list order.
   EXPECT_EQ(outputOf(R"(
@@ -197,7 +223,7 @@ TEST(InterpSemantics, CtorInitializerOrderFollowsDeclarationOrder) {
             "1\n2\n");
 }
 
-TEST(InterpSemantics, SharedVirtualBaseStateIsVisibleThroughBothPaths) {
+TEST_P(InterpSemantics, SharedVirtualBaseStateIsVisibleThroughBothPaths) {
   EXPECT_EQ(outputOf(R"(
     class Top { public: int t; };
     class L : public virtual Top { public: int l; };
@@ -216,7 +242,7 @@ TEST(InterpSemantics, SharedVirtualBaseStateIsVisibleThroughBothPaths) {
             "42\n");
 }
 
-TEST(InterpSemantics, FunctionPointersCompareAndSwap) {
+TEST_P(InterpSemantics, FunctionPointersCompareAndSwap) {
   EXPECT_EQ(outputOf(R"(
     int one() { return 1; }
     int two() { return 2; }
@@ -232,7 +258,7 @@ TEST(InterpSemantics, FunctionPointersCompareAndSwap) {
             "1\n2\n");
 }
 
-TEST(InterpSemantics, PointerEqualityAndOrderingInArrays) {
+TEST_P(InterpSemantics, PointerEqualityAndOrderingInArrays) {
   EXPECT_EQ(outputOf(R"(
     int main() {
       int a[4];
@@ -247,7 +273,7 @@ TEST(InterpSemantics, PointerEqualityAndOrderingInArrays) {
             "true\ntrue\n2\n");
 }
 
-TEST(InterpSemantics, MemberPointersAreReseatable) {
+TEST_P(InterpSemantics, MemberPointersAreReseatable) {
   EXPECT_EQ(outputOf(R"(
     class P { public: int x; int y; };
     int main() {
@@ -264,7 +290,7 @@ TEST(InterpSemantics, MemberPointersAreReseatable) {
             "10\n20\n");
 }
 
-TEST(InterpSemantics, WritesThroughMemberPointerAttributeMember) {
+TEST_P(InterpSemantics, WritesThroughMemberPointerAttributeMember) {
   auto C = compileOK(R"(
     class P { public: int x; };
     int main() {
@@ -277,12 +303,12 @@ TEST(InterpSemantics, WritesThroughMemberPointerAttributeMember) {
   std::set<const FieldDecl *> Writes;
   InterpOptions IO;
   IO.WriteSet = &Writes;
-  ExecResult R = runOK(*C, IO);
+  ExecResult R = runWithOK(*C, GetParam(), IO);
   EXPECT_EQ(R.ExitCode, 5);
   EXPECT_TRUE(Writes.count(findField(*C, "P", "x")));
 }
 
-TEST(InterpSemantics, UnionMembersHaveIndependentStorageInThisModel) {
+TEST_P(InterpSemantics, UnionMembersHaveIndependentStorageInThisModel) {
   // Documented divergence from real C++ (see interp/Interpreter.h):
   // union alternatives do not alias. The analysis' union closure is what
   // makes this safe for dead-member classification.
@@ -299,7 +325,7 @@ TEST(InterpSemantics, UnionMembersHaveIndependentStorageInThisModel) {
             "7\n");
 }
 
-TEST(InterpSemantics, QualifiedBaseCallFromOverride) {
+TEST_P(InterpSemantics, QualifiedBaseCallFromOverride) {
   EXPECT_EQ(outputOf(R"(
     class B { public: int bv; virtual int f() { return 10; } };
     class D : public B {
@@ -316,7 +342,7 @@ TEST(InterpSemantics, QualifiedBaseCallFromOverride) {
             "11\n");
 }
 
-TEST(InterpSemantics, FreeDoesNotRunDestructors) {
+TEST_P(InterpSemantics, FreeDoesNotRunDestructors) {
   EXPECT_EQ(outputOf(R"(
     class Loud { public: int v; ~Loud() { print_int(v); } };
     int main() {
@@ -331,5 +357,84 @@ TEST(InterpSemantics, FreeDoesNotRunDestructors) {
   )"),
             "2\n");
 }
+
+//===----------------------------------------------------------------------===//
+// Runtime errors: both engines stop at the same event with the same
+// message, having produced the same output prefix.
+//===----------------------------------------------------------------------===//
+
+TEST_P(InterpSemantics, NullDereferenceStopsMidProgram) {
+  expectRuntimeError(R"(
+    int main() {
+      print_int(1);
+      print_int(2);
+      int *p = 0;
+      print_int(*p);
+      print_int(3);
+      return 0;
+    }
+  )",
+                     "null pointer", "1\n2\n");
+}
+
+TEST_P(InterpSemantics, DoubleDeleteIsDiagnosedAfterFirstDelete) {
+  expectRuntimeError(R"(
+    class C { public: int v; ~C() { print_int(v); } };
+    int main() {
+      C *p = new C();
+      p->v = 7;
+      delete p;
+      delete p;
+      return 0;
+    }
+  )",
+                     "double destruction", "7\n");
+}
+
+TEST_P(InterpSemantics, UndefinedFunctionCallAbortsAtTheCall) {
+  expectRuntimeError(R"(
+    int missing(int x);
+    int main() {
+      print_int(9);
+      return missing(1);
+    }
+  )",
+                     "undefined function", "9\n");
+}
+
+TEST_P(InterpSemantics, RunawayRecursionOverflowsTheGuestStack) {
+  expectRuntimeError(R"(
+    int spin(int n) { print_int(n); return spin(n + 1); }
+    int main() { return spin(-3); }
+  )",
+                     "stack overflow", [] {
+                       // The guest frame limit is engine-independent:
+                       // 1024 frames counting main, so spin prints
+                       // -3..1019 before the 1024th call is refused.
+                       std::string S;
+                       for (int I = -3; I <= 1019; ++I)
+                         S += std::to_string(I) + "\n";
+                       return S;
+                     }());
+}
+
+TEST_P(InterpSemantics, MemberAccessThroughNullObjectPointer) {
+  expectRuntimeError(R"(
+    class B { public: int x; virtual int f() { return 1; } };
+    int main() {
+      print_int(5);
+      B *p = 0;
+      return p->f();
+    }
+  )",
+                     "null", "5\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, InterpSemantics,
+    ::testing::Values(EngineKind::Tree, EngineKind::Vm),
+    [](const ::testing::TestParamInfo<EngineKind> &I) {
+      return std::string(engineName(I.param));
+    });
 
 } // namespace

@@ -11,6 +11,7 @@
 #include "driver/Frontend.h"
 #include "interp/Interpreter.h"
 #include "trace/DynamicMetrics.h"
+#include "vm/VM.h"
 
 #include "gtest/gtest.h"
 
@@ -67,6 +68,34 @@ inline ExecResult runOK(Compilation &C, InterpOptions Options = {}) {
   Interpreter I(C.context(), C.hierarchy(), Options);
   ExecResult R = I.run(C.mainFunction());
   EXPECT_TRUE(R.Completed) << "runtime error: " << R.Error;
+  return R;
+}
+
+/// Which execution engine a parameterized test drives (the tree-walking
+/// Interpreter or the bytecode VM; both honor the same InterpOptions).
+enum class EngineKind { Tree, Vm };
+
+inline const char *engineName(EngineKind E) {
+  return E == EngineKind::Vm ? "vm" : "tree";
+}
+
+/// Executes the program on the chosen engine.
+inline ExecResult runWith(Compilation &C, EngineKind E,
+                          InterpOptions Options = {}) {
+  if (E == EngineKind::Vm) {
+    vm::VM M(C.context(), C.hierarchy(), Options);
+    return M.run(C.mainFunction());
+  }
+  Interpreter I(C.context(), C.hierarchy(), Options);
+  return I.run(C.mainFunction());
+}
+
+/// Like runOK, on the chosen engine.
+inline ExecResult runWithOK(Compilation &C, EngineKind E,
+                            InterpOptions Options = {}) {
+  ExecResult R = runWith(C, E, Options);
+  EXPECT_TRUE(R.Completed) << engineName(E)
+                           << " runtime error: " << R.Error;
   return R;
 }
 
