@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Assertions over dmm-fuzz --coverage-json documents.
+
+Shared by the ctest smoke tests (tests/CMakeLists.txt) and the CI
+liveness-driven sweep (.github/workflows/ci.yml); docs/TESTING.md
+describes the document schema.
+
+Subcommands:
+  ratio <report.json> <target> <tolerance>
+      The achieved dead-ratio mean must be within tolerance of target.
+  min-entries <report.json> <n>
+      The boundary-coverage map must hold at least n entries.
+  improvement <steered.json> <blind.json> <factor>
+      The steered run must reach at least factor x the blind run's
+      coverage entries on the same program budget.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit(__doc__.strip())
+    cmd = argv[1]
+
+    if cmd == "ratio":
+        doc, target, tol = load(argv[2]), float(argv[3]), float(argv[4])
+        mean = doc["achieved_dead_ratio"]["mean"]
+        if abs(mean - target) > tol:
+            raise SystemExit(
+                f"achieved mean {mean:.4f} misses target {target} "
+                f"by more than {tol}")
+        print(f"ratio ok: mean {mean:.4f}, target {target}, "
+              f"tolerance {tol}")
+
+    elif cmd == "min-entries":
+        doc, n = load(argv[2]), int(argv[3])
+        entries = doc["coverage_entries"]
+        if entries < n:
+            raise SystemExit(f"coverage entries {entries} < required {n}")
+        print(f"coverage ok: {entries} entries (>= {n})")
+
+    elif cmd == "improvement":
+        steered, blind = load(argv[2]), load(argv[3])
+        factor = float(argv[4])
+        se, be = steered["coverage_entries"], blind["coverage_entries"]
+        if se < factor * be:
+            raise SystemExit(
+                f"steered coverage {se} < {factor} x blind {be}")
+        print(f"improvement ok: steered {se} >= {factor} x blind {be}")
+
+    else:
+        raise SystemExit(f"unknown subcommand {cmd!r}\n\n{__doc__.strip()}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,237 @@
+//===-- fuzz/Coverage.cpp -------------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Coverage.h"
+
+#include "analysis/DeadMemberAnalysis.h"
+#include "driver/Frontend.h"
+#include "interp/Interpreter.h"
+#include "profiler/ShadowProfiler.h"
+#include "telemetry/Telemetry.h"
+#include "transform/DeadMemberEliminator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace dmm;
+using namespace dmm::fuzz;
+
+unsigned fuzz::ratioBucket(double Ratio) {
+  if (Ratio < 0)
+    Ratio = 0;
+  unsigned B = static_cast<unsigned>(Ratio * kRatioBuckets);
+  return std::min(B, kRatioBuckets - 1);
+}
+
+double fuzz::ratioBucketCenter(unsigned Bucket) {
+  return (Bucket + 0.5) / kRatioBuckets;
+}
+
+size_t CoverageMap::newEntries(
+    const std::vector<std::string> &Candidate) const {
+  size_t N = 0;
+  for (const std::string &K : Candidate)
+    N += Keys.count(K) ? 0 : 1;
+  return N;
+}
+
+namespace {
+
+/// The dead classifiable members under \p Opts, by qualified name.
+std::set<std::string> deadUnder(Compilation &C, AnalysisOptions Opts) {
+  DeadMemberAnalysis A(C.context(), C.hierarchy(), Opts);
+  DeadMemberResult R = A.run(C.mainFunction());
+  std::set<std::string> Names;
+  for (const FieldDecl *F : R.deadMembers())
+    Names.insert(F->qualifiedName());
+  return Names;
+}
+
+} // namespace
+
+ProgramMeasurement fuzz::measureProgram(const std::string &Source) {
+  ProgramMeasurement M;
+
+  // Local scope: the eliminator's plan counters and the analysis tallies
+  // land here instead of polluting the harness-wide registry.
+  Telemetry Local;
+  TelemetryScope Scope(Local);
+
+  std::ostringstream Diag;
+  auto C = compileString(Source, &Diag);
+  if (!C->Success) {
+    M.Error = "does not compile: " + Diag.str();
+    return M;
+  }
+
+  AnalysisOptions Base;
+  Base.RecordProvenance = true;
+  DeadMemberAnalysis Analysis(C->context(), C->hierarchy(), Base);
+  DeadMemberResult Result = Analysis.run(C->mainFunction());
+
+  std::set<std::string> Keys;
+
+  // Static classification: causes, per-class adjacency, the ratio.
+  struct ClassBins {
+    bool HasDead = false;
+    std::set<LivenessReason> LiveReasons;
+    bool IsUnion = false;
+    unsigned Members = 0, Dead = 0;
+  };
+  std::map<const ClassDecl *, ClassBins> PerClass;
+  unsigned Dead = 0;
+  for (const FieldDecl *F : Result.classifiableMembers()) {
+    ClassBins &B = PerClass[F->parent()];
+    B.IsUnion = F->parent()->isUnion();
+    ++B.Members;
+    if (Result.isDead(F)) {
+      ++Dead;
+      ++B.Dead;
+      B.HasDead = true;
+    } else {
+      B.LiveReasons.insert(Result.reason(F));
+    }
+  }
+  M.DeadMembers = Dead;
+  M.ClassifiableMembers =
+      static_cast<unsigned>(Result.classifiableMembers().size());
+  M.AchievedDeadRatio =
+      M.ClassifiableMembers
+          ? static_cast<double>(Dead) / M.ClassifiableMembers
+          : 0.0;
+  Keys.insert("ratio.b" + std::to_string(ratioBucket(M.AchievedDeadRatio)));
+
+  for (const auto &[CD, B] : PerClass) {
+    for (LivenessReason R : B.LiveReasons) {
+      std::string Slug = livenessReasonSlug(R);
+      Keys.insert("cause." + Slug);
+      if (B.HasDead)
+        Keys.insert("dead_adjacent." + Slug);
+    }
+    if (B.IsUnion) {
+      if (B.Dead == B.Members)
+        Keys.insert("union.all_dead");
+      else if (B.Dead == 0)
+        Keys.insert("union.closure_live");
+    }
+  }
+
+  // Differential boundary probes: flip one analysis policy and see
+  // which members change classification. Each hit means the program
+  // actually exercised that §3 special case, not merely contained the
+  // syntax for it.
+  const std::set<std::string> DeadDefault = deadUnder(*C, AnalysisOptions{});
+  {
+    AnalysisOptions NoExempt;
+    NoExempt.ExemptDeallocationArgs = false;
+    std::set<std::string> DeadNoExempt = deadUnder(*C, NoExempt);
+    for (const std::string &Name : DeadDefault)
+      if (!DeadNoExempt.count(Name)) {
+        Keys.insert("boundary.dealloc_exemption");
+        break;
+      }
+  }
+  {
+    AnalysisOptions NoClosure;
+    NoClosure.UnionClosure = false;
+    std::set<std::string> DeadNoClosure = deadUnder(*C, NoClosure);
+    for (const std::string &Name : DeadNoClosure)
+      if (!DeadDefault.count(Name)) {
+        Keys.insert("boundary.union_closure");
+        break;
+      }
+  }
+  {
+    AnalysisOptions Conservative;
+    Conservative.Sizeof = SizeofPolicy::Conservative;
+    std::set<std::string> DeadConservative = deadUnder(*C, Conservative);
+    for (const std::string &Name : DeadDefault)
+      if (!DeadConservative.count(Name)) {
+        Keys.insert("boundary.sizeof");
+        break;
+      }
+  }
+
+  // Eliminator plan kinds, via the counters it emits into our scope.
+  eliminateDeadMembers(C->context(), Result, Analysis.callGraph());
+  static const char *const ElimKeys[][2] = {
+      {"eliminate.plan.drop_store", "elim.drop_store"},
+      {"eliminate.plan.rhs_only", "elim.rhs_only"},
+      {"eliminate.plan.drop_dealloc", "elim.drop_dealloc"},
+      {"eliminate.plan.init_drop", "elim.init_drop"},
+      {"eliminate.plan.blocked", "elim.blocked"},
+      {"eliminate.removed_members", "elim.removed_members"},
+      {"eliminate.removed_functions", "elim.removed_functions"},
+  };
+  for (const auto &[Counter, Key] : ElimKeys)
+    if (Local.counter(Counter))
+      Keys.insert(Key);
+
+  // Dynamic verdict from a profiled run.
+  ShadowProfiler Prof(C->hierarchy(), Result.deadSet());
+  InterpOptions IO;
+  IO.Profiler = &Prof;
+  Interpreter Interp(C->context(), C->hierarchy(), IO);
+  ExecResult R = Interp.run(C->mainFunction());
+  if (!R.Completed) {
+    M.Error = "aborted: " + R.Error;
+    return M;
+  }
+  const ProfileSummary &P = Prof.finalize(&C->SM);
+  if (P.NeverReadBytes > 0)
+    Keys.insert("profiler.never_read");
+  else if (P.Metrics.ObjectSpace > 0)
+    Keys.insert("profiler.all_read");
+  if (P.Metrics.DeadMemberSpace > 0)
+    Keys.insert("profiler.dead_space");
+
+  // The sparse regime: a program dominated by dead members is the
+  // analysis' extreme operating point (every special case fires next
+  // to overwhelmingly removable state), so each behavior observed
+  // there is a coverage point of its own. Blind generation essentially
+  // never reaches this regime; the liveness-driven planner hits it on
+  // request.
+  if (M.AchievedDeadRatio >= 0.85) {
+    std::set<std::string> SparseKeys;
+    for (const std::string &K : Keys)
+      if (K.rfind("ratio.", 0) != 0)
+        SparseKeys.insert(K + ".sparse");
+    Keys.insert(SparseKeys.begin(), SparseKeys.end());
+  }
+
+  M.Valid = true;
+  M.Keys.assign(Keys.begin(), Keys.end());
+  return M;
+}
+
+std::vector<size_t>
+fuzz::distillCorpus(const std::vector<DistillCandidate> &Candidates,
+                    size_t MaxPrograms) {
+  std::vector<size_t> Picks;
+  CoverageMap Covered;
+  std::vector<bool> Used(Candidates.size(), false);
+  while (Picks.size() < MaxPrograms) {
+    size_t Best = Candidates.size(), BestGain = 0;
+    for (size_t I = 0; I != Candidates.size(); ++I) {
+      if (Used[I])
+        continue;
+      size_t Gain = Covered.newEntries(Candidates[I].Keys);
+      if (Gain > BestGain) {
+        BestGain = Gain;
+        Best = I;
+      }
+    }
+    if (Best == Candidates.size())
+      break; // Nothing adds coverage.
+    Used[Best] = true;
+    Picks.push_back(Best);
+    for (const std::string &K : Candidates[Best].Keys)
+      Covered.add(K);
+  }
+  return Picks;
+}

@@ -1,0 +1,131 @@
+//===-- fuzz/Coverage.h - Boundary-coverage accounting ----------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boundary-coverage accounting for the liveness-driven fuzzer
+/// (docs/TESTING.md §liveness-driven generation). One generated program
+/// is *measured* by running it through the full pipeline — analysis
+/// with provenance, three ablation analyses probing the decision
+/// boundaries the paper's §3 special cases create, the eliminator, and
+/// a profiled execution — and distilled into a set of string coverage
+/// keys:
+///
+///   cause.<reason>            a live classifiable member with that
+///                             LivenessReason;
+///   dead_adjacent.<reason>    a class holding both a dead member and a
+///                             live member with that reason — the
+///                             analysis drew a line inside one class;
+///   ratio.b<k>                the achieved dead-member ratio bucket
+///                             (kRatioBuckets equal-width buckets);
+///   boundary.dealloc_exemption  a member dead only because of the
+///                             delete/free exemption (flips live when
+///                             ExemptDeallocationArgs is off);
+///   boundary.union_closure    a member live only because of the union
+///                             closure (flips dead when it is off);
+///   boundary.sizeof           a member dead under SizeofPolicy::
+///                             IgnoreAll but live under Conservative;
+///   union.closure_live / union.all_dead   both sides of the closure;
+///   elim.*                    eliminator plan kinds actually applied
+///                             (drop_store, rhs_only, drop_dealloc,
+///                             init_drop, blocked, removed_members,
+///                             removed_functions);
+///   profiler.never_read / profiler.all_read / profiler.dead_space
+///                             the shadow profiler's dynamic verdict;
+///   <key>.sparse              any of the above observed in a program
+///                             whose achieved dead ratio is >= 0.85 —
+///                             the analysis' extreme operating point,
+///                             counted separately per behavior.
+///
+/// The union of keys over a run is the *boundary-coverage map*; its
+/// entry count is the fuzzer's coverage score, reported by
+/// `dmm-fuzz --coverage-json` and maximized by the corpus distiller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_FUZZ_COVERAGE_H
+#define DMM_FUZZ_COVERAGE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmm {
+namespace fuzz {
+
+/// Number of equal-width achieved-dead-ratio buckets ([0,1] split into
+/// kRatioBuckets; bucket k covers [k/N, (k+1)/N)).
+constexpr unsigned kRatioBuckets = 25;
+
+/// The bucket index of an achieved ratio, clamped to the last bucket.
+unsigned ratioBucket(double Ratio);
+
+/// The center ratio of bucket \p Bucket (the feedback loop's targets).
+double ratioBucketCenter(unsigned Bucket);
+
+/// The aggregated boundary-coverage map: key -> number of programs
+/// that exercised it.
+class CoverageMap {
+public:
+  void add(const std::string &Key, uint64_t Delta = 1) {
+    Keys[Key] += Delta;
+  }
+  void merge(const CoverageMap &Other) {
+    for (const auto &[K, N] : Other.Keys)
+      Keys[K] += N;
+  }
+  bool covered(const std::string &Key) const { return Keys.count(Key); }
+  size_t entries() const { return Keys.size(); }
+  const std::map<std::string, uint64_t> &keys() const { return Keys; }
+
+  /// How many of \p Candidate's keys are not yet covered here (the
+  /// distiller's greedy gain function).
+  size_t newEntries(const std::vector<std::string> &Candidate) const;
+
+private:
+  std::map<std::string, uint64_t> Keys;
+};
+
+/// One program's measurement: its achieved dead ratio and the boundary
+/// keys it exercised.
+struct ProgramMeasurement {
+  bool Valid = false; ///< Compiled and ran to completion.
+  std::string Error;  ///< Set when !Valid.
+  unsigned DeadMembers = 0;
+  unsigned ClassifiableMembers = 0;
+  double AchievedDeadRatio = 0.0; ///< Dead / classifiable (0 if none).
+  std::vector<std::string> Keys;  ///< Sorted, deduplicated.
+};
+
+/// Compiles, analyzes (the default configuration plus the three
+/// boundary ablations), eliminates, and executes \p Source under a
+/// local telemetry scope, returning its measurement. Never throws; a
+/// program that does not compile or aborts comes back !Valid.
+ProgramMeasurement measureProgram(const std::string &Source);
+
+/// A distillation candidate: one measured program and where it came
+/// from.
+struct DistillCandidate {
+  uint64_t Seed = 0;
+  double TargetDeadRatio = -1.0; ///< Generator target; negative=blind.
+  std::string Source;
+  double AchievedDeadRatio = 0.0;
+  std::vector<std::string> Keys;
+};
+
+/// Greedy set cover over the candidates' coverage keys: repeatedly
+/// picks the candidate adding the most uncovered keys (ties break to
+/// the earliest candidate), until nothing adds coverage or
+/// \p MaxPrograms are selected. Returns indices into \p Candidates in
+/// selection order. Deterministic.
+std::vector<size_t>
+distillCorpus(const std::vector<DistillCandidate> &Candidates,
+              size_t MaxPrograms);
+
+} // namespace fuzz
+} // namespace dmm
+
+#endif // DMM_FUZZ_COVERAGE_H

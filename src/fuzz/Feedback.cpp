@@ -1,0 +1,185 @@
+//===-- fuzz/Feedback.cpp -------------------------------------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Feedback.h"
+
+#include <algorithm>
+
+using namespace dmm;
+using namespace dmm::fuzz;
+
+const char *fuzz::steeringName(Steering S) {
+  switch (S) {
+  case Steering::Closed:
+    return "closed";
+  case Steering::Neutral:
+    return "neutral";
+  case Steering::Inverted:
+    return "inverted";
+  }
+  return "closed";
+}
+
+bool fuzz::parseSteering(const std::string &Name, Steering &Out) {
+  if (Name == "closed")
+    Out = Steering::Closed;
+  else if (Name == "neutral")
+    Out = Steering::Neutral;
+  else if (Name == "inverted")
+    Out = Steering::Inverted;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+/// The steerable features: each weight knob paired with the coverage
+/// keys that prove the boundary behind it was exercised.
+struct FeatureLink {
+  unsigned FeatureWeights::*Weight;
+  std::vector<const char *> Keys;
+};
+
+const std::vector<FeatureLink> &featureLinks() {
+  static const std::vector<FeatureLink> Links = {
+      {&FeatureWeights::Union,
+       {"boundary.union_closure", "union.all_dead", "union.closure_live"}},
+      {&FeatureWeights::Volatile,
+       {"cause.volatile_write", "dead_adjacent.volatile_write"}},
+      {&FeatureWeights::Owned,
+       {"boundary.dealloc_exemption", "elim.drop_dealloc"}},
+      {&FeatureWeights::UnsafeCast,
+       {"cause.unsafe_cast", "dead_adjacent.unsafe_cast"}},
+      {&FeatureWeights::AddressTaken,
+       {"cause.address_taken", "dead_adjacent.address_taken"}},
+      {&FeatureWeights::PointerToMember,
+       {"cause.pointer_to_member", "dead_adjacent.pointer_to_member"}},
+      {&FeatureWeights::Sizeof, {"boundary.sizeof"}},
+  };
+  return Links;
+}
+
+} // namespace
+
+FeedbackLoop::FeedbackLoop(GeneratorOptions Base, Steering Mode,
+                           double FixedTarget, bool Sweep)
+    : Base(Base), Current(Base), Mode(Mode), FixedTarget(FixedTarget),
+      Sweep(Sweep) {
+  if (FixedTarget >= 0)
+    Current.TargetDeadRatio = std::min(1.0, FixedTarget);
+  else if (Sweep)
+    Current.TargetDeadRatio = ratioBucketCenter(kRatioBuckets / 2);
+}
+
+void FeedbackLoop::observe(const ProgramMeasurement &M) {
+  if (!M.Valid)
+    return;
+  for (const std::string &K : M.Keys)
+    Coverage.add(K);
+  ++BucketHits[ratioBucket(M.AchievedDeadRatio)];
+  BatchRatioSum += M.AchievedDeadRatio;
+  ++BatchPrograms;
+  TotalRatioSum += M.AchievedDeadRatio;
+  ++TotalPrograms;
+  RatioMin = std::min(RatioMin, M.AchievedDeadRatio);
+  RatioMax = std::max(RatioMax, M.AchievedDeadRatio);
+}
+
+void FeedbackLoop::endBatch() {
+  if (!BatchPrograms)
+    return;
+  BatchRecord Rec;
+  Rec.Target = Current.TargetDeadRatio;
+  Rec.AchievedMean = BatchRatioSum / BatchPrograms;
+  Rec.Programs = BatchPrograms;
+  Rec.NewEntries = Coverage.entries() - EntriesAtBatchStart;
+  History.push_back(Rec);
+
+  if (Sweep)
+    steerSweep();
+  else if (FixedTarget >= 0)
+    steerFixed();
+
+  BatchRatioSum = 0.0;
+  BatchPrograms = 0;
+  EntriesAtBatchStart = Coverage.entries();
+}
+
+void FeedbackLoop::setFeatureWeights(unsigned MissingWeight) {
+  for (const FeatureLink &Link : featureLinks()) {
+    bool Missing = true;
+    for (const char *Key : Link.Keys)
+      if (Coverage.covered(Key)) {
+        Missing = false;
+        break;
+      }
+    Current.Weights.*Link.Weight =
+        Missing ? MissingWeight : Base.Weights.*Link.Weight;
+  }
+}
+
+void FeedbackLoop::steerSweep() {
+  switch (Mode) {
+  case Steering::Closed: {
+    // Chase the first uncovered ratio bucket (round-robin so every
+    // batch moves on even when coverage saturates), and raise the
+    // weight of every feature whose boundary keys are still missing.
+    unsigned Pick = kRatioBuckets;
+    for (unsigned K = 0; K != kRatioBuckets; ++K) {
+      unsigned B = (Cursor + K) % kRatioBuckets;
+      if (!Coverage.covered("ratio.b" + std::to_string(B))) {
+        Pick = B;
+        break;
+      }
+    }
+    if (Pick == kRatioBuckets)
+      Pick = Cursor % kRatioBuckets;
+    Cursor = (Pick + 1) % kRatioBuckets;
+    Current.TargetDeadRatio = ratioBucketCenter(Pick);
+    setFeatureWeights(/*MissingWeight=*/90);
+    break;
+  }
+  case Steering::Neutral:
+    // Uniform target cycle, stock weights: the coverage signal is
+    // ignored entirely (the control arm of the self-validation test).
+    Current.TargetDeadRatio =
+        ratioBucketCenter(Cursor % kRatioBuckets);
+    Cursor = (Cursor + 1) % kRatioBuckets;
+    Current.Weights = Base.Weights;
+    break;
+  case Steering::Inverted: {
+    // Anti-steering: re-target the already-most-covered bucket and
+    // starve exactly the features whose keys are missing. A live loop
+    // must make this measurably worse than neutral.
+    unsigned Pick = 0;
+    for (unsigned B = 1; B != kRatioBuckets; ++B)
+      if (BucketHits[B] > BucketHits[Pick])
+        Pick = B;
+    Current.TargetDeadRatio = ratioBucketCenter(Pick);
+    setFeatureWeights(/*MissingWeight=*/2);
+    break;
+  }
+  }
+}
+
+void FeedbackLoop::steerFixed() {
+  const BatchRecord &Last = History.back();
+  double Err = FixedTarget - Last.AchievedMean;
+  switch (Mode) {
+  case Steering::Closed:
+    Bias += 0.5 * Err;
+    break;
+  case Steering::Neutral:
+    Bias = 0.0;
+    break;
+  case Steering::Inverted:
+    Bias -= 0.5 * Err;
+    break;
+  }
+  Current.TargetDeadRatio =
+      std::min(1.0, std::max(0.0, FixedTarget + Bias));
+}

@@ -1,0 +1,126 @@
+//===-- fuzz/Feedback.h - Liveness-driven steering loop ---------*- C++ -*-==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The closed feedback loop that turns dmm-fuzz from an open-loop
+/// sampler into a liveness-driven generator (Barany, "Liveness-Driven
+/// Random Program Generation"; docs/TESTING.md). Programs are generated
+/// in batches; after each batch the loop looks at what the pipeline
+/// actually measured — the achieved dead-member ratio distribution and
+/// the boundary-coverage map (fuzz/Coverage.h) — and steers the next
+/// batch's GeneratorOptions:
+///
+///  - *sweep* mode targets the first uncovered achieved-ratio bucket
+///    and bumps the per-feature weights whose boundary keys are still
+///    missing (union closure, volatile writes, the dealloc exemption,
+///    unsafe casts, address-taken, pointer-to-member, sizeof);
+///  - *fixed-target* mode holds TargetDeadRatio on the requested value
+///    and trims a bias term against the achieved mean.
+///
+/// Three steering polarities exist for harness self-validation
+/// (mirroring the fault-injection pattern of PR 3): `closed` steers
+/// toward uncovered territory, `neutral` cycles targets uniformly with
+/// stock weights and ignores the signal, and `inverted` deliberately
+/// chases the most-covered bucket while starving exactly the features
+/// whose keys are missing. A live loop must separate them: inverted
+/// coverage measurably below neutral, closed at or above it
+/// (tests/FuzzTest.cpp).
+///
+/// Everything is deterministic: the loop's state is a pure function of
+/// the observed measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMM_FUZZ_FEEDBACK_H
+#define DMM_FUZZ_FEEDBACK_H
+
+#include "fuzz/Coverage.h"
+#include "fuzz/ProgramGenerator.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmm {
+namespace fuzz {
+
+/// Steering polarity (see file comment).
+enum class Steering { Closed, Neutral, Inverted };
+
+const char *steeringName(Steering S);
+/// Parses "closed" / "neutral" / "inverted"; false on anything else.
+bool parseSteering(const std::string &Name, Steering &Out);
+
+/// One batch's record, for the coverage-json report.
+struct BatchRecord {
+  double Target = -1.0;      ///< TargetDeadRatio the batch ran under.
+  double AchievedMean = 0.0; ///< Mean achieved dead ratio.
+  unsigned Programs = 0;     ///< Measured programs in the batch.
+  uint64_t NewEntries = 0;   ///< Coverage entries the batch added.
+};
+
+/// The batch-based steering loop. Construct once per run; ask
+/// batchOptions() for the current generator configuration, observe()
+/// every measurement, endBatch() at batch boundaries.
+class FeedbackLoop {
+public:
+  /// \p FixedTarget >= 0 pins the dead-ratio target (--target-dead-
+  /// ratio); \p Sweep explores ratio buckets and feature weights
+  /// (--coverage-sweep). With neither, the loop only accounts coverage
+  /// and batchOptions() stays \p Base (the blind generator).
+  FeedbackLoop(GeneratorOptions Base, Steering Mode, double FixedTarget,
+               bool Sweep);
+
+  const GeneratorOptions &batchOptions() const { return Current; }
+  bool steering() const { return Sweep || FixedTarget >= 0; }
+
+  void observe(const ProgramMeasurement &M);
+  /// Closes the current batch: records it and steers the next one.
+  /// No-op on an empty batch.
+  void endBatch();
+
+  const CoverageMap &coverage() const { return Coverage; }
+  const std::vector<BatchRecord> &batches() const { return History; }
+  unsigned measuredPrograms() const { return TotalPrograms; }
+  double achievedMean() const {
+    return TotalPrograms ? TotalRatioSum / TotalPrograms : 0.0;
+  }
+  double achievedMin() const { return TotalPrograms ? RatioMin : 0.0; }
+  double achievedMax() const { return TotalPrograms ? RatioMax : 0.0; }
+
+private:
+  void steerSweep();
+  void steerFixed();
+  /// Rebases every steerable weight: missing-key features move to
+  /// \p MissingWeight, covered ones return to the base weight.
+  void setFeatureWeights(unsigned MissingWeight);
+
+  GeneratorOptions Base, Current;
+  Steering Mode;
+  double FixedTarget;
+  bool Sweep;
+
+  CoverageMap Coverage;
+  std::array<uint64_t, kRatioBuckets> BucketHits{};
+
+  double BatchRatioSum = 0.0;
+  unsigned BatchPrograms = 0;
+  size_t EntriesAtBatchStart = 0;
+
+  double TotalRatioSum = 0.0;
+  unsigned TotalPrograms = 0;
+  double RatioMin = 1.0, RatioMax = 0.0;
+
+  double Bias = 0.0;   ///< Fixed-target correction term.
+  unsigned Cursor = 0; ///< Ratio-bucket round-robin position.
+  std::vector<BatchRecord> History;
+};
+
+} // namespace fuzz
+} // namespace dmm
+
+#endif // DMM_FUZZ_FEEDBACK_H

@@ -6,12 +6,19 @@
 
 #include "fuzz/ProgramGenerator.h"
 
+#include <algorithm>
+#include <cmath>
+
 using namespace dmm;
 using namespace dmm::fuzz;
 
 namespace {
 
 std::string num(unsigned I) { return std::to_string(I); }
+
+/// Numeric fields cycle int/double/char; int fields can be
+/// address-taken (see fieldType below).
+bool isIntField(unsigned F) { return F % 4 != 1 && F % 4 != 2; }
 
 /// The numeric field name grid: gI_F on class KI.
 std::string fieldName(unsigned Class, unsigned Field) {
@@ -58,6 +65,7 @@ bool ProgramGenerator::feature(bool Enabled, unsigned Percent) {
 
 std::string ProgramGenerator::generate() {
   State = InitState;
+  const FeatureWeights &W = Opts.Weights;
 
   unsigned ClassSpan = Opts.MaxClasses - Opts.MinClasses + 1;
   NumClasses = Opts.MinClasses + static_cast<unsigned>(below(ClassSpan));
@@ -69,15 +77,19 @@ std::string ProgramGenerator::generate() {
   for (unsigned I = 0; I != NumClasses; ++I) {
     FieldsPer[I] = Opts.MinFields + static_cast<unsigned>(below(FieldSpan));
     if (I > 0)
-      Derives[I] = chance(60);
-    HasVolatile[I] = feature(Opts.VolatileMembers, 35);
-    HasOwned[I] = feature(Opts.DeleteExemption, 35);
+      Derives[I] = chance(W.Derive);
+    HasVolatile[I] = feature(Opts.VolatileMembers, W.Volatile);
+    HasOwned[I] = feature(Opts.DeleteExemption, W.Owned);
   }
-  UseUnion = feature(Opts.Unions, 50);
-  UseVirtual = feature(Opts.VirtualDispatch, 70);
+  UseUnion = feature(Opts.Unions, W.Union);
+  UseVirtual = feature(Opts.VirtualDispatch, W.Virtual);
   UsePayload = false;
   for (unsigned I = 0; I != NumClasses; ++I)
     UsePayload |= HasOwned[I];
+
+  PlanTotal = PlanDead = 0;
+  if (liveDriven())
+    planLiveness();
 
   std::string Out;
   emitClasses(Out);
@@ -86,8 +98,171 @@ std::string ProgramGenerator::generate() {
   return Out;
 }
 
+void ProgramGenerator::planLiveness() {
+  double R = std::min(1.0, std::max(0.0, Opts.TargetDeadRatio));
+
+  // Owned members (and Payload::pv behind them) are dead by
+  // construction: their only use feeds delete/free, which the analysis
+  // exempts. Count that forced-dead mass first.
+  auto forcedDead = [&] {
+    unsigned N = 0;
+    for (unsigned I = 0; I != NumClasses; ++I)
+      N += HasOwned[I] ? 1 : 0;
+    return N ? N + 1 : 0; // + Payload::pv
+  };
+  auto totalMembers = [&] {
+    unsigned M = 0;
+    for (unsigned I = 0; I != NumClasses; ++I) {
+      M += FieldsPer[I];
+      M += HasVolatile[I] ? 1 : 0;
+      M += HasOwned[I] ? 1 : 0;
+    }
+    M += UsePayload ? 1 : 0;
+    M += UseUnion ? 3 : 0;
+    return M;
+  };
+
+  // Low targets: shed owners (highest class first) until the forced-
+  // dead mass fits under the target.
+  while (forcedDead() >
+         static_cast<unsigned>(std::llround(R * totalMembers()))) {
+    unsigned Last = NumClasses;
+    for (unsigned I = 0; I != NumClasses; ++I)
+      if (HasOwned[I])
+        Last = I;
+    if (Last == NumClasses)
+      break;
+    HasOwned[Last] = false;
+    UsePayload = false;
+    for (unsigned I = 0; I != NumClasses; ++I)
+      UsePayload |= HasOwned[I];
+  }
+
+  PlanTotal = totalMembers();
+  unsigned WantDead =
+      static_cast<unsigned>(std::llround(R * PlanTotal));
+  PlanDead = std::min(WantDead, forcedDead());
+  unsigned Deficit = WantDead - PlanDead;
+
+  FieldLive.assign(NumClasses, {});
+  VolLive.assign(NumClasses, 1);
+  for (unsigned I = 0; I != NumClasses; ++I)
+    FieldLive[I].assign(FieldsPer[I], 1);
+  UnionLive = true;
+
+  // Controllable slots: numeric fields and volatiles weigh one member;
+  // the union weighs three (the closure rule makes its members live or
+  // dead together). A seeded shuffle spreads dead intent across the
+  // program so different seeds hit different member mixes.
+  struct Slot {
+    unsigned Class;
+    int Field; ///< >=0 numeric field, -1 volatile, -2 union.
+    unsigned Weight;
+  };
+  std::vector<Slot> Slots;
+  for (unsigned I = 0; I != NumClasses; ++I) {
+    for (unsigned F = 0; F != FieldsPer[I]; ++F)
+      Slots.push_back({I, static_cast<int>(F), 1});
+    if (HasVolatile[I])
+      Slots.push_back({I, -1, 1});
+  }
+  if (UseUnion)
+    Slots.push_back({0, -2, 3});
+  for (size_t I = Slots.size(); I > 1; --I)
+    std::swap(Slots[I - 1], Slots[below(I)]);
+
+  for (const Slot &S : Slots) {
+    if (Deficit < S.Weight)
+      continue;
+    Deficit -= S.Weight;
+    PlanDead += S.Weight;
+    if (S.Field >= 0)
+      FieldLive[S.Class][S.Field] = 0;
+    else if (S.Field == -1)
+      VolLive[S.Class] = 0;
+    else
+      UnionLive = false;
+  }
+  // A residual deficit of 2 happens when only the 3-weight union slot
+  // is left; overshooting by one beats undershooting by two.
+  if (Deficit >= 2 && UseUnion && UnionLive) {
+    UnionLive = false;
+    PlanDead += 3;
+  }
+
+  planKeepAlive();
+}
+
+void ProgramGenerator::planKeepAlive() {
+  const FeatureWeights &W = Opts.Weights;
+  AltAddr.assign(NumClasses, -1);
+  AltPtm.assign(NumClasses, -1);
+  CastHide.assign(NumClasses, -1);
+  CastKeep.assign(NumClasses, 0);
+
+  for (unsigned I = 0; I != NumClasses; ++I) {
+    // Address-taken and pointer-to-member need int-typed live fields;
+    // each mechanism reserves its own field.
+    std::vector<int> LiveInts;
+    for (unsigned F = 0; F != FieldsPer[I]; ++F)
+      if (isIntField(F) && FieldLive[I][F])
+        LiveInts.push_back(static_cast<int>(F));
+    size_t Next = 0;
+    if (feature(Opts.AddressTaken, W.AddressTaken) &&
+        Next < LiveInts.size())
+      AltAddr[I] = LiveInts[Next++];
+    if (feature(Opts.PointerToMember, W.PointerToMember) &&
+        Next < LiveInts.size())
+      AltPtm[I] = LiveInts[Next++];
+
+    // The cast sweeps the whole derivation chain live, so it is only
+    // planned when the chain is all live-intent anyway; it then carries
+    // one spare live field of this class (any type) so that field's
+    // recorded cause is the sweep, not a read.
+    if (feature(Opts.UnsafeCasts, W.UnsafeCast) && chainAllLive(I)) {
+      CastKeep[I] = 1;
+      for (unsigned F = 0; F != FieldsPer[I]; ++F)
+        if (FieldLive[I][F] && static_cast<int>(F) != AltAddr[I] &&
+            static_cast<int>(F) != AltPtm[I]) {
+          CastHide[I] = static_cast<int>(F);
+          break;
+        }
+    }
+  }
+}
+
+bool ProgramGenerator::fieldLiveIntent(unsigned Class,
+                                       unsigned Field) const {
+  return !liveDriven() || FieldLive[Class][Field];
+}
+
+bool ProgramGenerator::fieldReadable(unsigned Class, unsigned Field) const {
+  if (!liveDriven())
+    return true;
+  if (!FieldLive[Class][Field])
+    return false;
+  int F = static_cast<int>(Field);
+  return F != AltAddr[Class] && F != AltPtm[Class] &&
+         F != CastHide[Class];
+}
+
+bool ProgramGenerator::chainAllLive(unsigned Class) const {
+  for (unsigned J = Class;; --J) {
+    for (unsigned F = 0; F != FieldsPer[J]; ++F)
+      if (!FieldLive[J][F])
+        return false;
+    if (HasVolatile[J] && !VolLive[J])
+      return false;
+    if (HasOwned[J])
+      return false; // Owned members are dead by construction.
+    if (J == 0 || !Derives[J])
+      return true;
+  }
+}
+
 void ProgramGenerator::emitClasses(std::string &Out) {
   auto L = [&](const std::string &S) { Out += S + "\n"; };
+  const FeatureWeights &W = Opts.Weights;
 
   if (UsePayload) {
     // A leaf class whose instances exist only to be deallocated: its
@@ -115,27 +290,40 @@ void ProgramGenerator::emitClasses(std::string &Out) {
       L("  Payload *own" + num(I) + ";");
 
     // Constructor: initializes a random subset (writes only) plus the
-    // special members.
+    // special members. A live-intent volatile is written here
+    // unconditionally (volatile writes are its only liveness source);
+    // a dead-intent one must never be written.
     L("  " + Name + "() {");
     for (unsigned F = 0; F != FieldsPer[I]; ++F)
-      if (chance(70))
+      if (chance(W.CtorInit))
         L("    " + fieldName(I, F) + " = " + num(F + 1) + ";");
-    if (HasVolatile[I] && chance(70))
-      L("    v" + num(I) + " = " + num(I + 1) + ";");
+    if (HasVolatile[I]) {
+      bool WriteVol =
+          liveDriven() ? VolLive[I] != 0 : chance(W.CtorVolatileWrite);
+      if (WriteVol)
+        L("    v" + num(I) + " = " + num(I + 1) + ";");
+    }
     if (HasOwned[I])
       L("    own" + num(I) + " = new Payload();");
     L("  }");
 
     // A reader method over a random subset; the chain call is
-    // qualified, so it never virtual-dispatches back down.
+    // qualified, so it never virtual-dispatches back down. In
+    // liveness-driven mode the subset is exactly the live-intent
+    // fields: every live member gets its guaranteed read here, every
+    // dead one none.
     L(std::string("  ") + (UseVirtual ? "virtual " : "") + "int sum() {");
     L("    int acc = 0;");
-    for (unsigned F = 0; F != FieldsPer[I]; ++F)
-      if (chance(60))
+    for (unsigned F = 0; F != FieldsPer[I]; ++F) {
+      bool Read =
+          liveDriven() ? fieldReadable(I, F) : chance(W.SumRead);
+      if (Read)
         L("    acc = acc + (int)" + fieldName(I, F) + ";");
+    }
     if (Derives[I]) {
       L("    acc = acc + this->K" + num(I - 1) + "::sum();");
-      if (feature(Opts.QualifiedAccess, 40))
+      if (feature(Opts.QualifiedAccess, W.SumQualified) &&
+          fieldReadable(I - 1, 0))
         L("    acc = acc + (int)this->K" + num(I - 1) +
           "::" + fieldName(I - 1, 0) + ";");
     }
@@ -147,7 +335,7 @@ void ProgramGenerator::emitClasses(std::string &Out) {
     L("  int ghost() {");
     L("    int acc = 0;");
     for (unsigned F = 0; F != FieldsPer[I]; ++F)
-      if (chance(30))
+      if (chance(W.GhostRead))
         L("    acc = acc + (int)" + fieldName(I, F) + ";");
     L("    return acc;");
     L("  }");
@@ -172,6 +360,7 @@ void ProgramGenerator::emitHelpers(std::string &Out) {
 
 void ProgramGenerator::emitMain(std::string &Out) {
   auto L = [&](const std::string &S) { Out += S + "\n"; };
+  const FeatureWeights &W = Opts.Weights;
 
   L("int main() {");
   L("  int acc = 0;");
@@ -181,50 +370,67 @@ void ProgramGenerator::emitMain(std::string &Out) {
   std::string Last = num(NumClasses - 1);
   L("  K" + Last + " *h = new K" + Last + "();");
 
-  // Random per-class action mix.
+  // Random per-class action mix. In liveness-driven mode every sum()
+  // is called (so the guaranteed reads inside it are reachable) and
+  // every liveness-creating site is gated or retargeted onto
+  // live-intent members.
   for (unsigned I = 0; I != NumClasses; ++I) {
     std::string V = "s" + num(I);
-    if (chance(80))
+    if (liveDriven() || chance(W.MainSumCall))
       L("  acc = acc + " + V + ".sum();");
     unsigned F = static_cast<unsigned>(below(FieldsPer[I]));
     std::string Field = fieldName(I, F);
-    if (chance(50))
+    if (chance(W.MainWrite))
       L("  " + V + "." + Field + " = " + num(I + 7) + ";");
-    if (chance(40))
+    if (chance(W.MainRead) && fieldReadable(I, F))
       L("  acc = acc + (int)" + V + "." + Field + ";");
-    if (feature(Opts.AddressTaken, 25)) {
-      // Address-taken read through a helper (g*_0 is int by
-      // construction).
-      L("  acc = acc + absorb(&" + V + "." + fieldName(I, 0) + ");");
+    // Address-taken read through a helper (g*_0 is int by
+    // construction). Liveness-driven mode emits these exactly for the
+    // fields planKeepAlive reserved: the designated field is read
+    // nowhere else, so its recorded liveness cause is the mechanism
+    // itself rather than a plain read.
+    if (liveDriven() ? AltAddr[I] >= 0
+                     : feature(Opts.AddressTaken, W.AddressTaken)) {
+      unsigned T = liveDriven() ? static_cast<unsigned>(AltAddr[I]) : 0;
+      L("  acc = acc + absorb(&" + V + "." + fieldName(I, T) + ");");
     }
-    if (feature(Opts.PointerToMember, 25)) {
+    if (liveDriven() ? AltPtm[I] >= 0
+                     : feature(Opts.PointerToMember, W.PointerToMember)) {
+      unsigned T = liveDriven() ? static_cast<unsigned>(AltPtm[I]) : 0;
       L("  int K" + num(I) + "::* pm" + num(I) + " = &K" + num(I) +
-        "::" + fieldName(I, 0) + ";");
+        "::" + fieldName(I, T) + ";");
       L("  acc = acc + " + V + ".*pm" + num(I) + ";");
     }
-    if (Derives[I] && feature(Opts.QualifiedAccess, 30))
+    if (Derives[I] && feature(Opts.QualifiedAccess, W.MainQualified) &&
+        fieldReadable(I - 1, 0))
       L("  acc = acc + (int)" + V + ".K" + num(I - 1) +
         "::" + fieldName(I - 1, 0) + ";");
-    if (HasVolatile[I] && chance(50))
+    if (HasVolatile[I] && chance(W.VolatileStore) &&
+        (!liveDriven() || VolLive[I]))
       L("  " + V + ".v" + num(I) + " = 7;");
     if (HasOwned[I]) {
       // The member's only use: feeding a deallocation (paper fn. 3).
-      if (chance(50))
+      if (chance(W.DeleteVsFree))
         L("  delete " + V + ".own" + num(I) + ";");
       else
         L("  free(" + V + ".own" + num(I) + ");");
     }
-    if (feature(Opts.Sizeof, 20)) {
+    if (feature(Opts.Sizeof, W.Sizeof)) {
       // sizeof is exercised but its value must not reach the output:
       // the eliminated program has a different layout, and the default
       // IgnoreAll policy asserts sizes only feed allocation.
       L("  int z" + num(I) + " = (int)sizeof(" + V + ");");
       L("  if (z" + num(I) + " > 0) { acc = acc + 1; }");
     }
-    if (feature(Opts.UnsafeCasts, 12)) {
+    if (liveDriven() ? CastKeep[I] != 0
+                     : feature(Opts.UnsafeCasts, W.UnsafeCast)) {
       // An unrelated cast: sweeps the source class' contained members
       // live. The raw pointer is never dereferenced (the interpreter
-      // models objects as storage graphs, not flat bytes).
+      // models objects as storage graphs, not flat bytes). In
+      // liveness-driven mode planKeepAlive only schedules the cast on
+      // an all-live chain — the sweep would resurrect planned-dead
+      // members — and parks one unread live field on it so the sweep
+      // shows up as that field's liveness cause.
       L("  char *raw" + num(I) + " = reinterpret_cast<char*>(&" + V +
         ");");
     }
@@ -237,10 +443,10 @@ void ProgramGenerator::emitMain(std::string &Out) {
     std::string BaseName = "K" + num(I - 1);
     std::string DerName = "K" + num(I);
     std::string V = "s" + num(I);
-    if (chance(60)) {
+    if (chance(W.Dispatch)) {
       L("  " + BaseName + " *bp" + num(I) + " = &" + V + ";");
       L("  acc = acc + bp" + num(I) + "->sum();");
-      if (feature(Opts.Downcasts, 50)) {
+      if (feature(Opts.Downcasts, W.Downcast)) {
         // A safe down-cast: the pointer provably targets a DerName.
         // (static_cast here, C-style on the deep chain below — both
         // spellings reach Sema's down-cast classification.)
@@ -256,10 +462,10 @@ void ProgramGenerator::emitMain(std::string &Out) {
   unsigned Deepest = 0;
   while (Deepest + 1 < NumClasses && Derives[Deepest + 1])
     ++Deepest;
-  if (Deepest >= 2 && chance(50)) {
+  if (Deepest >= 2 && chance(W.DeepDispatch)) {
     L("  K0 *deep = &s" + num(Deepest) + ";");
     L("  acc = acc + deep->sum();");
-    if (feature(Opts.Downcasts, 40)) {
+    if (feature(Opts.Downcasts, W.DeepDowncast)) {
       L("  K" + num(Deepest) + " *mdp = (K" + num(Deepest) + "*)deep;");
       L("  acc = acc + mdp->sum();");
     }
@@ -268,10 +474,12 @@ void ProgramGenerator::emitMain(std::string &Out) {
   if (UseUnion) {
     L("  UU u;");
     L("  u.ua = 3;");
-    if (chance(50))
-      L("  acc = acc + u.ub;");
-    else
-      L("  acc = acc + u.ua;");
+    if (!liveDriven() || UnionLive) {
+      if (chance(W.UnionAltRead))
+        L("  acc = acc + u.ub;");
+      else
+        L("  acc = acc + u.ua;");
+    }
   }
 
   L("  acc = acc + h->sum();");

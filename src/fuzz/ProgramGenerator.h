@@ -32,6 +32,41 @@
 namespace dmm {
 namespace fuzz {
 
+/// Per-decision percent weights for the generator's seeded coin flips.
+/// The defaults equal the historical hard-coded literals, so a
+/// default-constructed FeatureWeights reproduces every existing seed
+/// byte for byte; the liveness-driven feedback loop (fuzz/Feedback.h)
+/// steers these between batches.
+struct FeatureWeights {
+  unsigned Derive = 60;           ///< Ki derives from Ki-1.
+  unsigned Volatile = 35;         ///< Class has a volatile member.
+  unsigned Owned = 35;            ///< Class has a Payload *own member.
+  unsigned Union = 50;            ///< Program declares the union.
+  unsigned Virtual = 70;          ///< sum() is virtual.
+  unsigned CtorInit = 70;         ///< Ctor writes a numeric field.
+  unsigned CtorVolatileWrite = 70;///< Ctor writes the volatile member.
+  unsigned SumRead = 60;          ///< sum() reads a numeric field.
+  unsigned SumQualified = 40;     ///< sum() does a qualified base read.
+  unsigned GhostRead = 30;        ///< ghost() reads a numeric field.
+  unsigned MainSumCall = 80;      ///< main calls s_i.sum().
+  unsigned MainWrite = 50;        ///< main writes a random field.
+  unsigned MainRead = 40;         ///< main reads a random field.
+  unsigned AddressTaken = 25;     ///< absorb(&s_i.m).
+  unsigned PointerToMember = 25;  ///< &K::m; s_i.*pm.
+  unsigned MainQualified = 30;    ///< main qualified base read.
+  unsigned VolatileStore = 50;    ///< main writes the volatile member.
+  unsigned DeleteVsFree = 50;     ///< delete vs free for owned members.
+  unsigned Sizeof = 20;           ///< sizeof branch.
+  unsigned UnsafeCast = 12;       ///< reinterpret_cast sweep.
+  unsigned Dispatch = 60;         ///< Base-pointer virtual call.
+  unsigned Downcast = 50;         ///< static_cast downcast.
+  unsigned DeepDispatch = 50;     ///< Root-typed deep pointer call.
+  unsigned DeepDowncast = 40;     ///< C-style downcast on the deep chain.
+  unsigned UnionAltRead = 50;     ///< Read u.ub instead of u.ua.
+
+  bool operator==(const FeatureWeights &) const = default;
+};
+
 /// Feature toggles for the generator. Every toggle gates *eligibility*;
 /// whether a particular program uses an eligible feature is decided by
 /// the seeded RNG, so a sweep over seeds covers the cross product.
@@ -51,6 +86,22 @@ struct GeneratorOptions {
   bool Sizeof = true;           ///< Layout-independent sizeof uses.
   bool QualifiedAccess = true;  ///< `o.Base::m` reads.
   bool Downcasts = true;        ///< Provably-safe `(Derived*)base`.
+
+  /// Per-decision percent weights; defaults are byte-identical to the
+  /// historical generator.
+  FeatureWeights Weights;
+
+  /// Liveness-driven mode (docs/TESTING.md): a value in [0,1] makes the
+  /// generator plan a per-member live/dead intent so the analysis'
+  /// achieved dead-member ratio lands on the target — live-intent
+  /// members get a guaranteed reachable read, dead-intent members get
+  /// writes only, and liveness-creating constructs (address-taken,
+  /// pointer-to-member, qualified reads, unsafe casts) are retargeted
+  /// or suppressed so they never resurrect a dead-intent member.
+  /// Negative (the default) disables planning entirely: the emission
+  /// path and its randomness stream are byte-identical to the
+  /// historical generator.
+  double TargetDeadRatio = -1.0;
 };
 
 /// Deterministic random MiniC++ program generator.
@@ -64,12 +115,46 @@ public:
 
   const GeneratorOptions &options() const { return Opts; }
 
+  /// \name Liveness plan introspection
+  /// Valid after generate() when TargetDeadRatio is set: the planned
+  /// member counts behind the target (dead-intent / all classifiable
+  /// members). The achieved static ratio equals plannedDeadMembers() /
+  /// plannedTotalMembers() up to rounding.
+  /// @{
+  unsigned plannedTotalMembers() const { return PlanTotal; }
+  unsigned plannedDeadMembers() const { return PlanDead; }
+  /// @}
+
 private:
   uint64_t next();
   uint64_t below(uint64_t N);
   bool chance(unsigned Percent);
   /// chance() that also requires the feature toggle.
   bool feature(bool Enabled, unsigned Percent);
+
+  bool liveDriven() const { return Opts.TargetDeadRatio >= 0.0; }
+  /// Assigns a live/dead intent to every member so the dead fraction
+  /// hits TargetDeadRatio (consumes randomness for the slot shuffle and
+  /// the keep-alive mechanism draws).
+  void planLiveness();
+  /// Picks per-class keep-alive mechanisms: live-intent members whose
+  /// liveness comes from an address-taken site, a pointer-to-member
+  /// constant, or an unsafe-cast sweep *instead of* a read, so those
+  /// LivenessReasons stay reachable in liveness-driven mode (the
+  /// analysis records the first cause it sees, and a member read in
+  /// sum() is always found first).
+  void planKeepAlive();
+  /// Live intent of a numeric field; always true outside liveness-
+  /// driven mode (the legacy coin flips decide there).
+  bool fieldLiveIntent(unsigned Class, unsigned Field) const;
+  /// Whether a read of the field may be emitted: live intent, and not
+  /// reserved by a keep-alive mechanism (reading a reserved member
+  /// would change its recorded liveness cause to plain `read`).
+  bool fieldReadable(unsigned Class, unsigned Field) const;
+  /// True when every member contained in class \p Class (its whole
+  /// derivation chain) has live intent, so an unsafe-cast sweep does
+  /// not contradict the plan.
+  bool chainAllLive(unsigned Class) const;
 
   void emitClasses(std::string &Out);
   void emitHelpers(std::string &Out);
@@ -89,6 +174,19 @@ private:
   bool UseUnion = false;
   bool UseVirtual = false;
   bool UsePayload = false; ///< Any HasOwned => emit class Payload.
+
+  /// \name Liveness-driven plan (valid when TargetDeadRatio >= 0)
+  std::vector<std::vector<char>> FieldLive; ///< [class][field] intent.
+  std::vector<char> VolLive;                ///< Volatile member intent.
+  bool UnionLive = true;                    ///< Union members intent.
+  unsigned PlanTotal = 0;                   ///< Classifiable members.
+  unsigned PlanDead = 0;                    ///< Dead-intent members.
+  /// Keep-alive designations (planKeepAlive): field index per class, or
+  /// -1. A designated field is live via its mechanism only — no reads.
+  std::vector<int> AltAddr;  ///< Kept live by absorb(&o.m).
+  std::vector<int> AltPtm;   ///< Kept live by &K::m.
+  std::vector<int> CastHide; ///< Kept live by the unsafe-cast sweep.
+  std::vector<char> CastKeep; ///< Class emits the reinterpret_cast.
   /// @}
 };
 

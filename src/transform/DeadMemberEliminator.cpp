@@ -121,6 +121,7 @@ public:
     const FieldDecl *Field = nullptr;
     SourcePrinter::StmtAction Action = SourcePrinter::StmtAction::Keep;
     bool Forced = false;
+    bool Dealloc = false; ///< The dropped stmt is a delete/free.
   };
 
   const std::map<const Stmt *, StmtPlan> &stmtPlans() const {
@@ -216,7 +217,8 @@ private:
                                ? cast<MemberExpr>(Stripped)->base()
                                : nullptr;
         if (!Base || isPure(Base)) {
-          StmtPlans[S] = {F, SourcePrinter::StmtAction::Drop, false};
+          StmtPlans[S] = {F, SourcePrinter::StmtAction::Drop, false,
+                          /*Dealloc=*/true};
           if (Base)
             noteResidualOccurrencesExcept(Base, nullptr);
           return;
@@ -318,5 +320,32 @@ EliminationResult dmm::eliminateDeadMembers(const ASTContext &Ctx,
   Telemetry::count("eliminate.kept_members", Out.Kept.size());
   Telemetry::count("eliminate.removed_functions",
                    Out.RemovedFunctions.size());
+
+  // Plan-kind tallies (the fuzzer's boundary-coverage map reads these;
+  // fuzz/Coverage.h). Only plans that actually apply count — a plan
+  // whose field stayed blocked is cancelled at print time. Emitted
+  // only when nonzero so quiet runs keep their metrics tables stable.
+  uint64_t DropStores = 0, RhsOnly = 0, DropDeallocs = 0;
+  for (const auto &[S, Plan] : Planner.stmtPlans()) {
+    if (!Plan.Forced && !Out.Removed.count(Plan.Field))
+      continue;
+    if (Plan.Action == SourcePrinter::StmtAction::Drop)
+      ++(Plan.Dealloc ? DropDeallocs : DropStores);
+    else if (Plan.Action == SourcePrinter::StmtAction::RhsOnly)
+      ++RhsOnly;
+  }
+  uint64_t InitDrops = 0;
+  for (const CtorInitializer *Init : Planner.droppableInits())
+    InitDrops += Out.Removed.count(Init->Field) ? 1 : 0;
+  if (DropStores)
+    Telemetry::count("eliminate.plan.drop_store", DropStores);
+  if (RhsOnly)
+    Telemetry::count("eliminate.plan.rhs_only", RhsOnly);
+  if (DropDeallocs)
+    Telemetry::count("eliminate.plan.drop_dealloc", DropDeallocs);
+  if (InitDrops)
+    Telemetry::count("eliminate.plan.init_drop", InitDrops);
+  if (!Planner.blocked().empty())
+    Telemetry::count("eliminate.plan.blocked", Planner.blocked().size());
   return Out;
 }

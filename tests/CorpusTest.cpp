@@ -18,9 +18,14 @@
 #include "cache/IncrementalAnalysis.h"
 #include "cache/SummaryCache.h"
 #include "driver/Frontend.h"
+#include "interp/Interpreter.h"
+#include "support/ThreadPool.h"
+#include "vm/VM.h"
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -189,5 +194,115 @@ INSTANTIATE_TEST_SUITE_P(Programs, CorpusTest, ::testing::ValuesIn(kCorpus),
                          [](const ::testing::TestParamInfo<CorpusEntry> &I) {
                            return std::string(I.param.Name);
                          });
+
+//===----------------------------------------------------------------------===//
+// Distilled fuzzed corpus (ISSUE 8)
+//===----------------------------------------------------------------------===//
+//
+// tests/corpus/fuzzed/ holds the coverage-distilled programs picked by
+// `dmm-fuzz --coverage-sweep --distill` (docs/TESTING.md §liveness-
+// driven generation). They are single-file programs with no goldens;
+// the contract is *internal agreement*: all four analysis pipelines at
+// --jobs 1 and 4 must produce one identical report, and both execution
+// engines must produce one identical observable run.
+
+std::vector<std::string> fuzzedCorpusFiles() {
+  std::vector<std::string> Names;
+  const std::filesystem::path Dir = corpusDir() / "fuzzed";
+  std::error_code EC;
+  for (std::filesystem::directory_iterator It(Dir, EC), End;
+       !EC && It != End; It.increment(EC))
+    if (It->path().extension() == ".mcc")
+      Names.push_back(It->path().filename().string());
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+std::unique_ptr<Compilation> compileFuzzed(const std::string &Name) {
+  std::vector<SourceFile> Files;
+  Files.push_back({Name, readFile(corpusDir() / "fuzzed" / Name),
+                   /*IsLibrary=*/false});
+  std::ostringstream Diag;
+  auto C = compileProgram(std::move(Files), &Diag);
+  EXPECT_TRUE(C->Success) << Name << " does not compile: " << Diag.str();
+  return C;
+}
+
+class FuzzedCorpusTest : public ::testing::TestWithParam<std::string> {
+protected:
+  void TearDown() override { setGlobalJobs(1); }
+};
+
+TEST_P(FuzzedCorpusTest, PipelinesAgreeAcrossJobs) {
+  auto C = compileFuzzed(GetParam());
+  ASSERT_TRUE(C->Success);
+
+  const std::filesystem::path CacheDir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("dmm-fuzzed-cache-" + GetParam());
+
+  std::string Reference;
+  for (unsigned Jobs : {1u, 4u}) {
+    setGlobalJobs(Jobs);
+    const std::string Mono = renderMonolithic(*C);
+    if (Reference.empty())
+      Reference = Mono; // jobs=1 monolithic is the reference.
+    EXPECT_EQ(Reference, Mono)
+        << "monolithic report diverges at --jobs " << Jobs << "\n"
+        << firstDifference(Reference, Mono);
+
+    const std::string Linked = renderSummary(*C, /*Cache=*/nullptr);
+    EXPECT_EQ(Reference, Linked)
+        << "summary-linked report diverges at --jobs " << Jobs << "\n"
+        << firstDifference(Reference, Linked);
+
+    std::filesystem::remove_all(CacheDir);
+    {
+      SummaryCache Cache(SummaryCache::Config{CacheDir.string()});
+      const std::string Cold = renderSummary(*C, &Cache);
+      EXPECT_EQ(Reference, Cold)
+          << "cold-cache report diverges at --jobs " << Jobs << "\n"
+          << firstDifference(Reference, Cold);
+    }
+    {
+      SummaryCache Cache(SummaryCache::Config{CacheDir.string()});
+      const std::string Warm = renderSummary(*C, &Cache);
+      EXPECT_EQ(Reference, Warm)
+          << "warm-cache report diverges at --jobs " << Jobs << "\n"
+          << firstDifference(Reference, Warm);
+      SummaryCache::Stats S = Cache.stats();
+      EXPECT_EQ(S.Hits, 1u);
+      EXPECT_EQ(S.Misses, 0u);
+    }
+  }
+  std::filesystem::remove_all(CacheDir);
+}
+
+TEST_P(FuzzedCorpusTest, EnginesAgreeByteForByte) {
+  auto C = compileFuzzed(GetParam());
+  ASSERT_TRUE(C->Success);
+
+  Interpreter Tree(C->context(), C->hierarchy(), {});
+  ExecResult T = Tree.run(C->mainFunction());
+  ASSERT_TRUE(T.Completed) << "tree-walker error: " << T.Error;
+
+  vm::VM M(C->context(), C->hierarchy(), {});
+  ExecResult V = M.run(C->mainFunction());
+  ASSERT_TRUE(V.Completed) << "vm error: " << V.Error;
+
+  EXPECT_EQ(T.Output, V.Output);
+  EXPECT_EQ(T.ExitCode, V.ExitCode);
+  EXPECT_EQ(T.Error, V.Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, FuzzedCorpusTest, ::testing::ValuesIn(fuzzedCorpusFiles()),
+    [](const ::testing::TestParamInfo<std::string> &I) {
+      std::string Name = I.param;
+      for (char &Ch : Name)
+        if (!std::isalnum(static_cast<unsigned char>(Ch)))
+          Ch = '_';
+      return Name;
+    });
 
 } // namespace

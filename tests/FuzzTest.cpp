@@ -16,6 +16,9 @@
 
 #include "TestUtil.h"
 
+#include "cache/Hash.h"
+#include "fuzz/Coverage.h"
+#include "fuzz/Feedback.h"
 #include "fuzz/Oracles.h"
 #include "fuzz/ProgramGenerator.h"
 #include "fuzz/Shrinker.h"
@@ -276,5 +279,267 @@ TEST_P(EliminatorFixpoint, ReachesAFixedPointWithNoRemovableDeadLeft) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EliminatorFixpoint,
                          ::testing::Range(1, 16));
+
+//===----------------------------------------------------------------------===//
+// Liveness-driven generation (ISSUE 8)
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzSeedStability, BlindGenerationIsByteStableAcrossSeeds) {
+  // The liveness-driven extension must not move a single byte of the
+  // historical blind corpus: the default FeatureWeights equal the old
+  // hard-coded literals, and every planning draw is gated behind
+  // TargetDeadRatio >= 0. Fused hash over seeds 1..200; an intentional
+  // generator change must update this constant (and re-vet the CI
+  // smoke seeds with it).
+  Hasher H;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed)
+    H.str(fuzz::ProgramGenerator(Seed).generate());
+  EXPECT_EQ(H.value(), 0x9f372c8d2e83ea17ULL);
+}
+
+TEST(FuzzSeedStability, ExplicitDefaultOptionsMatchImplicitDefaults) {
+  fuzz::GeneratorOptions Explicit;
+  Explicit.Weights = fuzz::FeatureWeights{};
+  Explicit.TargetDeadRatio = -1.0;
+  for (uint64_t Seed : {1, 7, 42, 199})
+    EXPECT_EQ(fuzz::ProgramGenerator(Seed, Explicit).generate(),
+              fuzz::ProgramGenerator(Seed).generate())
+        << "seed " << Seed;
+}
+
+class LivenessTarget : public ::testing::TestWithParam<double> {};
+
+TEST_P(LivenessTarget, AchievedDeadRatioTracksTheTarget) {
+  // ISSUE 8 acceptance: requested dead ratios hit within +/-0.1. The
+  // measured (static analysis) classification must also agree exactly
+  // with the generator's plan, program by program — any drift means a
+  // planned-dead member was resurrected or a planned-live one starved.
+  const double Target = GetParam();
+  fuzz::GeneratorOptions Opts;
+  Opts.TargetDeadRatio = Target;
+  double Sum = 0.0;
+  unsigned N = 0;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    fuzz::ProgramGenerator Gen(Seed, Opts);
+    fuzz::ProgramMeasurement M = fuzz::measureProgram(Gen.generate());
+    ASSERT_TRUE(M.Valid) << "seed " << Seed << ": " << M.Error;
+    EXPECT_EQ(M.DeadMembers, Gen.plannedDeadMembers()) << "seed " << Seed;
+    EXPECT_EQ(M.ClassifiableMembers, Gen.plannedTotalMembers())
+        << "seed " << Seed;
+    Sum += M.AchievedDeadRatio;
+    ++N;
+  }
+  EXPECT_NEAR(Sum / N, Target, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, LivenessTarget,
+                         ::testing::Values(0.1, 0.5, 0.9));
+
+TEST(LivenessKeepAlive, RareLivenessCausesSurviveLiveDrivenMode) {
+  // The analysis records the *first* liveness cause it finds, and main
+  // calls sum() before any address-taken / pointer-to-member / cast
+  // site — so a planned-live member that is also read would always be
+  // classified `read`. planKeepAlive() reserves members that are live
+  // through their mechanism only; the rare causes must therefore stay
+  // observable even when every member is planned live.
+  fuzz::GeneratorOptions Opts;
+  Opts.TargetDeadRatio = 0.0;
+  std::set<std::string> Keys;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    fuzz::ProgramMeasurement M =
+        fuzz::measureProgram(fuzz::ProgramGenerator(Seed, Opts).generate());
+    ASSERT_TRUE(M.Valid) << "seed " << Seed << ": " << M.Error;
+    Keys.insert(M.Keys.begin(), M.Keys.end());
+  }
+  EXPECT_TRUE(Keys.count("cause.read"));
+  EXPECT_TRUE(Keys.count("cause.address_taken"));
+  EXPECT_TRUE(Keys.count("cause.pointer_to_member"));
+  EXPECT_TRUE(Keys.count("cause.unsafe_cast"));
+  EXPECT_TRUE(Keys.count("cause.volatile_write"));
+}
+
+TEST(FuzzCoverage, RatioBucketsPartitionTheUnitInterval) {
+  EXPECT_EQ(fuzz::ratioBucket(0.0), 0u);
+  EXPECT_EQ(fuzz::ratioBucket(-0.5), 0u);
+  EXPECT_EQ(fuzz::ratioBucket(1.0), fuzz::kRatioBuckets - 1);
+  for (unsigned B = 0; B != fuzz::kRatioBuckets; ++B)
+    EXPECT_EQ(fuzz::ratioBucket(fuzz::ratioBucketCenter(B)), B);
+}
+
+TEST(FuzzCoverage, MeasureProgramEmitsTheExpectedBoundaryKeys) {
+  // Hand-built program with a known classification: K::used live by
+  // read, K::unused dead, K::own dead via the deallocation exemption
+  // (the differential ablation must light up), Payload::pv dead.
+  const char *Source = R"(
+    class Payload {
+    public:
+      int pv;
+      Payload() { pv = 1; }
+    };
+    class K {
+    public:
+      int used;
+      int unused;
+      Payload *own;
+      K() { used = 1; unused = 2; own = new Payload(); }
+      ~K() { delete own; }
+    };
+    int main() {
+      K k;
+      print_int(k.used);
+      return 0;
+    }
+  )";
+  fuzz::ProgramMeasurement M = fuzz::measureProgram(Source);
+  ASSERT_TRUE(M.Valid) << M.Error;
+  EXPECT_EQ(M.ClassifiableMembers, 4u);
+  EXPECT_EQ(M.DeadMembers, 3u);
+  EXPECT_DOUBLE_EQ(M.AchievedDeadRatio, 0.75);
+
+  std::set<std::string> Keys(M.Keys.begin(), M.Keys.end());
+  EXPECT_TRUE(Keys.count("cause.read"));
+  EXPECT_TRUE(Keys.count("dead_adjacent.read"));
+  EXPECT_TRUE(Keys.count("boundary.dealloc_exemption"));
+  EXPECT_TRUE(Keys.count("profiler.never_read"));
+  EXPECT_TRUE(Keys.count("profiler.dead_space"));
+  EXPECT_TRUE(Keys.count("elim.removed_members"));
+  EXPECT_TRUE(
+      Keys.count("ratio.b" + std::to_string(fuzz::ratioBucket(0.75))));
+  // 0.75 is below the sparse regime: no .sparse variants.
+  for (const std::string &K : Keys)
+    EXPECT_EQ(K.find(".sparse"), std::string::npos) << K;
+}
+
+TEST(FuzzCoverage, SparseRegimeDoublesKeysAboveTheThreshold) {
+  // Achieved ratio 6/7 ~ 0.857 >= 0.85: every non-ratio key gains a
+  // .sparse twin. Blind generation tops out near 0.83 on the smoke
+  // seeds, so this family is what the coverage-sweep unlocks.
+  const char *Source = R"(
+    class K {
+    public:
+      int a; int b; int c; int d; int e; int f;
+      int used;
+      K() { a = 1; b = 2; c = 3; d = 4; e = 5; f = 6; used = 7; }
+    };
+    int main() {
+      K k;
+      print_int(k.used);
+      return 0;
+    }
+  )";
+  fuzz::ProgramMeasurement M = fuzz::measureProgram(Source);
+  ASSERT_TRUE(M.Valid) << M.Error;
+  EXPECT_GE(M.AchievedDeadRatio, 0.85);
+  std::set<std::string> Keys(M.Keys.begin(), M.Keys.end());
+  EXPECT_TRUE(Keys.count("cause.read"));
+  EXPECT_TRUE(Keys.count("cause.read.sparse"));
+  EXPECT_TRUE(Keys.count("dead_adjacent.read.sparse"));
+  EXPECT_FALSE(Keys.count("ratio.b" +
+                          std::to_string(fuzz::ratioBucket(6.0 / 7.0)) +
+                          ".sparse"));
+}
+
+TEST(FuzzCoverage, InvalidProgramsComeBackInvalid) {
+  fuzz::ProgramMeasurement M = fuzz::measureProgram("int main( {");
+  EXPECT_FALSE(M.Valid);
+  EXPECT_NE(M.Error.find("compile"), std::string::npos);
+  EXPECT_TRUE(M.Keys.empty());
+}
+
+TEST(FuzzDistill, GreedySetCoverPicksByGainWithEarliestTieBreak) {
+  std::vector<fuzz::DistillCandidate> C(5);
+  C[0].Keys = {"a", "b"};
+  C[1].Keys = {"a", "b", "c"}; // Strict superset of 0: picked first.
+  C[2].Keys = {"d"};           // Redundant once 4 is in.
+  C[3].Keys = {"a"};           // Adds nothing once 1 is in.
+  C[4].Keys = {"d", "e"};      // Beats 2 (gain 2 vs 1).
+  std::vector<size_t> Picks = fuzz::distillCorpus(C, 10);
+  ASSERT_EQ(Picks.size(), 2u);
+  EXPECT_EQ(Picks[0], 1u);
+  EXPECT_EQ(Picks[1], 4u);
+}
+
+TEST(FuzzDistill, StopsWhenNothingAddsCoverageAndHonorsTheCap) {
+  std::vector<fuzz::DistillCandidate> C(3);
+  C[0].Keys = {"a", "b"};
+  C[1].Keys = {"b"};
+  C[2].Keys = {"c"};
+  std::vector<size_t> All = fuzz::distillCorpus(C, 10);
+  ASSERT_EQ(All.size(), 2u); // 1 is redundant.
+  EXPECT_EQ(All[0], 0u);
+  EXPECT_EQ(All[1], 2u);
+  EXPECT_EQ(fuzz::distillCorpus(C, 1).size(), 1u);
+  EXPECT_TRUE(fuzz::distillCorpus({}, 4).empty());
+}
+
+TEST(FuzzFeedback, SteeringPolaritySeparatesCoverage) {
+  // ISSUE 8 satellite: on the same seed budget the inverted loop must
+  // land measurably below neutral, and closed at or above it — proof
+  // the feedback signal is live, not decorative.
+  auto Run = [](fuzz::Steering Mode) {
+    fuzz::FeedbackLoop Loop({}, Mode, /*FixedTarget=*/-1.0,
+                            /*Sweep=*/true);
+    unsigned InBatch = 0;
+    for (uint64_t Seed = 1; Seed <= 120; ++Seed) {
+      fuzz::ProgramGenerator Gen(Seed, Loop.batchOptions());
+      Loop.observe(fuzz::measureProgram(Gen.generate()));
+      if (++InBatch == 8) {
+        Loop.endBatch();
+        InBatch = 0;
+      }
+    }
+    Loop.endBatch();
+    return Loop;
+  };
+  fuzz::FeedbackLoop Closed = Run(fuzz::Steering::Closed);
+  fuzz::FeedbackLoop Neutral = Run(fuzz::Steering::Neutral);
+  fuzz::FeedbackLoop Inverted = Run(fuzz::Steering::Inverted);
+
+  size_t NC = Closed.coverage().entries();
+  size_t NN = Neutral.coverage().entries();
+  size_t NI = Inverted.coverage().entries();
+  EXPECT_LT(NI, NN) << "inverted " << NI << " vs neutral " << NN;
+  EXPECT_GE(NC, NN) << "closed " << NC << " vs neutral " << NN;
+  EXPECT_EQ(Closed.measuredPrograms(), 120u);
+  EXPECT_FALSE(Closed.batches().empty());
+}
+
+TEST(FuzzFeedback, FixedTargetLoopConvergesOnTheRequest) {
+  fuzz::FeedbackLoop Loop({}, fuzz::Steering::Closed,
+                          /*FixedTarget=*/0.5, /*Sweep=*/false);
+  unsigned InBatch = 0;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    fuzz::ProgramGenerator Gen(Seed, Loop.batchOptions());
+    Loop.observe(fuzz::measureProgram(Gen.generate()));
+    if (++InBatch == 8) {
+      Loop.endBatch();
+      InBatch = 0;
+    }
+  }
+  Loop.endBatch();
+  EXPECT_NEAR(Loop.achievedMean(), 0.5, 0.1);
+  EXPECT_LE(Loop.achievedMax(), 1.0);
+  EXPECT_GE(Loop.achievedMin(), 0.0);
+}
+
+class LivenessOracleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LivenessOracleSweep, LiveDrivenProgramsPassAllOracles) {
+  // The planner's rewiring (retargeted address-taken/pointer-to-member
+  // sites, suppressed reads, cast gating) must never produce a program
+  // the six oracles reject.
+  for (double Target : {0.0, 0.5, 0.9}) {
+    fuzz::GeneratorOptions Opts;
+    Opts.TargetDeadRatio = Target;
+    fuzz::ProgramGenerator Gen(static_cast<uint64_t>(GetParam()), Opts);
+    fuzz::OracleOutcome Out = fuzz::runOracles(Gen.generate());
+    EXPECT_TRUE(Out.Passed)
+        << Out.FailedOracle << ": " << Out.Detail << "\nseed "
+        << GetParam() << " target " << Target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LivenessOracleSweep,
+                         ::testing::Range(1, 9));
 
 } // namespace
