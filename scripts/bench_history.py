@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Benchmark-history regression sentinel for BENCH_*.json series.
+
+The repo commits one ``BENCH_<label>.json`` per milestone (written by
+scripts/run_bench.sh): google-benchmark's JSON plus the harness's
+dmm-stats document under a ``dmm_stats`` key. This tool turns that
+series into an actual gate instead of archaeology:
+
+  history [--dir DIR] [--filter SUBSTR]
+      Print a per-benchmark wall-time table across every committed
+      baseline, oldest first, with the step-over-step ratio.
+
+  compare BASELINE CURRENT [--threshold R] [--stable NAME ...]
+      Compare two baseline files benchmark by benchmark. A benchmark
+      regresses when current/baseline real_time exceeds 1 + threshold.
+      Only *stable* benchmarks (default: the synthetic kernel pair,
+      whose workload is deterministic and large enough to damp noise)
+      gate the exit status; everything else is reported informationally.
+      Exit 1 iff a stable benchmark regressed.
+
+  selftest
+      Run the comparator against synthetic documents and verify the
+      verdicts, so CI can prove the gate itself works before trusting
+      a green result.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Benchmarks whose inputs are fully deterministic and whose runtime is
+# long enough that machine noise stays inside a few percent. These gate
+# compare's exit status; other benchmarks are informational only.
+DEFAULT_STABLE = ("interpret/kernel", "interpret_vm/kernel")
+
+# Ratio slack applied on top of 1.0 before a slowdown counts as a
+# regression. 0.02 suits same-machine runs; CI across machine
+# generations should pass a looser --threshold.
+DEFAULT_THRESHOLD = 0.02
+
+
+def load_times(doc):
+    """Map benchmark name -> real_time in ns from a run_bench.sh doc.
+
+    Aggregate rows (``name/repeats:N_mean`` etc.) are skipped so a
+    repeated run compares cleanly against a single-shot one.
+    """
+    times = {}
+    for bench in doc.get("benchmarks", ()):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        real = bench.get("real_time")
+        if not isinstance(name, str) or not isinstance(real, (int, float)):
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            raise SystemExit(f"error: unknown time_unit {unit!r} for {name}")
+        times[name] = float(real) * scale
+    return times
+
+
+def load_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"error: cannot read {path}: {err}")
+    if "benchmarks" not in doc:
+        raise SystemExit(f"error: {path} has no 'benchmarks' array; "
+                         "was it written by scripts/run_bench.sh?")
+    return doc
+
+
+def series_key(path):
+    """Sort key for a baseline series: date from the benchmark context
+    (machine-independent), falling back to the file name."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        return (doc.get("context", {}).get("date", ""), os.path.basename(path))
+    except (OSError, ValueError):
+        return ("", os.path.basename(path))
+
+
+def fmt_ms(ns):
+    return f"{ns / 1e6:10.2f}"
+
+
+def cmd_history(args):
+    paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")),
+                   key=series_key)
+    if not paths:
+        print(f"error: no BENCH_*.json under {args.dir}", file=sys.stderr)
+        return 1
+    series = [(os.path.basename(p), load_times(load_file(p))) for p in paths]
+    names = sorted({n for _, t in series for n in t
+                    if args.filter in n})
+    if not names:
+        print(f"error: no benchmark matches {args.filter!r}", file=sys.stderr)
+        return 1
+
+    labels = [label[len("BENCH_"):-len(".json")] for label, _ in series]
+    header = f"{'benchmark':32}" + "".join(f"{l:>12}" for l in labels)
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        row = f"{name:32}"
+        prev = None
+        for _, times in series:
+            ns = times.get(name)
+            if ns is None:
+                row += f"{'-':>12}"
+                continue
+            cell = fmt_ms(ns) + "ms"
+            if prev is not None and prev > 0:
+                cell = f"{ns / prev:6.2f}x " + f"{ns / 1e6:.1f}ms"
+            row += f"{cell:>12}"
+            prev = ns
+        print(row)
+    print(f"\n(wall time per iteration; Nx = ratio vs previous column)")
+    return 0
+
+
+def compare_times(base, cur, threshold, stable):
+    """Pure comparator: returns (rows, regressed_stable_names).
+
+    Each row is (name, base_ns, cur_ns, ratio, verdict, gating).
+    Verdicts: 'ok', 'faster', 'REGRESSION', 'missing'.
+    """
+    rows = []
+    regressed = []
+    for name in sorted(set(base) | set(cur)):
+        gating = name in stable
+        b, c = base.get(name), cur.get(name)
+        if b is None or c is None:
+            rows.append((name, b, c, None, "missing", gating))
+            # A stable benchmark vanishing is itself a gate failure:
+            # silently dropping the gated workload must not pass.
+            if gating and c is None:
+                regressed.append(name)
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+            if gating:
+                regressed.append(name)
+        elif ratio < 1.0 - threshold:
+            verdict = "faster"
+        else:
+            verdict = "ok"
+        rows.append((name, b, c, ratio, verdict, gating))
+    return rows, regressed
+
+
+def cmd_compare(args):
+    base = load_times(load_file(args.baseline))
+    cur = load_times(load_file(args.current))
+    stable = tuple(args.stable) if args.stable else DEFAULT_STABLE
+    rows, regressed = compare_times(base, cur, args.threshold, stable)
+
+    print(f"{'benchmark':32}{'baseline':>12}{'current':>12}"
+          f"{'ratio':>8}  verdict")
+    print("-" * 76)
+    for name, b, c, ratio, verdict, gating in rows:
+        mark = "*" if gating else " "
+        bs = fmt_ms(b) + "ms" if b is not None else f"{'-':>12}"
+        cs = fmt_ms(c) + "ms" if c is not None else f"{'-':>12}"
+        rs = f"{ratio:8.3f}" if ratio is not None else f"{'-':>8}"
+        print(f"{mark}{name:31}{bs}{cs}{rs}  {verdict}")
+    print(f"\n* = stable benchmark gating the exit status "
+          f"(threshold {args.threshold:.0%})")
+    if regressed:
+        print(f"FAIL: stable benchmark regression: {', '.join(regressed)}",
+              file=sys.stderr)
+        return 1
+    print("OK: no stable-benchmark regressions")
+    return 0
+
+
+def cmd_selftest(_args):
+    base = {"interpret/kernel": 100.0, "interpret_vm/kernel": 50.0,
+            "frontend/richards": 10.0}
+
+    # Within threshold: ok.
+    rows, regressed = compare_times(
+        base, {"interpret/kernel": 101.0, "interpret_vm/kernel": 50.5,
+               "frontend/richards": 10.0}, 0.02, DEFAULT_STABLE)
+    assert not regressed, regressed
+    assert all(v == "ok" for _, _, _, _, v, _ in rows), rows
+
+    # A gated benchmark over threshold must regress...
+    _, regressed = compare_times(
+        base, {"interpret/kernel": 103.0, "interpret_vm/kernel": 50.0,
+               "frontend/richards": 10.0}, 0.02, DEFAULT_STABLE)
+    assert regressed == ["interpret/kernel"], regressed
+
+    # ...while a non-gated one is reported but does not fail the gate.
+    rows, regressed = compare_times(
+        base, {"interpret/kernel": 100.0, "interpret_vm/kernel": 50.0,
+               "frontend/richards": 20.0}, 0.02, DEFAULT_STABLE)
+    assert not regressed, regressed
+    assert [v for n, _, _, _, v, _ in rows if n == "frontend/richards"] \
+        == ["REGRESSION"], rows
+
+    # Speedups are labeled, not failed.
+    rows, _ = compare_times(
+        base, {"interpret/kernel": 80.0, "interpret_vm/kernel": 50.0,
+               "frontend/richards": 10.0}, 0.02, DEFAULT_STABLE)
+    assert [v for n, _, _, _, v, _ in rows if n == "interpret/kernel"] \
+        == ["faster"], rows
+
+    # A stable benchmark missing from the current run fails the gate.
+    _, regressed = compare_times(
+        base, {"interpret/kernel": 100.0, "frontend/richards": 10.0},
+        0.02, DEFAULT_STABLE)
+    assert regressed == ["interpret_vm/kernel"], regressed
+
+    # Custom threshold: 10% slack tolerates an 8% slip.
+    _, regressed = compare_times(
+        base, {"interpret/kernel": 108.0, "interpret_vm/kernel": 50.0,
+               "frontend/richards": 10.0}, 0.10, DEFAULT_STABLE)
+    assert not regressed, regressed
+
+    # Unit normalization: ms and ns express the same duration.
+    doc = {"benchmarks": [
+        {"name": "a/one", "real_time": 2.0, "time_unit": "ms"},
+        {"name": "a/two", "real_time": 2e6, "time_unit": "ns"},
+        {"name": "a/agg_mean", "real_time": 1.0, "time_unit": "ms",
+         "run_type": "aggregate"},
+    ]}
+    times = load_times(doc)
+    assert times == {"a/one": 2e6, "a/two": 2e6}, times
+
+    print("bench_history selftest: OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("history", help="table of wall times across series")
+    p.add_argument("--dir", default=".", help="directory of BENCH_*.json")
+    p.add_argument("--filter", default="", help="substring benchmark filter")
+    p.set_defaults(func=cmd_history)
+
+    p = sub.add_parser("compare", help="gate CURRENT against BASELINE")
+    p.add_argument("baseline")
+    p.add_argument("current")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="relative slowdown tolerated before failing "
+                        f"(default {DEFAULT_THRESHOLD})")
+    p.add_argument("--stable", action="append", metavar="NAME",
+                   help="benchmark gating the exit status (repeatable; "
+                        f"default: {', '.join(DEFAULT_STABLE)})")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("selftest", help="verify the comparator itself")
+    p.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

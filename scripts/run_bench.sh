@@ -7,16 +7,22 @@
 # whole-run phase/counter aggregates.
 #
 # Usage: scripts/run_bench.sh [options] [out.json] [extra benchmark args...]
-#   --label <name>   write BENCH_<name>.json instead of BENCH_baseline.json
-#   --suite <bench>  which harness to run: perf_pipeline (default) or
-#                    perf_incremental
-#   DMM_THREADS=N    worker threads for the parallel pipeline stages
+#   --label <name>     write BENCH_<name>.json instead of BENCH_baseline.json
+#   --suite <bench>    which harness to run: perf_pipeline (default) or
+#                      perf_incremental
+#   --compare <base>   after the run, gate the fresh output against an
+#                      existing baseline via scripts/bench_history.py
+#                      (exit 1 on a stable-benchmark regression)
+#   --threshold <r>    relative slowdown tolerated by --compare
+#   DMM_THREADS=N      worker threads for the parallel pipeline stages
 set -e
 cd "$(dirname "$0")/.."
 
 SUITE=perf_pipeline
 LABEL=""
 OUT=""
+COMPARE=""
+THRESHOLD=""
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -30,10 +36,25 @@ while [ $# -gt 0 ]; do
       SUITE="$2"; shift 2 ;;
     --suite=*)
       SUITE="${1#--suite=}"; shift ;;
+    --compare)
+      [ $# -ge 2 ] || { echo "error: --compare requires a baseline" >&2; exit 2; }
+      COMPARE="$2"; shift 2 ;;
+    --compare=*)
+      COMPARE="${1#--compare=}"; shift ;;
+    --threshold)
+      [ $# -ge 2 ] || { echo "error: --threshold requires a value" >&2; exit 2; }
+      THRESHOLD="$2"; shift 2 ;;
+    --threshold=*)
+      THRESHOLD="${1#--threshold=}"; shift ;;
     *)
       break ;;
   esac
 done
+
+if [ -n "$COMPARE" ] && [ ! -f "$COMPARE" ]; then
+  echo "error: --compare baseline $COMPARE does not exist" >&2
+  exit 2
+fi
 
 if [ -n "$LABEL" ]; then
   OUT="BENCH_${LABEL}.json"
@@ -83,3 +104,12 @@ with open(out_path, "w") as f:
 EOF
 
 echo "wrote $OUT" >&2
+
+if [ -n "$COMPARE" ]; then
+  if [ -n "$THRESHOLD" ]; then
+    python3 scripts/bench_history.py compare "$COMPARE" "$OUT" \
+      --threshold "$THRESHOLD"
+  else
+    python3 scripts/bench_history.py compare "$COMPARE" "$OUT"
+  fi
+fi

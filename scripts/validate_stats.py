@@ -4,12 +4,15 @@
 Subcommands:
 
   validate-stats FILE       check a --stats-json file against the
-                            dmm-stats schema, v1 or v2 (required fields,
+                            dmm-stats schema, v1..v3 (required fields,
                             dense begin-ordered span ids, parents precede
                             children, no orphan spans; for v2 documents
                             with a "profiler" section: per-field types,
                             strictly increasing snapshot events, live
-                            bytes bounded by the high-water mark)
+                            bytes bounded by the high-water mark; for v3
+                            documents with a "diagnostics" section:
+                            per-level log counters and flight-recorder
+                            totals, all non-negative integers)
   validate-trace FILE       check a --trace-json file (Chrome trace
                             format; every duration event must carry its
                             span id and parent link)
@@ -22,6 +25,10 @@ Subcommands:
                             show one summary.file span per source file,
                             each marked cached=1 with a cache.lookup
                             child span carrying hit=1
+  check-crash FILE          check a dmm-crash-<pid>.json crash report:
+                            dmm-crash schema v1, a non-empty span stack,
+                            at least one flight-recorder event with the
+                            required fields, and integer counters
 
 Exits 0 on success, 1 with a diagnostic on the first violation.
 Only the standard library is used.
@@ -31,9 +38,26 @@ import json
 import sys
 
 SCHEMA_NAME = "dmm-stats"
-# Accepted schema versions; the "profiler" section needs v2+.
+# Accepted schema versions; the "profiler" section needs v2+, the
+# "diagnostics" section needs v3+.
 SCHEMA_MIN_VERSION = 1
-SCHEMA_MAX_VERSION = 2
+SCHEMA_MAX_VERSION = 3
+
+CRASH_SCHEMA_NAME = "dmm-crash"
+CRASH_SCHEMA_VERSION = 1
+
+DIAGNOSTICS_FIELDS = (
+    "log_error", "log_warn", "log_info", "log_debug", "log_trace",
+    "recorder_events", "recorder_dropped", "crashes",
+)
+# Flight-recorder totals depend on how work distributed across threads
+# (ring wrap-around is per-thread), so the cross---jobs compare skips
+# them; the log counters and crash count must still match.
+DIAGNOSTICS_RUN_VARYING = frozenset(("recorder_events", "recorder_dropped"))
+
+CRASH_COUNTER_FIELDS = DIAGNOSTICS_FIELDS[:-1]  # No "crashes" key.
+CRASH_EVENT_STR_FIELDS = ("kind", "level", "text")
+CRASH_EVENT_INT_FIELDS = ("seq", "ts_ns", "thread")
 
 PROFILER_SUMMARY_FIELDS = (
     "object_space", "dead_member_space", "high_water_mark",
@@ -111,6 +135,8 @@ def check_stats_doc(doc, where):
 
     if "profiler" in doc:
         check_profiler(doc, where)
+    if "diagnostics" in doc:
+        check_diagnostics(doc, where)
 
     spans = doc.get("spans")
     if not isinstance(spans, list):
@@ -197,6 +223,24 @@ def check_profiler(doc, where):
             fail("%s: never_read_bytes exceeds alloc_bytes" % label)
 
 
+def check_diagnostics(doc, where):
+    """Validates the v3 "diagnostics" section: per-level log counters,
+    flight-recorder totals, and the crash count, all non-negative
+    integers."""
+    if doc["version"] < 3:
+        fail("%s: \"diagnostics\" section requires version >= 3, got %d"
+             % (where, doc["version"]))
+    diag = doc["diagnostics"]
+    if not isinstance(diag, dict):
+        fail("%s: \"diagnostics\" is not an object" % where)
+    for key in DIAGNOSTICS_FIELDS:
+        value = diag.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail("%s: diagnostics lacks integer %r" % (where, key))
+        if value < 0:
+            fail("%s: diagnostics %r is negative" % (where, key))
+
+
 def cmd_validate_stats(path):
     doc = check_stats_doc(load(path), path)
     profiler = ""
@@ -261,8 +305,16 @@ def normalized(doc):
         # The whole profiler section is deterministic (counts and byte
         # totals, no timing), so it must be bit-equal across --jobs.
         "profiler": doc.get("profiler"),
+        "diagnostics": diagnostics_normalized(doc.get("diagnostics")),
         "spans": span_paths(doc),
     }
+
+
+def diagnostics_normalized(diag):
+    if not isinstance(diag, dict):
+        return diag
+    return {k: v for k, v in diag.items()
+            if k not in DIAGNOSTICS_RUN_VARYING}
 
 
 def cmd_compare(path_a, path_b):
@@ -310,6 +362,61 @@ def cmd_check_warm_cache(path):
           % (path, len(files)))
 
 
+def cmd_check_crash(path):
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail("%s: top level is not an object" % path)
+    if doc.get("schema") != CRASH_SCHEMA_NAME:
+        fail("%s: schema is %r, want %r" % (path, doc.get("schema"),
+                                            CRASH_SCHEMA_NAME))
+    if doc.get("version") != CRASH_SCHEMA_VERSION:
+        fail("%s: version is %r, want %d" % (path, doc.get("version"),
+                                             CRASH_SCHEMA_VERSION))
+    for key in ("tool", "tool_version", "reason"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            fail("%s: missing non-empty string %r" % (path, key))
+    if not isinstance(doc.get("pid"), int):
+        fail("%s: missing integer \"pid\"" % path)
+
+    argv_list = doc.get("argv")
+    if (not isinstance(argv_list, list) or not argv_list
+            or not all(isinstance(a, str) for a in argv_list)):
+        fail("%s: \"argv\" is not a non-empty array of strings" % path)
+
+    spans = doc.get("span_stack")
+    if not isinstance(spans, list) or not spans:
+        fail("%s: \"span_stack\" is empty -- the handler should see at "
+             "least the root pipeline span" % path)
+    if not all(isinstance(s, str) and s for s in spans):
+        fail("%s: span_stack entries must be non-empty strings" % path)
+
+    events = doc.get("flight_recorder")
+    if not isinstance(events, list) or not events:
+        fail("%s: \"flight_recorder\" holds no events" % path)
+    for i, e in enumerate(events):
+        label = "%s: flight_recorder[%d]" % (path, i)
+        if not isinstance(e, dict):
+            fail(label + " is not an object")
+        for key in CRASH_EVENT_INT_FIELDS:
+            if not isinstance(e.get(key), int):
+                fail("%s lacks integer %r" % (label, key))
+        for key in CRASH_EVENT_STR_FIELDS:
+            if not isinstance(e.get(key), str):
+                fail("%s lacks string %r" % (label, key))
+        if e["kind"] not in ("log", "span_begin", "span_end"):
+            fail("%s: unknown kind %r" % (label, e["kind"]))
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail("%s: missing object \"counters\"" % path)
+    for key in CRASH_COUNTER_FIELDS:
+        if not isinstance(counters.get(key), int):
+            fail("%s: counters lacks integer %r" % (path, key))
+
+    print("%s: ok (reason: %s, %d spans deep, %d flight-recorder events)"
+          % (path, doc["reason"], len(spans), len(events)))
+
+
 def main(argv):
     if len(argv) >= 3 and argv[1] == "validate-stats":
         for path in argv[2:]:
@@ -322,6 +429,9 @@ def main(argv):
     elif len(argv) >= 3 and argv[1] == "check-warm-cache":
         for path in argv[2:]:
             cmd_check_warm_cache(path)
+    elif len(argv) >= 3 and argv[1] == "check-crash":
+        for path in argv[2:]:
+            cmd_check_crash(path)
     else:
         print(__doc__.strip(), file=sys.stderr)
         return 2

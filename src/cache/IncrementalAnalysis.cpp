@@ -12,6 +12,7 @@
 #include "cache/SummaryCache.h"
 #include "support/SourceManager.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Log.h"
 #include "telemetry/Telemetry.h"
 
 #include <unordered_map>
@@ -149,6 +150,15 @@ dmm::runSummaryAnalysis(const ASTContext &Ctx, const SourceManager &SM,
           FileSpan.arg("cached", uint64_t(0));
           return extractFileSummary(Ctx, SM, FileID, Options);
         });
+  }
+
+  if (Cache) {
+    const SummaryCache::Stats CS = Cache->stats();
+    logDebug("summary extraction complete",
+             {kv("files", NumFiles), kv("cache_hits", CS.Hits),
+              kv("cache_misses", CS.Misses)});
+  } else {
+    logDebug("summary extraction complete", {kv("files", NumFiles)});
   }
 
   std::vector<std::pair<uint32_t, const FileSummary *>> Pairs;

@@ -7,6 +7,7 @@
 #include "cache/SummaryCache.h"
 
 #include "cache/Hash.h"
+#include "telemetry/Log.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -87,8 +88,11 @@ SummaryCache::SummaryCache(Config C) : Cfg(std::move(C)) {
   std::error_code EC;
   fs::create_directories(Cfg.Dir, EC);
   Usable = !EC && fs::is_directory(Cfg.Dir, EC) && !EC;
-  if (!Usable)
+  if (!Usable) {
+    logWarn("summary cache directory unusable; caching disabled",
+            {kv("dir", Cfg.Dir)});
     return;
+  }
   uint64_t Total = 0;
   for (const fs::directory_entry &Entry : fs::directory_iterator(Cfg.Dir, EC)) {
     if (EC)
@@ -128,6 +132,16 @@ bool SummaryCache::lookup(uint64_t ContentHash, uint64_t EnvHash,
   if (!readEntireFile(entryPath(ContentHash, EnvHash), Data))
     return Miss();
 
+  // Corrupt entries (bad magic, checksum, or payload) are abnormal —
+  // they indicate torn writes or disk damage — so they warrant a log
+  // event; a format-version mismatch just means an older tool wrote
+  // the entry, which is routine after upgrades.
+  auto Corrupt = [&](const char *Why) {
+    logWarn("discarding corrupt summary cache entry",
+            {kv("path", entryPath(ContentHash, EnvHash)), kv("why", Why)});
+    return Miss();
+  };
+
   ByteReader R(Data);
   char Magic[4];
   Magic[0] = static_cast<char>(R.u8());
@@ -135,23 +149,26 @@ bool SummaryCache::lookup(uint64_t ContentHash, uint64_t EnvHash,
   Magic[2] = static_cast<char>(R.u8());
   Magic[3] = static_cast<char>(R.u8());
   if (!R.ok() || !std::equal(Magic, Magic + 4, kMagic))
+    return Corrupt("bad magic");
+  if (R.u32() != Cfg.FormatVersion) {
+    logDebug("ignoring summary cache entry with old format version",
+             {kv("path", entryPath(ContentHash, EnvHash))});
     return Miss();
-  if (R.u32() != Cfg.FormatVersion)
-    return Miss();
+  }
   if (R.u64() != ContentHash || R.u64() != EnvHash)
-    return Miss();
+    return Corrupt("key mismatch");
   const uint64_t Checksum = R.u64();
   const uint64_t PayloadSize = R.u64();
   if (!R.ok() || PayloadSize != R.remaining())
-    return Miss();
+    return Corrupt("truncated payload");
   const std::string_view Payload(Data.data() + (Data.size() - PayloadSize),
                                  PayloadSize);
   if (hashBytes(Payload) != Checksum)
-    return Miss();
+    return Corrupt("checksum mismatch");
 
   ByteReader PayloadReader(Payload);
   if (!decodeFileSummary(PayloadReader, Out))
-    return Miss();
+    return Corrupt("undecodable payload");
   ++Hits;
   LookupSpan.arg("hit", uint64_t(1));
   LookupSpan.arg("bytes", Data.size());
@@ -189,13 +206,18 @@ void SummaryCache::store(uint64_t ContentHash, uint64_t EnvHash,
   {
     std::ofstream Tmp(TmpName, std::ios::out | std::ios::binary |
                                    std::ios::trunc);
-    if (!Tmp.is_open())
+    if (!Tmp.is_open()) {
+      logWarn("summary cache store failed; cannot open temp file",
+              {kv("path", TmpName)});
       return;
+    }
     Tmp.write(Entry.data(), static_cast<std::streamsize>(Entry.size()));
     if (!Tmp.good()) {
       Tmp.close();
       std::error_code EC;
       fs::remove(TmpName, EC);
+      logWarn("summary cache store failed; short write",
+              {kv("path", TmpName)});
       return;
     }
   }
@@ -203,6 +225,9 @@ void SummaryCache::store(uint64_t ContentHash, uint64_t EnvHash,
   fs::rename(TmpName, entryPath(ContentHash, EnvHash), EC);
   if (EC) {
     fs::remove(TmpName, EC);
+    logWarn("summary cache store failed; rename failed",
+            {kv("path", entryPath(ContentHash, EnvHash)),
+             kv("error", EC.message())});
     return;
   }
   ++Stores;
@@ -261,6 +286,8 @@ void SummaryCache::evictIfOverBudget() {
   EvictSpan.arg("removed", Removed);
   EvictSpan.arg("bytes", Total);
   Bytes.store(Total);
+  logDebug("summary cache evicted entries",
+           {kv("removed", Removed), kv("bytes", Total)});
 }
 
 SummaryCache::Stats SummaryCache::stats() const {

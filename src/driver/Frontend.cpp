@@ -9,6 +9,7 @@
 #include "lexer/Lexer.h"
 #include "parser/Parser.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Log.h"
 #include "telemetry/Telemetry.h"
 
 using namespace dmm;
@@ -74,6 +75,8 @@ std::unique_ptr<Compilation> dmm::compileProgram(std::vector<SourceFile> Files,
   }
   Telemetry::count("lex.tokens", TotalTokens);
   Telemetry::count("lex.buffers", Buffers.size());
+  logDebug("lexed sources",
+           {kv("files", Buffers.size()), kv("tokens", TotalTokens)});
 
   // Parsing appends to the shared ASTContext and accumulates the
   // class/function name tables across files, so it stays sequential and
@@ -97,6 +100,17 @@ std::unique_ptr<Compilation> dmm::compileProgram(std::vector<SourceFile> Files,
   Telemetry::count("sema.classes", C->Ctx->classes().size());
   Telemetry::count("sema.functions", C->Ctx->functions().size());
   C->Success = ParseOK && SemaOK;
+  // A null DiagOS means a deliberately quiet compile (fuzz shrink
+  // candidates, library-level tests) — don't log those either.
+  if (DiagOS) {
+    if (C->Success)
+      logInfo("frontend complete",
+              {kv("classes", C->Ctx->classes().size()),
+               kv("functions", C->Ctx->functions().size())});
+    else
+      logError("frontend failed",
+               {kv("parse_ok", ParseOK), kv("sema_ok", SemaOK)});
+  }
   return C;
 }
 

@@ -21,13 +21,17 @@
 #include "profiler/ShadowProfiler.h"
 #include "vm/VM.h"
 #include "support/ThreadPool.h"
+#include "telemetry/CrashHandler.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/HtmlReport.h"
+#include "telemetry/Log.h"
 #include "telemetry/Stats.h"
 #include "telemetry/Telemetry.h"
 #include "trace/DynamicMetrics.h"
 #include "transform/DeadMemberEliminator.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <set>
@@ -77,6 +81,10 @@ struct DriverOptions {
   std::string FromStatsFile; ///< --from-stats=<file>: render --report
                              ///< from an existing stats file, no run.
   std::vector<std::string> Explain; ///< --explain=<Class::member>.
+  std::optional<LogLevel> LogLevelFlag; ///< --log-level=<level>.
+  std::string LogJsonFile;  ///< --log-json=<file>; empty = off.
+  uint64_t SpanLimit = 0;   ///< --span-limit=<N> / DMM_SPAN_LIMIT; 0 = default.
+  std::string InjectFault;  ///< --inject-fault=<crash|terminate>.
 };
 
 int usage() {
@@ -161,6 +169,20 @@ int usage() {
          "  --from-stats=<file>      with --report: render from an\n"
          "                           existing stats file instead of\n"
          "                           running the pipeline\n"
+         "  --log-level=<level>      stderr log verbosity: error, warn\n"
+         "                           (default), info, debug, trace\n"
+         "                           (also: DMM_LOG_LEVEL env var)\n"
+         "  --log-json=<file>        also write every log event as one\n"
+         "                           JSON object per line to <file>\n"
+         "  --span-limit=<N>         cap retained telemetry spans at N;\n"
+         "                           spans beyond the cap count into the\n"
+         "                           telemetry.spans_dropped counter\n"
+         "                           (also: DMM_SPAN_LIMIT env var)\n"
+         "  --inject-fault=<kind>    harness self-validation: die with\n"
+         "                           kind 'crash' (SIGSEGV) or\n"
+         "                           'terminate' (std::terminate) after\n"
+         "                           the analysis, exercising the crash\n"
+         "                           handler (docs/OBSERVABILITY.md)\n"
          "  --version                print version information\n";
   return 2;
 }
@@ -168,7 +190,7 @@ int usage() {
 bool readFile(const char *Path, bool IsLibrary, DriverOptions &Opts) {
   std::ifstream In(Path);
   if (!In) {
-    std::cerr << "error: cannot open '" << Path << "'\n";
+    logError("cannot open input file", {kv("path", Path)});
     return false;
   }
   std::ostringstream SS;
@@ -318,6 +340,41 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
         return false;
       }
       setGlobalJobs(static_cast<unsigned>(Jobs));
+    } else if (Arg.rfind("--log-level=", 0) == 0) {
+      std::string Value = Arg.substr(12);
+      LogLevel Level;
+      if (!parseLogLevel(Value, Level)) {
+        std::cerr << "error: invalid --log-level value '" << Value
+                  << "' (valid choices: error, warn, info, debug, "
+                     "trace)\n";
+        return false;
+      }
+      Opts.LogLevelFlag = Level;
+    } else if (Arg.rfind("--log-json=", 0) == 0) {
+      Opts.LogJsonFile = Arg.substr(11);
+      if (Opts.LogJsonFile.empty()) {
+        std::cerr << "error: --log-json requires a file name\n";
+        return false;
+      }
+    } else if (Arg.rfind("--span-limit=", 0) == 0) {
+      std::string Value = Arg.substr(13);
+      char *End = nullptr;
+      unsigned long long Limit = std::strtoull(Value.c_str(), &End, 10);
+      if (Value.empty() || *End || Limit == 0) {
+        std::cerr << "error: --span-limit expects a positive integer, "
+                     "got '"
+                  << Value << "'\n";
+        return false;
+      }
+      Opts.SpanLimit = Limit;
+    } else if (Arg.rfind("--inject-fault=", 0) == 0) {
+      std::string Kind = Arg.substr(15);
+      if (Kind != "crash" && Kind != "terminate") {
+        std::cerr << "error: invalid --inject-fault value '" << Kind
+                  << "' (valid choices: crash, terminate)\n";
+        return false;
+      }
+      Opts.InjectFault = Kind;
     } else if (Arg.rfind("--inert=", 0) == 0) {
       Opts.Analysis.InertFunctions.insert(Arg.substr(8));
     } else if (Arg.rfind("--", 0) == 0) {
@@ -353,8 +410,8 @@ struct TelemetryEmitter {
       } else {
         std::ofstream Out(Opts.MetricsFile);
         if (!Out)
-          std::cerr << "error: cannot write '" << Opts.MetricsFile
-                    << "'\n";
+          logError("cannot write output file",
+                   {kv("path", Opts.MetricsFile)});
         else
           Tel.printMetrics(Out);
       }
@@ -364,8 +421,8 @@ struct TelemetryEmitter {
     if (!Opts.TraceJsonFile.empty()) {
       std::ofstream Out(Opts.TraceJsonFile);
       if (!Out)
-        std::cerr << "error: cannot write '" << Opts.TraceJsonFile
-                  << "'\n";
+        logError("cannot write output file",
+                 {kv("path", Opts.TraceJsonFile)});
       else
         Tel.printChromeTrace(Out);
     }
@@ -379,15 +436,15 @@ struct TelemetryEmitter {
     if (!Opts.StatsJsonFile.empty()) {
       std::ofstream Out(Opts.StatsJsonFile);
       if (!Out)
-        std::cerr << "error: cannot write '" << Opts.StatsJsonFile
-                  << "'\n";
+        logError("cannot write output file",
+                 {kv("path", Opts.StatsJsonFile)});
       else
         stats::printStats(Doc, Out);
     }
     if (!Opts.ReportFile.empty()) {
       std::ofstream Out(Opts.ReportFile);
       if (!Out)
-        std::cerr << "error: cannot write '" << Opts.ReportFile << "'\n";
+        logError("cannot write output file", {kv("path", Opts.ReportFile)});
       else
         stats::renderHtmlReport(Doc, Out);
     }
@@ -399,7 +456,7 @@ struct TelemetryEmitter {
 int renderReportFromStats(const DriverOptions &Opts) {
   std::ifstream In(Opts.FromStatsFile);
   if (!In) {
-    std::cerr << "error: cannot open '" << Opts.FromStatsFile << "'\n";
+    logError("cannot open input file", {kv("path", Opts.FromStatsFile)});
     return 1;
   }
   std::ostringstream SS;
@@ -407,12 +464,13 @@ int renderReportFromStats(const DriverOptions &Opts) {
   stats::StatsDocument Doc;
   std::string Error;
   if (!stats::parseStats(SS.str(), Doc, Error)) {
-    std::cerr << "error: " << Opts.FromStatsFile << ": " << Error << "\n";
+    logError("invalid stats file",
+             {kv("path", Opts.FromStatsFile), kv("detail", Error)});
     return 1;
   }
   std::ofstream Out(Opts.ReportFile);
   if (!Out) {
-    std::cerr << "error: cannot write '" << Opts.ReportFile << "'\n";
+    logError("cannot write output file", {kv("path", Opts.ReportFile)});
     return 1;
   }
   stats::renderHtmlReport(Doc, Out);
@@ -498,9 +556,24 @@ void printProfileReport(std::ostream &OS, const ProfileSummary &P) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Crash diagnostics come first so even option handling is covered:
+  // the flight recorder captures log events and span markers, and the
+  // signal/terminate handlers dump dmm-crash-<pid>.json from them.
+  installCrashHandler(Argc, Argv, "deadmember", kToolVersion);
+  FlightRecorder::install();
   DriverOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage();
+  // Logging config: flag beats DMM_LOG_LEVEL (read at first use).
+  if (Opts.LogLevelFlag)
+    Logger::instance().setLevel(*Opts.LogLevelFlag);
+  if (!Opts.LogJsonFile.empty()) {
+    std::string Error;
+    if (!Logger::instance().openJsonSink(Opts.LogJsonFile, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 2;
+    }
+  }
   if (Opts.Version) {
     std::cout << VersionString;
     return 0;
@@ -535,6 +608,19 @@ int main(int Argc, char **Argv) {
   if (Opts.Engine.empty())
     Opts.Engine = "vm";
   Telemetry Tel;
+  // --span-limit flag beats the DMM_SPAN_LIMIT env hook; unparsable
+  // env values are reported and ignored.
+  if (Opts.SpanLimit == 0)
+    if (const char *Env = std::getenv("DMM_SPAN_LIMIT"); Env && *Env) {
+      char *End = nullptr;
+      unsigned long long Limit = std::strtoull(Env, &End, 10);
+      if (*End || Limit == 0)
+        logWarn("ignoring invalid DMM_SPAN_LIMIT", {kv("value", Env)});
+      else
+        Opts.SpanLimit = Limit;
+    }
+  if (Opts.SpanLimit)
+    Tel.setSpanLimit(Opts.SpanLimit);
   std::optional<TelemetryScope> TelScope;
   if (Opts.Metrics || MetricsToStderr || !Opts.TraceJsonFile.empty() ||
       !Opts.StatsJsonFile.empty() || !Opts.ReportFile.empty())
@@ -543,10 +629,11 @@ int main(int Argc, char **Argv) {
   stats::ProfilerSection ProfSection;
   TelemetryEmitter Emitter{Tel, Opts, MetricsToStderr, &ProfSection};
   // The whole run is one root span; every phase nests under it. Closed
-  // by destruction just before the emitter writes the outputs.
+  // by destruction just before the emitter writes the outputs. Opened
+  // even with telemetry off: the flight recorder tracks the span stack
+  // for crash reports on every run.
   std::optional<Span> RootSpan;
-  if (TelScope)
-    RootSpan.emplace("pipeline");
+  RootSpan.emplace("pipeline");
 
   // Provenance powers --explain and enriches --json.
   if (Opts.Json || !Opts.Explain.empty())
@@ -576,12 +663,28 @@ int main(int Argc, char **Argv) {
     if (Linked) {
       Result = std::move(*Linked);
     } else {
-      std::cerr << "warning: summary link failed (" << LinkError
-                << "); falling back to whole-program analysis\n";
+      logWarn("summary link failed; falling back to whole-program "
+              "analysis",
+              {kv("detail", LinkError)});
       Result = Analysis.run(C->mainFunction());
     }
   } else {
     Result = Analysis.run(C->mainFunction());
+  }
+  logInfo("analysis complete",
+          {kv("dead_members", Result.deadSet().size()),
+           kv("callgraph", callGraphKindName(Opts.Analysis.CallGraph))});
+
+  // PR-3-style harness self-validation: deliberately die mid-pipeline
+  // so CI can assert the crash handler writes a schema-valid report
+  // with the active span stack and flight-recorder tail.
+  if (!Opts.InjectFault.empty()) {
+    Span FaultSpan("inject.fault");
+    logError("injected fault firing", {kv("kind", Opts.InjectFault)});
+    if (Opts.InjectFault == "crash")
+      std::raise(SIGSEGV);
+    else
+      std::terminate();
   }
 
   if (Opts.Eliminate) {
@@ -667,7 +770,8 @@ int main(int Argc, char **Argv) {
       Exec = Interp.run(C->mainFunction());
     }
     if (!Exec.Completed) {
-      std::cerr << "runtime error: " << Exec.Error << "\n";
+      logError("runtime error",
+               {kv("what", Exec.Error), kv("engine", Opts.Engine)});
       return 1;
     }
 
@@ -723,9 +827,9 @@ int main(int Argc, char **Argv) {
         if (P.Metrics != *TraceMetrics) {
           const DynamicMetrics &T = *TraceMetrics;
           const DynamicMetrics &S = P.Metrics;
-          std::cerr << "error: shadow profiler diverges from the "
-                       "allocation-trace replay\n"
-                    << "  trace:    object_space=" << T.ObjectSpace
+          logError("shadow profiler diverges from the allocation-trace "
+                   "replay");
+          std::cerr << "  trace:    object_space=" << T.ObjectSpace
                     << " dead=" << T.DeadMemberSpace
                     << " hwm=" << T.HighWaterMark
                     << " hwm_no_dead=" << T.HighWaterMarkNoDead

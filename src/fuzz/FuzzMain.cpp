@@ -23,8 +23,12 @@
 #include "fuzz/ProgramGenerator.h"
 #include "fuzz/Shrinker.h"
 
+#include "cache/IncrementalAnalysis.h"
 #include "support/ThreadPool.h"
+#include "telemetry/CrashHandler.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/Json.h"
+#include "telemetry/Log.h"
 #include "telemetry/Telemetry.h"
 
 #include <cstdlib>
@@ -55,6 +59,8 @@ struct FuzzOptions {
   unsigned MaxShrinkAttempts = 4000;
   bool Metrics = false;
   bool Verbose = false;
+  std::optional<LogLevel> LogLevelFlag; ///< --log-level.
+  std::string LogJsonFile;              ///< --log-json.
 
   /// \name Liveness-driven generation (docs/TESTING.md)
   /// @{
@@ -149,7 +155,11 @@ int usage() {
          "                           oracle still sweeps its own levels)\n"
          "  --metrics                print the fuzz counter table at "
          "exit\n"
-         "  --verbose                log every seed, not just failures\n";
+         "  --verbose                log every seed, not just failures\n"
+         "  --log-level=<error|warn|info|debug|trace>\n"
+         "                           structured-log verbosity (default\n"
+         "                           warn; DMM_LOG_LEVEL also works)\n"
+         "  --log-json=<file>        also write log events as JSONL\n";
   return 2;
 }
 
@@ -305,6 +315,22 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &Opts) {
       Opts.Metrics = true;
     } else if (Arg == "--verbose") {
       Opts.Verbose = true;
+    } else if (Arg.rfind("--log-level=", 0) == 0) {
+      std::string V = Arg.substr(12);
+      LogLevel L;
+      if (!parseLogLevel(V, L)) {
+        std::cerr << "error: invalid --log-level value '" << V
+                  << "' (valid choices: error, warn, info, debug, "
+                     "trace)\n";
+        return false;
+      }
+      Opts.LogLevelFlag = L;
+    } else if (Arg.rfind("--log-json=", 0) == 0) {
+      Opts.LogJsonFile = Arg.substr(11);
+      if (Opts.LogJsonFile.empty()) {
+        std::cerr << "error: --log-json expects a file path\n";
+        return false;
+      }
     } else {
       std::cerr << "error: unknown option '" << Arg << "'\n";
       return false;
@@ -359,7 +385,7 @@ struct FailureArtifacts {
 bool writeFile(const std::string &Path, const std::string &Text) {
   std::ofstream Out(Path);
   if (!Out) {
-    std::cerr << "error: cannot write '" << Path << "'\n";
+    logError("cannot write output file", {kv("path", Path)});
     return false;
   }
   Out << Text;
@@ -374,8 +400,8 @@ writeArtifacts(const FuzzOptions &Opts, const std::string &Stem,
   std::error_code EC;
   std::filesystem::create_directories(Opts.ArtifactsDir, EC);
   if (EC) {
-    std::cerr << "error: cannot create artifacts directory '"
-              << Opts.ArtifactsDir << "': " << EC.message() << "\n";
+    logError("cannot create artifacts directory",
+             {kv("dir", Opts.ArtifactsDir), kv("error", EC.message())});
     return std::nullopt;
   }
   FailureArtifacts Art;
@@ -470,7 +496,7 @@ bool checkProgram(const FuzzOptions &Opts, const std::string &Label,
 bool loadReplayRecord(FuzzOptions &Opts) {
   std::ifstream In(Opts.ReplayFile);
   if (!In) {
-    std::cerr << "error: cannot open '" << Opts.ReplayFile << "'\n";
+    logError("cannot open replay file", {kv("path", Opts.ReplayFile)});
     return false;
   }
   std::ostringstream SS;
@@ -478,16 +504,16 @@ bool loadReplayRecord(FuzzOptions &Opts) {
   json::Value Record;
   std::string Error;
   if (!json::parse(SS.str(), Record, Error) || !Record.isObject()) {
-    std::cerr << "error: '" << Opts.ReplayFile
-              << "' is not a valid failure record: " << Error << "\n";
+    logError("replay file is not a valid failure record",
+             {kv("path", Opts.ReplayFile), kv("error", Error)});
     return false;
   }
 
   if (!Opts.OracleExplicit) {
     std::string Selection = Record.getString("oracle_selection", "all");
     if (!applyOracleSelection(Selection, Opts)) {
-      std::cerr << "error: record carries unknown oracle selection '"
-                << Selection << "'\n";
+      logError("replay record carries unknown oracle selection",
+               {kv("selection", Selection)});
       return false;
     }
   }
@@ -588,8 +614,8 @@ bool writeDistilledCorpus(const FuzzOptions &Opts,
   std::error_code EC;
   std::filesystem::create_directories(Opts.DistillDir, EC);
   if (EC) {
-    std::cerr << "error: cannot create distill directory '"
-              << Opts.DistillDir << "': " << EC.message() << "\n";
+    logError("cannot create distill directory",
+             {kv("dir", Opts.DistillDir), kv("error", EC.message())});
     return false;
   }
 
@@ -629,9 +655,23 @@ bool writeDistilledCorpus(const FuzzOptions &Opts,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  installCrashHandler(Argc, Argv, "dmm-fuzz", kToolVersion);
+  FlightRecorder::install();
+
   FuzzOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage();
+
+  if (Opts.LogLevelFlag)
+    Logger::instance().setLevel(*Opts.LogLevelFlag);
+  if (!Opts.LogJsonFile.empty()) {
+    std::string Error;
+    if (!Logger::instance().openJsonSink(Opts.LogJsonFile, Error)) {
+      std::cerr << "error: cannot open --log-json file '"
+                << Opts.LogJsonFile << "': " << Error << "\n";
+      return 2;
+    }
+  }
 
   const char *MetricsEnv = std::getenv("DMM_METRICS");
   bool MetricsToStderr = MetricsEnv && *MetricsEnv &&
@@ -657,7 +697,7 @@ int main(int Argc, char **Argv) {
         return 2;
       std::ifstream In(Opts.ReplayFile);
       if (!In) {
-        std::cerr << "error: cannot open '" << Opts.ReplayFile << "'\n";
+        logError("cannot open replay file", {kv("path", Opts.ReplayFile)});
         return 2;
       }
       std::ostringstream SS;

@@ -17,6 +17,7 @@
 #include "ast/Expr.h"
 #include "ast/Stmt.h"
 #include "profiler/ShadowProfiler.h"
+#include "telemetry/Log.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -1527,6 +1528,8 @@ ExecResult Interpreter::run(const FunctionDecl *Main) {
   } catch (const RuntimeError &E) {
     Result.Completed = false;
     Result.Error = E.Message;
+    logDebug("interpreter run failed",
+             {kv("error", E.Message), kv("steps", Steps)});
   }
   Result.Output = std::move(Output);
   Result.Steps = Steps;

@@ -321,6 +321,28 @@ void stats::renderHtmlReport(const StatsDocument &D, std::ostream &OS) {
     OS << "</table>\n";
   }
 
+  // --- Diagnostics --------------------------------------------------------
+  if (D.Diagnostics.Present) {
+    const DiagnosticsSection &G = D.Diagnostics;
+    OS << "<h2>Diagnostics</h2>\n<table>\n"
+          "<tr><th>metric</th><th class=\"num\">value</th></tr>\n"
+          "<tr><td>log events (error)</td><td class=\"num\">" << G.LogError
+       << "</td></tr>\n<tr><td>log events (warn)</td><td class=\"num\">"
+       << G.LogWarn
+       << "</td></tr>\n<tr><td>log events (info)</td><td class=\"num\">"
+       << G.LogInfo
+       << "</td></tr>\n<tr><td>log events (debug)</td><td class=\"num\">"
+       << G.LogDebug
+       << "</td></tr>\n<tr><td>log events (trace)</td><td class=\"num\">"
+       << G.LogTrace
+       << "</td></tr>\n<tr><td>flight-recorder events</td>"
+          "<td class=\"num\">" << G.RecorderEvents
+       << "</td></tr>\n<tr><td>flight-recorder dropped</td>"
+          "<td class=\"num\">" << G.RecorderDropped
+       << "</td></tr>\n<tr><td>crash reports</td><td class=\"num\">"
+       << G.Crashes << "</td></tr>\n</table>\n";
+  }
+
   // --- Phases and counters ----------------------------------------------
   OS << "<h2>Phases</h2>\n<table>\n<tr><th>phase</th>"
         "<th class=\"num\">wall ms</th><th class=\"num\">calls</th></tr>\n";

@@ -6,6 +6,7 @@
 
 #include "telemetry/Json.h"
 
+#include <cmath>
 #include <cstdlib>
 
 using namespace dmm;
@@ -137,6 +138,11 @@ private:
       Value V;
       if (!parseValue(V, Depth + 1))
         return false;
+      // Duplicate keys are ambiguous (which value wins?); the tool's
+      // own emitters never produce them, so strictness costs nothing.
+      for (const auto &[Name, Existing] : Out.Obj)
+        if (Name == Key)
+          return fail("duplicate object key");
       Out.Obj.emplace_back(std::move(Key), std::move(V));
       skipWs();
       if (consume(','))
@@ -201,6 +207,54 @@ private:
     }
   }
 
+  /// Validates and copies one multi-byte UTF-8 sequence starting at
+  /// Pos. JSON text must be valid UTF-8 (RFC 8259 §8.1); accepting
+  /// arbitrary bytes would let invalid sequences round-trip into
+  /// documents other tools then reject. Overlong encodings, lone or
+  /// out-of-order continuation bytes, surrogate code points, and
+  /// values above U+10FFFF all fail.
+  bool consumeUtf8Sequence(std::string &Out) {
+    unsigned char Lead = static_cast<unsigned char>(Text[Pos]);
+    size_t Continuations;
+    unsigned char LoMin = 0x80, LoMax = 0xBF; // First-continuation range.
+    if (Lead >= 0xC2 && Lead <= 0xDF) {
+      Continuations = 1;
+    } else if (Lead == 0xE0) {
+      Continuations = 2;
+      LoMin = 0xA0; // Excludes overlong 2-byte forms.
+    } else if (Lead >= 0xE1 && Lead <= 0xEC) {
+      Continuations = 2;
+    } else if (Lead == 0xED) {
+      Continuations = 2;
+      LoMax = 0x9F; // Excludes UTF-16 surrogates U+D800..U+DFFF.
+    } else if (Lead >= 0xEE && Lead <= 0xEF) {
+      Continuations = 2;
+    } else if (Lead == 0xF0) {
+      Continuations = 3;
+      LoMin = 0x90; // Excludes overlong 3-byte forms.
+    } else if (Lead >= 0xF1 && Lead <= 0xF3) {
+      Continuations = 3;
+    } else if (Lead == 0xF4) {
+      Continuations = 3;
+      LoMax = 0x8F; // Excludes code points above U+10FFFF.
+    } else {
+      // 0x80..0xC1 (stray continuation / overlong lead), 0xF5..0xFF.
+      return fail("invalid UTF-8 byte in string");
+    }
+    if (Text.size() - Pos < Continuations + 1)
+      return fail("truncated UTF-8 sequence in string");
+    for (size_t I = 1; I <= Continuations; ++I) {
+      unsigned char B = static_cast<unsigned char>(Text[Pos + I]);
+      unsigned char Min = I == 1 ? LoMin : 0x80;
+      unsigned char Max = I == 1 ? LoMax : 0xBF;
+      if (B < Min || B > Max)
+        return fail("invalid UTF-8 continuation byte in string");
+    }
+    Out.append(Text.substr(Pos, Continuations + 1));
+    Pos += Continuations + 1;
+    return true;
+  }
+
   bool parseString(std::string &Out) {
     ++Pos; // '"'
     for (;;) {
@@ -211,6 +265,12 @@ private:
         return true;
       if (static_cast<unsigned char>(C) < 0x20)
         return fail("unescaped control character in string");
+      if (static_cast<unsigned char>(C) >= 0x80) {
+        --Pos; // Re-read the lead byte.
+        if (!consumeUtf8Sequence(Out))
+          return false;
+        continue;
+      }
       if (C != '\\') {
         Out += C;
         continue;
@@ -300,6 +360,10 @@ private:
     Out.K = Value::Kind::Number;
     Out.Num = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
                           nullptr);
+    // Grammar-valid numbers can still overflow double ("1e999");
+    // storing infinity would emit non-JSON on the way back out.
+    if (!std::isfinite(Out.Num))
+      return fail("number out of range");
     return true;
   }
 };

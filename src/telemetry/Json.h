@@ -10,9 +10,12 @@
 /// --report, schema-validation tests) without external dependencies.
 ///
 /// Strictness: the full input must be exactly one JSON value (trailing
-/// non-whitespace rejected), escapes must be legal, numbers must match
-/// the JSON grammar. Numbers are stored as double — adequate for every
-/// field the tool emits (all below 2^53).
+/// non-whitespace rejected), escapes must be legal, strings must be
+/// valid UTF-8 (no overlong forms, surrogates, or stray continuation
+/// bytes), object keys must be unique, and numbers must match the JSON
+/// grammar and fit a finite double. Numbers are stored as double —
+/// adequate for every field the tool emits (all below 2^53). Nesting
+/// is capped at 200 levels.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -6,7 +6,10 @@
 
 #include "telemetry/Stats.h"
 
+#include "telemetry/CrashHandler.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/Json.h"
+#include "telemetry/Log.h"
 #include "telemetry/MemoryAccounting.h"
 #include "telemetry/Telemetry.h"
 
@@ -71,6 +74,22 @@ StatsDocument stats::buildStats(const Telemetry &T, std::string Tool,
   D.Jobs = Jobs;
   D.MemAccounting = memacct::available();
 
+  // The v3 diagnostics section reflects process-wide observability
+  // state (the logger and flight recorder are global, not per
+  // registry), snapshotted at build time.
+  Logger &Log = Logger::instance();
+  D.Diagnostics.Present = true;
+  D.Diagnostics.LogError = Log.count(LogLevel::Error);
+  D.Diagnostics.LogWarn = Log.count(LogLevel::Warn);
+  D.Diagnostics.LogInfo = Log.count(LogLevel::Info);
+  D.Diagnostics.LogDebug = Log.count(LogLevel::Debug);
+  D.Diagnostics.LogTrace = Log.count(LogLevel::Trace);
+  if (const FlightRecorder *R = FlightRecorder::active()) {
+    D.Diagnostics.RecorderEvents = R->eventsRecorded();
+    D.Diagnostics.RecorderDropped = R->eventsDropped();
+  }
+  D.Diagnostics.Crashes = crashReportsWritten();
+
   for (const PhaseStat &P : T.phases())
     D.Phases.push_back({P.Name, P.Nanos, P.Invocations});
   std::stable_sort(D.Phases.begin(), D.Phases.end(),
@@ -118,6 +137,20 @@ void stats::printStats(const StatsDocument &D, std::ostream &OS) {
   OS << "  \"jobs\": " << D.Jobs << ",\n";
   OS << "  \"memory_accounting\": " << (D.MemAccounting ? "true" : "false")
      << ",\n";
+
+  if (D.Diagnostics.Present) {
+    const DiagnosticsSection &G = D.Diagnostics;
+    OS << "  \"diagnostics\": {\n";
+    OS << "    \"log_error\": " << G.LogError << ",\n";
+    OS << "    \"log_warn\": " << G.LogWarn << ",\n";
+    OS << "    \"log_info\": " << G.LogInfo << ",\n";
+    OS << "    \"log_debug\": " << G.LogDebug << ",\n";
+    OS << "    \"log_trace\": " << G.LogTrace << ",\n";
+    OS << "    \"recorder_events\": " << G.RecorderEvents << ",\n";
+    OS << "    \"recorder_dropped\": " << G.RecorderDropped << ",\n";
+    OS << "    \"crashes\": " << G.Crashes << "\n";
+    OS << "  },\n";
+  }
 
   if (D.Profiler.Present) {
     const ProfilerSection &P = D.Profiler;
@@ -273,6 +306,31 @@ bool stats::parseStats(std::string_view Text, StatsDocument &Out,
   if (!MemAcct || !MemAcct->isBool())
     return failParse(Error, "missing boolean \"memory_accounting\"");
   Out.MemAccounting = MemAcct->boolean();
+
+  if (const json::Value *Diag = Root.get("diagnostics")) {
+    if (Out.Version < 3)
+      return failParse(
+          Error, "\"diagnostics\" section requires stats version >= 3");
+    if (!Diag->isObject())
+      return failParse(Error, "\"diagnostics\" is not an object");
+    DiagnosticsSection &G = Out.Diagnostics;
+    G.Present = true;
+    for (const char *Key :
+         {"log_error", "log_warn", "log_info", "log_debug", "log_trace",
+          "recorder_events", "recorder_dropped", "crashes"})
+      if (!requireNumber(*Diag, Key, "diagnostics", Error))
+        return false;
+    G.LogError = static_cast<uint64_t>(Diag->getNumber("log_error"));
+    G.LogWarn = static_cast<uint64_t>(Diag->getNumber("log_warn"));
+    G.LogInfo = static_cast<uint64_t>(Diag->getNumber("log_info"));
+    G.LogDebug = static_cast<uint64_t>(Diag->getNumber("log_debug"));
+    G.LogTrace = static_cast<uint64_t>(Diag->getNumber("log_trace"));
+    G.RecorderEvents =
+        static_cast<uint64_t>(Diag->getNumber("recorder_events"));
+    G.RecorderDropped =
+        static_cast<uint64_t>(Diag->getNumber("recorder_dropped"));
+    G.Crashes = static_cast<uint64_t>(Diag->getNumber("crashes"));
+  }
 
   if (const json::Value *Prof = Root.get("profiler")) {
     if (Out.Version < 2)

@@ -45,10 +45,12 @@ namespace stats {
 inline constexpr const char kSchemaName[] = "dmm-stats";
 /// Version history: 1 — phases/counters/spans (PR-5); 2 — adds the
 /// optional "profiler" section (shadow-memory profiler summary,
-/// snapshots, and per-site byte attribution). Documents without a
-/// profiler section are valid at either version; parseStats accepts
-/// every version in [kMinSchemaVersion, kSchemaVersion].
-inline constexpr int kSchemaVersion = 2;
+/// snapshots, and per-site byte attribution); 3 — adds the optional
+/// "diagnostics" section (per-level log counts, flight-recorder
+/// totals, crash-report count). Documents without the optional
+/// sections are valid at any version that permits them; parseStats
+/// accepts every version in [kMinSchemaVersion, kSchemaVersion].
+inline constexpr int kSchemaVersion = 3;
 inline constexpr int kMinSchemaVersion = 1;
 
 /// One span in the document (self-contained mirror of SpanRecord).
@@ -120,6 +122,25 @@ struct ProfilerSection {
   std::vector<ProfilerSiteRow> Sites; ///< (File, Line, Class, Member).
 };
 
+/// The optional "diagnostics" object introduced in schema version 3:
+/// the run's own observability health. Log counts are per-level event
+/// totals (post level-filter); recorder fields mirror the flight
+/// recorder (telemetry/FlightRecorder.h); Crashes counts crash
+/// reports written by this process (nonzero only if a signal handler
+/// fired and the process somehow lived to emit stats — it exists so
+/// batch drivers folding many registries surface half-died runs).
+struct DiagnosticsSection {
+  bool Present = false; ///< Section exists in the document.
+  uint64_t LogError = 0;
+  uint64_t LogWarn = 0;
+  uint64_t LogInfo = 0;
+  uint64_t LogDebug = 0;
+  uint64_t LogTrace = 0;
+  uint64_t RecorderEvents = 0;
+  uint64_t RecorderDropped = 0;
+  uint64_t Crashes = 0;
+};
+
 /// The parsed/built document.
 struct StatsDocument {
   int Version = kSchemaVersion;
@@ -127,6 +148,7 @@ struct StatsDocument {
   unsigned Jobs = 0;
   bool MemAccounting = false; ///< Platform supports heap accounting.
   ProfilerSection Profiler; ///< Present only when --profile ran (v2).
+  DiagnosticsSection Diagnostics; ///< Filled by buildStats (v3).
   std::vector<PhaseRow> Phases; ///< Sorted by (namespace, key).
   std::vector<std::pair<std::string, uint64_t>> Counters; ///< Sorted.
   std::vector<SpanStat> Spans; ///< In begin order; Spans[I].Id == I+1.

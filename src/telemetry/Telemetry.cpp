@@ -7,6 +7,7 @@
 #include "telemetry/Telemetry.h"
 
 #include "support/ThreadPool.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/MemoryAccounting.h"
 
 #include <algorithm>
@@ -242,6 +243,10 @@ uint64_t Telemetry::counter(const std::string &Name) const {
 //===----------------------------------------------------------------------===//
 
 Span::Span(const char *Name) : T(Telemetry::Active), Name(Name) {
+  // The flight recorder (crash diagnostics) tracks spans even when no
+  // Telemetry registry is installed, so a crash on a plain run still
+  // reports where in the pipeline it happened.
+  flightSpanBegin(Name);
   if (!T)
     return;
   StartNanos = T->nowNanos();
@@ -254,6 +259,7 @@ Span::Span(const char *Name) : T(Telemetry::Active), Name(Name) {
 }
 
 Span::~Span() {
+  flightSpanEnd();
   if (!T)
     return;
   memacct::Frame F;

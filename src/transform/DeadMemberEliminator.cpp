@@ -7,6 +7,7 @@
 #include "transform/DeadMemberEliminator.h"
 
 #include "ast/ASTWalker.h"
+#include "telemetry/Log.h"
 #include "telemetry/Telemetry.h"
 
 #include <map>
@@ -347,5 +348,9 @@ EliminationResult dmm::eliminateDeadMembers(const ASTContext &Ctx,
     Telemetry::count("eliminate.plan.init_drop", InitDrops);
   if (!Planner.blocked().empty())
     Telemetry::count("eliminate.plan.blocked", Planner.blocked().size());
+  logDebug("elimination plan applied",
+           {kv("removed", Out.Removed.size()), kv("kept", Out.Kept.size()),
+            kv("removed_functions", Out.RemovedFunctions.size()),
+            kv("blocked", Planner.blocked().size())});
   return Out;
 }

@@ -27,6 +27,7 @@
 
 #include "ast/Expr.h"
 #include "profiler/ShadowProfiler.h"
+#include "telemetry/Log.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -1521,6 +1522,7 @@ ExecResult VM::run(const FunctionDecl *Main) {
   } catch (const VMError &E) {
     Result.Completed = false;
     Result.Error = E.Message;
+    logDebug("vm run failed", {kv("error", E.Message), kv("steps", Steps)});
   }
   Result.Output = std::move(Output);
   Result.Steps = Steps;

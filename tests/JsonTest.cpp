@@ -1,0 +1,148 @@
+//===-- tests/JsonTest.cpp - JSON parser hardening tests ------------------==//
+//
+// Part of the deadmember project (Sweeney & Tip, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Malformed-input coverage for the strict JSON parser (telemetry/
+/// Json.h): nesting-depth limits, truncated escapes, invalid UTF-8,
+/// number-grammar edge cases including double overflow, and duplicate
+/// object keys. The happy-path and surrogate-pair tests live in
+/// StatsSchemaTest.cpp; this file is the adversarial half.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace dmm;
+
+namespace {
+
+json::Value parseOK(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Text, V, Error)) << Text << ": " << Error;
+  return V;
+}
+
+bool parseFails(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  return !json::parse(Text, V, Error);
+}
+
+std::string nested(size_t Depth) {
+  std::string S;
+  S.reserve(Depth * 2 + 1);
+  S.append(Depth, '[');
+  S += '1';
+  S.append(Depth, ']');
+  return S;
+}
+
+TEST(JsonHardening, NestingDepthIsCapped) {
+  // The cap is 200 levels; one under parses, well past it fails
+  // cleanly instead of overflowing the stack.
+  EXPECT_FALSE(parseFails(nested(199)));
+  EXPECT_TRUE(parseFails(nested(201)));
+  EXPECT_TRUE(parseFails(nested(5000)));
+  // Mixed nesting counts the same.
+  std::string Mixed;
+  for (size_t I = 0; I != 150; ++I)
+    Mixed += "{\"k\":[";
+  Mixed += "1";
+  for (size_t I = 0; I != 150; ++I)
+    Mixed += "]}";
+  EXPECT_TRUE(parseFails(Mixed));
+}
+
+TEST(JsonHardening, TruncatedEscapesAreRejected) {
+  EXPECT_TRUE(parseFails("\"\\"));
+  EXPECT_TRUE(parseFails("\"\\u\""));
+  EXPECT_TRUE(parseFails("\"\\u12\""));
+  EXPECT_TRUE(parseFails("\"\\u12g4\""));
+  EXPECT_TRUE(parseFails("\"\\ud83d\\u\""));    // Truncated low surrogate.
+  EXPECT_TRUE(parseFails("\"\\ud83d\\n\""));    // High surrogate then \n.
+  EXPECT_TRUE(parseFails("\"\\ud83d\\u0041\"")); // Low half out of range.
+  EXPECT_TRUE(parseFails("\"\\udc00\""));        // Lone low surrogate.
+}
+
+TEST(JsonHardening, InvalidUtf8IsRejected) {
+  // Stray continuation byte, overlong lead, and out-of-range leads.
+  EXPECT_TRUE(parseFails("\"\x80\""));
+  EXPECT_TRUE(parseFails("\"\xC1\xBF\"")); // Overlong 2-byte form.
+  EXPECT_TRUE(parseFails("\"\xF5\x80\x80\x80\""));
+  EXPECT_TRUE(parseFails("\"\xFF\""));
+  // Truncated sequences (lead promises more bytes than exist).
+  EXPECT_TRUE(parseFails("\"\xC3\""));
+  EXPECT_TRUE(parseFails("\"\xE2\x82\""));
+  EXPECT_TRUE(parseFails("\"\xF0\x9F\x98\""));
+  // Bad continuation bytes.
+  EXPECT_TRUE(parseFails("\"\xC3\x41\""));
+  EXPECT_TRUE(parseFails("\"\xE2\x82\xC0\""));
+  // Overlong 3- and 4-byte forms and UTF-16 surrogates as raw UTF-8.
+  EXPECT_TRUE(parseFails("\"\xE0\x80\xA0\""));
+  EXPECT_TRUE(parseFails("\"\xED\xA0\x80\"")); // U+D800.
+  EXPECT_TRUE(parseFails("\"\xF0\x80\x90\x80\""));
+  EXPECT_TRUE(parseFails("\"\xF4\x90\x80\x80\"")); // Above U+10FFFF.
+}
+
+TEST(JsonHardening, ValidUtf8RoundTrips) {
+  EXPECT_EQ(parseOK("\"\xC3\xA9\"").str(), "\xC3\xA9");         // é
+  EXPECT_EQ(parseOK("\"\xE2\x82\xAC\"").str(), "\xE2\x82\xAC"); // €
+  EXPECT_EQ(parseOK("\"\xF0\x9F\x98\x80\"").str(),
+            "\xF0\x9F\x98\x80"); // 😀
+  // Boundary leads: U+0080, U+0800, U+FFFD, U+10FFFF.
+  EXPECT_EQ(parseOK("\"\xC2\x80\"").str(), "\xC2\x80");
+  EXPECT_EQ(parseOK("\"\xE0\xA0\x80\"").str(), "\xE0\xA0\x80");
+  EXPECT_EQ(parseOK("\"\xEF\xBF\xBD\"").str(), "\xEF\xBF\xBD");
+  EXPECT_EQ(parseOK("\"\xF4\x8F\xBF\xBF\"").str(), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(JsonHardening, NumberGrammarEdgeCases) {
+  // Grammar-valid values, including ones that need the full production.
+  EXPECT_EQ(parseOK("0").number(), 0.0);
+  EXPECT_EQ(parseOK("-0").number(), 0.0);
+  EXPECT_EQ(parseOK("1e3").number(), 1000.0);
+  EXPECT_EQ(parseOK("-2.5E-1").number(), -0.25);
+  EXPECT_EQ(parseOK("9007199254740991").number(), 9007199254740991.0);
+
+  // Grammar violations.
+  EXPECT_TRUE(parseFails("+1"));
+  EXPECT_TRUE(parseFails("01"));
+  EXPECT_TRUE(parseFails("-01"));
+  EXPECT_TRUE(parseFails(".5"));
+  EXPECT_TRUE(parseFails("1."));
+  EXPECT_TRUE(parseFails("1.e3"));
+  EXPECT_TRUE(parseFails("1e"));
+  EXPECT_TRUE(parseFails("1e+"));
+  EXPECT_TRUE(parseFails("-"));
+  EXPECT_TRUE(parseFails("NaN"));
+  EXPECT_TRUE(parseFails("Infinity"));
+
+  // Grammar-valid but overflowing double: storing infinity would emit
+  // non-JSON on the way back out, so the parser rejects it.
+  EXPECT_TRUE(parseFails("1e999"));
+  EXPECT_TRUE(parseFails("-1e999"));
+  EXPECT_TRUE(parseFails("{\"a\": [1e400]}"));
+  // Underflow to zero is fine — zero is representable.
+  EXPECT_EQ(parseOK("1e-999").number(), 0.0);
+}
+
+TEST(JsonHardening, DuplicateObjectKeysAreRejected) {
+  EXPECT_TRUE(parseFails("{\"a\": 1, \"a\": 2}"));
+  EXPECT_TRUE(parseFails("{\"a\": 1, \"b\": {\"c\": 1, \"c\": 2}}"));
+  // Escapes that decode to the same key collide too.
+  EXPECT_TRUE(parseFails("{\"a\": 1, \"\\u0061\": 2}"));
+  // Distinct keys at the same level, or the same key at different
+  // levels, are fine.
+  EXPECT_FALSE(parseFails("{\"a\": 1, \"b\": 2}"));
+  EXPECT_FALSE(parseFails("{\"a\": {\"a\": 1}}"));
+}
+
+} // namespace

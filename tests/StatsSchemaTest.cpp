@@ -175,7 +175,7 @@ TEST(StatsSchema, ValidationRejectsSchemaViolations) {
   };
 
   EXPECT_TRUE(Replaced("\"dmm-stats\"", "\"other-schema\""));
-  EXPECT_TRUE(Replaced("\"version\": 2", "\"version\": 999"));
+  EXPECT_TRUE(Replaced("\"version\": 3", "\"version\": 999"));
   EXPECT_TRUE(Replaced("\"jobs\": 1", "\"jobs\": \"one\""));
   EXPECT_TRUE(Replaced("\"memory_accounting\"", "\"renamed_field\""));
   // First span id rewritten: ids are no longer dense.
@@ -183,18 +183,85 @@ TEST(StatsSchema, ValidationRejectsSchemaViolations) {
   EXPECT_TRUE(jsonParseFails(Good + "x"));
 }
 
-TEST(StatsSchema, AcceptsVersion1Documents) {
-  // v1 documents (no profiler section) written by older builds still
-  // parse; the version floor only rises when a field is removed.
-  std::string Text = statsJsonForJobs(1);
-  size_t Pos = Text.find("\"version\": 2");
-  ASSERT_NE(Pos, std::string::npos);
-  Text.replace(Pos, 12, "\"version\": 1");
-  stats::StatsDocument D;
+TEST(StatsSchema, AcceptsOlderVersionDocuments) {
+  // v1 documents (no profiler section) and v2 documents (no
+  // diagnostics section) written by older builds still parse; the
+  // version floor only rises when a field is removed. A live v3
+  // document carries a diagnostics section, so drop it before
+  // downgrading the version.
+  Telemetry Tel;
+  runPipeline(Tel);
+  stats::StatsDocument D = stats::buildStats(Tel, "deadmember test", 1);
+  D.Diagnostics.Present = false;
+  std::ostringstream OS;
+  stats::printStats(D, OS);
+
+  for (int Version : {1, 2}) {
+    std::string Text = OS.str();
+    size_t Pos = Text.find("\"version\": 3");
+    ASSERT_NE(Pos, std::string::npos);
+    Text.replace(Pos, 12, "\"version\": " + std::to_string(Version));
+    stats::StatsDocument Back;
+    std::string Error;
+    ASSERT_TRUE(stats::parseStats(Text, Back, Error))
+        << "v" << Version << ": " << Error;
+    EXPECT_EQ(Back.Version, Version);
+    EXPECT_FALSE(Back.Profiler.Present);
+    EXPECT_FALSE(Back.Diagnostics.Present);
+  }
+}
+
+TEST(StatsSchema, DiagnosticsSectionRoundTrips) {
+  // A live pipeline run emits a populated diagnostics section; its
+  // counters survive print -> parse unchanged.
+  Telemetry Tel;
+  runPipeline(Tel);
+  stats::StatsDocument D = stats::buildStats(Tel, "deadmember test", 1);
+  ASSERT_TRUE(D.Diagnostics.Present);
+
+  std::ostringstream OS;
+  stats::printStats(D, OS);
+  stats::StatsDocument Back;
   std::string Error;
-  ASSERT_TRUE(stats::parseStats(Text, D, Error)) << Error;
-  EXPECT_EQ(D.Version, 1);
-  EXPECT_FALSE(D.Profiler.Present);
+  ASSERT_TRUE(stats::parseStats(OS.str(), Back, Error)) << Error;
+  ASSERT_TRUE(Back.Diagnostics.Present);
+  EXPECT_EQ(Back.Diagnostics.LogError, D.Diagnostics.LogError);
+  EXPECT_EQ(Back.Diagnostics.LogWarn, D.Diagnostics.LogWarn);
+  EXPECT_EQ(Back.Diagnostics.LogInfo, D.Diagnostics.LogInfo);
+  EXPECT_EQ(Back.Diagnostics.LogDebug, D.Diagnostics.LogDebug);
+  EXPECT_EQ(Back.Diagnostics.LogTrace, D.Diagnostics.LogTrace);
+  EXPECT_EQ(Back.Diagnostics.RecorderEvents, D.Diagnostics.RecorderEvents);
+  EXPECT_EQ(Back.Diagnostics.RecorderDropped,
+            D.Diagnostics.RecorderDropped);
+  EXPECT_EQ(Back.Diagnostics.Crashes, D.Diagnostics.Crashes);
+}
+
+TEST(StatsSchema, DiagnosticsSectionRejectsInvalidDocuments) {
+  Telemetry Tel;
+  runPipeline(Tel);
+  stats::StatsDocument D = stats::buildStats(Tel, "deadmember test", 1);
+  ASSERT_TRUE(D.Diagnostics.Present);
+  std::ostringstream OS;
+  stats::printStats(D, OS);
+  const std::string Good = OS.str();
+
+  auto Replaced = [&](const std::string &From, const std::string &To) {
+    std::string S = Good;
+    size_t Pos = S.find(From);
+    EXPECT_NE(Pos, std::string::npos) << From;
+    S.replace(Pos, From.size(), To);
+    stats::StatsDocument Out;
+    std::string Err;
+    return !stats::parseStats(S, Out, Err);
+  };
+
+  // The diagnostics section was introduced in v3; a v2 document
+  // carrying one is malformed.
+  EXPECT_TRUE(Replaced("\"version\": 3", "\"version\": 2"));
+  // Every counter is required and must be numeric.
+  EXPECT_TRUE(Replaced("\"log_error\"", "\"renamed_field\""));
+  EXPECT_TRUE(Replaced("\"recorder_dropped\": ",
+                       "\"recorder_dropped\": \"\", \"x\": "));
 }
 
 stats::ProfilerSection syntheticProfiler() {
@@ -269,7 +336,7 @@ TEST(StatsSchema, ProfilerSectionRejectsInvalidDocuments) {
 
   // The profiler section was introduced in v2; a v1 document carrying
   // one is malformed.
-  EXPECT_TRUE(Replaced("\"version\": 2", "\"version\": 1"));
+  EXPECT_TRUE(Replaced("\"version\": 3", "\"version\": 1"));
   // Snapshot events must be positive and the live bytes bounded by the
   // high-water mark.
   EXPECT_TRUE(Replaced("\"event\": 2", "\"event\": 0"));
